@@ -1,0 +1,59 @@
+//! The figure/table regeneration harness: `cargo bench -p mosaic-bench
+//! --bench figures` re-runs every experiment of the paper's evaluation
+//! and prints the paper-formatted rows and series.
+//!
+//! Scope control (how much of the 235-workload evaluation is swept):
+//!
+//! ```text
+//! cargo bench -p mosaic-bench --bench figures                       # default subset
+//! MOSAIC_SCOPE=smoke cargo bench -p mosaic-bench --bench figures    # quick
+//! MOSAIC_SCOPE=full  cargo bench -p mosaic-bench --bench figures    # complete suites
+//! ```
+//!
+//! Individual figures: pass their names as arguments, e.g.
+//! `cargo bench -p mosaic-bench --bench figures -- fig08 fig13`.
+
+use mosaic_experiments as exp;
+use mosaic_experiments::Scope;
+
+fn main() {
+    let scope = Scope::from_env();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-')) // ignore cargo-bench flags like --bench
+        .collect();
+    let all = args.is_empty();
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+    eprintln!("# figure benches at scope {scope:?} (MOSAIC_SCOPE=smoke|default|full)");
+
+    macro_rules! figure {
+        ($name:literal, $run:expr) => {
+            if want($name) {
+                let t0 = std::time::Instant::now();
+                let result = $run;
+                println!("==================================================================");
+                println!("{result}");
+                eprintln!("# [{} regenerated in {:.1?}]", $name, t0.elapsed());
+            }
+        };
+    }
+
+    figure!("fig03", exp::fig03::run(scope));
+    figure!("fig04", exp::fig04::run(scope));
+    figure!("bloat", exp::bloat::run(scope));
+    figure!("fig06", exp::fig06::run(scope));
+    figure!("fig08", exp::fig08::run(scope));
+    figure!("fig09", exp::fig09::run(scope));
+    figure!("fig10", exp::fig10::run(scope));
+    figure!("fig11", exp::fig11::run(scope));
+    figure!("fig12", exp::fig12::run(scope));
+    figure!("fig13", exp::fig13::run(scope));
+    figure!("fig14", exp::fig14::run(scope));
+    figure!("fig15", exp::fig15::run(scope));
+    figure!("fig16", exp::fig16::run(scope));
+    figure!("table2", exp::table2::run(scope));
+    figure!("ablation_pwc", exp::ablations::pwc_vs_l2tlb(scope));
+    figure!("ablation_walker", exp::ablations::walker_threads(scope));
+    figure!("ablation_cac_threshold", exp::ablations::cac_threshold(scope));
+    figure!("ablation_coalescers", exp::ablations::migrating_coalescer(scope));
+}

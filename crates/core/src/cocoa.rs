@@ -1,0 +1,296 @@
+//! Contiguity-Conserving Allocation (CoCoA), Section 4.2.
+//!
+//! GPGPU applications allocate memory *en masse*: a kernel launch reserves
+//! large contiguous stretches of virtual memory at once. CoCoA exploits
+//! this to allocate physical memory so that
+//!
+//! 1. base pages that are contiguous in virtual memory land contiguous
+//!    and aligned inside one large page frame, making them coalescible
+//!    with zero data movement, and
+//! 2. a large page frame only ever holds base pages of a single address
+//!    space — the **soft guarantee** that keeps coalescing from violating
+//!    memory protection.
+//!
+//! CoCoA maintains (a) the *free frame list* of wholly-unallocated large
+//! frames and (b) per-application *free base page lists* of spare base
+//! frames inside partially-used large frames. Aligned 2 MB chunks of a
+//! reservation get a dedicated large frame; stragglers (unaligned edges,
+//! sub-2 MB allocations) draw from the app's free base page list, which is
+//! refilled one large frame at a time to preserve the soft guarantee.
+
+use crate::frames::FramePool;
+use crate::MemError;
+use mosaic_sim_core::Counter;
+use mosaic_vm::{AppId, LargeFrameNum, LargePageNum, PhysFrameNum, VirtPageNum};
+use std::collections::HashMap;
+
+/// The CoCoA allocator state.
+///
+/// # Examples
+///
+/// ```
+/// use mosaic_core::{CoCoA, FramePool};
+/// use mosaic_vm::{AppId, LargePageNum};
+///
+/// let mut pool = FramePool::new(16 * 2 * 1024 * 1024, 6);
+/// let mut cocoa = CoCoA::new();
+/// // An aligned 2 MB chunk of app 1's reservation gets its own frame...
+/// let lf = cocoa.frame_for_chunk(&mut pool, AppId(1), LargePageNum(10)).unwrap();
+/// // ...and asking again returns the same frame.
+/// assert_eq!(cocoa.frame_for_chunk(&mut pool, AppId(1), LargePageNum(10)), Ok(lf));
+/// ```
+#[derive(Debug, Default)]
+pub struct CoCoA {
+    /// Large frame assigned to each (app, virtual large page) chunk.
+    chunk_frames: HashMap<(AppId, LargePageNum), LargeFrameNum>,
+    /// Per-application free base page lists (Section 4.2).
+    free_base: HashMap<AppId, Vec<PhysFrameNum>>,
+    /// Coalesced-but-fragmented frames parked for the failsafe
+    /// (Section 4.4's emergency frame list), with their owner.
+    emergency: Vec<(AppId, LargePageNum)>,
+    frames_assigned: Counter,
+    base_assigned: Counter,
+}
+
+impl CoCoA {
+    /// Creates an empty allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (assigning on first call) the large frame backing the
+    /// aligned 2 MB virtual chunk `lpn` of `asid`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfMemory`] when the free frame list is empty; the
+    /// caller (the manager) may then run the CAC failsafe and retry.
+    pub fn frame_for_chunk(
+        &mut self,
+        pool: &mut FramePool,
+        asid: AppId,
+        lpn: LargePageNum,
+    ) -> Result<LargeFrameNum, MemError> {
+        if let Some(&lf) = self.chunk_frames.get(&(asid, lpn)) {
+            return Ok(lf);
+        }
+        let lf = pool.take_free_frame().ok_or(MemError::OutOfMemory)?;
+        self.frames_assigned.inc();
+        self.chunk_frames.insert((asid, lpn), lf);
+        Ok(lf)
+    }
+
+    /// Whether a chunk already has a frame bound.
+    pub fn chunk_frame(&self, asid: AppId, lpn: LargePageNum) -> Option<LargeFrameNum> {
+        self.chunk_frames.get(&(asid, lpn)).copied()
+    }
+
+    /// Releases the chunk binding (on full deallocation of the chunk).
+    pub fn unbind_chunk(&mut self, asid: AppId, lpn: LargePageNum) -> Option<LargeFrameNum> {
+        self.chunk_frames.remove(&(asid, lpn))
+    }
+
+    /// Allocates one base frame for `asid` outside any aligned chunk,
+    /// drawing from the app's free base page list and refilling the list
+    /// with a fresh large frame when empty — never sharing a frame between
+    /// applications (the soft guarantee).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfMemory`] when both the app's free base list and
+    /// the free frame list are empty.
+    pub fn alloc_base(
+        &mut self,
+        pool: &mut FramePool,
+        asid: AppId,
+    ) -> Result<PhysFrameNum, MemError> {
+        let list = self.free_base.entry(asid).or_default();
+        if list.is_empty() {
+            let lf = pool.take_free_frame().ok_or(MemError::OutOfMemory)?;
+            self.frames_assigned.inc();
+            // Push in reverse so allocation proceeds from index 0 upward.
+            list.extend(lf.base_frames().rev());
+        }
+        let pfn = list.pop().expect("list was just refilled");
+        self.base_assigned.inc();
+        Ok(pfn)
+    }
+
+    /// Adds spare base frames (e.g., the holes of a splintered emergency
+    /// frame) to `asid`'s free base page list.
+    pub fn donate_base(&mut self, asid: AppId, frames: impl IntoIterator<Item = PhysFrameNum>) {
+        let list = self.free_base.entry(asid).or_default();
+        let mut added: Vec<_> = frames.into_iter().collect();
+        added.reverse();
+        list.extend(added);
+    }
+
+    /// Number of free base frames currently parked for `asid`.
+    pub fn free_base_len(&self, asid: AppId) -> usize {
+        self.free_base.get(&asid).map_or(0, Vec::len)
+    }
+
+    /// Pops one spare base frame from `asid`'s free base page list
+    /// *without* refilling from the free frame list (unlike
+    /// [`CoCoA::alloc_base`]). Used by CAC to find migration destinations
+    /// among frames the app already owns.
+    pub fn pop_free_base(&mut self, asid: AppId) -> Option<PhysFrameNum> {
+        self.free_base.get_mut(&asid)?.pop()
+    }
+
+    /// Removes every free base frame of `asid` living in large frame `lf`
+    /// (used before releasing a drained frame back to the pool). Returns
+    /// how many were removed.
+    pub fn reclaim_base(&mut self, asid: AppId, lf: LargeFrameNum) -> usize {
+        let list = match self.free_base.get_mut(&asid) {
+            Some(l) => l,
+            None => return 0,
+        };
+        let before = list.len();
+        list.retain(|pfn| pfn.large_frame() != lf);
+        before - list.len()
+    }
+
+    /// Parks a coalesced-but-fragmented page on the emergency frame list
+    /// (Section 4.4): a failsafe source of base pages when memory runs
+    /// out.
+    pub fn park_emergency(&mut self, asid: AppId, lpn: LargePageNum) {
+        if !self.emergency.contains(&(asid, lpn)) {
+            self.emergency.push((asid, lpn));
+        }
+    }
+
+    /// Pops one emergency entry (the failsafe path), if any.
+    pub fn pop_emergency(&mut self) -> Option<(AppId, LargePageNum)> {
+        self.emergency.pop()
+    }
+
+    /// Removes a specific page from the emergency list (it was splintered
+    /// or fully deallocated through the normal path).
+    pub fn unpark_emergency(&mut self, asid: AppId, lpn: LargePageNum) {
+        self.emergency.retain(|&e| e != (asid, lpn));
+    }
+
+    /// Number of pages parked on the emergency list.
+    pub fn emergency_len(&self) -> usize {
+        self.emergency.len()
+    }
+
+    /// Large frames handed out (chunks + base list refills).
+    pub fn frames_assigned(&self) -> u64 {
+        self.frames_assigned.get()
+    }
+
+    /// Individual base frames handed out from free base page lists.
+    pub fn base_assigned(&self) -> u64 {
+        self.base_assigned.get()
+    }
+
+    /// Virtual page → physical frame for a page inside an aligned chunk:
+    /// the defining CoCoA property, placing the page at the *same index*
+    /// within the large frame as it has within its virtual large page.
+    pub fn chunk_slot(lf: LargeFrameNum, vpn: VirtPageNum) -> PhysFrameNum {
+        lf.base_frame(vpn.index_in_large())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_vm::{BASE_PAGES_PER_LARGE_PAGE, LARGE_PAGE_SIZE};
+
+    fn pool(frames: u64) -> FramePool {
+        FramePool::new(frames * LARGE_PAGE_SIZE, 6)
+    }
+
+    #[test]
+    fn chunk_frames_are_stable_and_distinct() {
+        let mut pool = pool(8);
+        let mut c = CoCoA::new();
+        let a = c.frame_for_chunk(&mut pool, AppId(0), LargePageNum(1)).unwrap();
+        let b = c.frame_for_chunk(&mut pool, AppId(0), LargePageNum(2)).unwrap();
+        let a2 = c.frame_for_chunk(&mut pool, AppId(0), LargePageNum(1)).unwrap();
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(c.frames_assigned(), 2);
+    }
+
+    #[test]
+    fn chunk_slot_preserves_index() {
+        let lf = LargeFrameNum(5);
+        let vpn = LargePageNum(9).base_page(17);
+        let pfn = CoCoA::chunk_slot(lf, vpn);
+        assert_eq!(pfn.large_frame(), lf);
+        assert_eq!(pfn.index_in_large(), 17);
+    }
+
+    #[test]
+    fn base_allocation_respects_soft_guarantee() {
+        let mut pool = pool(4);
+        let mut c = CoCoA::new();
+        let a = c.alloc_base(&mut pool, AppId(0)).unwrap();
+        let b = c.alloc_base(&mut pool, AppId(1)).unwrap();
+        // Different applications draw from different large frames.
+        assert_ne!(a.large_frame(), b.large_frame());
+        // Same app keeps filling its own frame contiguously.
+        let a2 = c.alloc_base(&mut pool, AppId(0)).unwrap();
+        assert_eq!(a2.large_frame(), a.large_frame());
+        assert_eq!(a2.raw(), a.raw() + 1);
+    }
+
+    #[test]
+    fn base_list_refills_and_exhausts() {
+        let mut pool = pool(1);
+        let mut c = CoCoA::new();
+        for _ in 0..BASE_PAGES_PER_LARGE_PAGE {
+            c.alloc_base(&mut pool, AppId(0)).unwrap();
+        }
+        assert_eq!(c.free_base_len(AppId(0)), 0);
+        assert_eq!(c.alloc_base(&mut pool, AppId(0)), Err(MemError::OutOfMemory));
+    }
+
+    #[test]
+    fn out_of_frames_for_chunk() {
+        let mut pool = pool(1);
+        let mut c = CoCoA::new();
+        c.frame_for_chunk(&mut pool, AppId(0), LargePageNum(0)).unwrap();
+        assert_eq!(
+            c.frame_for_chunk(&mut pool, AppId(0), LargePageNum(1)),
+            Err(MemError::OutOfMemory)
+        );
+    }
+
+    #[test]
+    fn donate_and_reclaim_base() {
+        let mut pool = pool(2);
+        let mut c = CoCoA::new();
+        let lf = pool.take_free_frame().unwrap();
+        c.donate_base(AppId(0), vec![lf.base_frame(1), lf.base_frame(2)]);
+        assert_eq!(c.free_base_len(AppId(0)), 2);
+        let first = c.alloc_base(&mut pool, AppId(0)).unwrap();
+        assert_eq!(first, lf.base_frame(1), "donated frames are used first, in order");
+        assert_eq!(c.reclaim_base(AppId(0), lf), 1);
+        assert_eq!(c.free_base_len(AppId(0)), 0);
+    }
+
+    #[test]
+    fn emergency_list_round_trip() {
+        let mut c = CoCoA::new();
+        c.park_emergency(AppId(0), LargePageNum(3));
+        c.park_emergency(AppId(0), LargePageNum(3)); // duplicate ignored
+        c.park_emergency(AppId(1), LargePageNum(4));
+        assert_eq!(c.emergency_len(), 2);
+        c.unpark_emergency(AppId(0), LargePageNum(3));
+        assert_eq!(c.pop_emergency(), Some((AppId(1), LargePageNum(4))));
+        assert_eq!(c.pop_emergency(), None);
+    }
+
+    #[test]
+    fn unbind_chunk_forgets_mapping() {
+        let mut pool = pool(2);
+        let mut c = CoCoA::new();
+        let lf = c.frame_for_chunk(&mut pool, AppId(0), LargePageNum(7)).unwrap();
+        assert_eq!(c.unbind_chunk(AppId(0), LargePageNum(7)), Some(lf));
+        assert_eq!(c.chunk_frame(AppId(0), LargePageNum(7)), None);
+    }
+}

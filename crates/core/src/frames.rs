@@ -1,0 +1,393 @@
+//! Physical-memory frame bookkeeping.
+//!
+//! The [`FramePool`] tracks every large page frame (2 MB, page-aligned) of
+//! GPU physical memory and the per-base-frame allocation state inside each:
+//! which address space owns each 4 KB base frame, which frames are free,
+//! and which frames were *pre-fragmented* by the Section 6.4 stress tests.
+//!
+//! The pool also assigns each large frame a home DRAM channel, which CAC
+//! uses to honor the paper's constraint that compaction migrates base pages
+//! only between large page frames in the same memory channel.
+
+use mosaic_vm::{AppId, LargeFrameNum, PhysFrameNum, BASE_PAGES_PER_LARGE_PAGE, LARGE_PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The special owner recorded for data injected by fragmentation
+/// stress tests (Section 6.4): it belongs to no real address space and
+/// never satisfies CoCoA's soft guarantee.
+pub const FRAG_OWNER: AppId = AppId(u16::MAX);
+
+/// Allocation state of one large page frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameState {
+    /// Owner of each of the 512 base frames (`None` = unallocated).
+    owners: Vec<Option<AppId>>,
+    /// Number of allocated base frames (cached).
+    used: u16,
+    /// Number of allocated base frames owned by real applications
+    /// (excluding [`FRAG_OWNER`]).
+    app_used: u16,
+}
+
+impl Default for FrameState {
+    fn default() -> Self {
+        FrameState {
+            owners: vec![None; BASE_PAGES_PER_LARGE_PAGE as usize],
+            used: 0,
+            app_used: 0,
+        }
+    }
+}
+
+impl FrameState {
+    /// Number of allocated base frames in this large frame.
+    pub fn used(&self) -> u64 {
+        u64::from(self.used)
+    }
+
+    /// Whether no base frame is allocated.
+    pub fn is_empty(&self) -> bool {
+        self.used == 0
+    }
+
+    /// Whether every base frame is allocated.
+    pub fn is_full(&self) -> bool {
+        u64::from(self.used) == BASE_PAGES_PER_LARGE_PAGE
+    }
+
+    /// Owner of base frame `i` within this large frame.
+    pub fn owner(&self, i: u64) -> Option<AppId> {
+        self.owners[i as usize]
+    }
+
+    /// Whether all allocated base frames belong to `asid` (vacuously true
+    /// when empty) — the paper's *soft guarantee* predicate.
+    pub fn single_owner(&self, asid: AppId) -> bool {
+        self.owners.iter().flatten().all(|&o| o == asid)
+    }
+
+    /// Iterates allocated `(index, owner)` pairs.
+    pub fn allocated(&self) -> impl Iterator<Item = (u64, AppId)> + '_ {
+        self.owners.iter().enumerate().filter_map(|(i, o)| o.map(|a| (i as u64, a)))
+    }
+
+    /// Indices of unallocated base frames.
+    pub fn holes(&self) -> impl Iterator<Item = u64> + '_ {
+        self.owners.iter().enumerate().filter(|(_, o)| o.is_none()).map(|(i, _)| i as u64)
+    }
+}
+
+/// All of GPU physical memory, at large-frame granularity.
+///
+/// # Examples
+///
+/// ```
+/// use mosaic_core::frames::FramePool;
+/// use mosaic_vm::AppId;
+///
+/// let mut pool = FramePool::new(64 * 2 * 1024 * 1024, 6); // 64 large frames
+/// assert_eq!(pool.total_large_frames(), 64);
+/// let lf = pool.take_free_frame().unwrap();
+/// let pfn = lf.base_frame(0);
+/// pool.set_owner(pfn, Some(AppId(3)));
+/// assert_eq!(pool.state(lf).used(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FramePool {
+    total: u64,
+    channels: usize,
+    /// Large frames with at least one allocated base frame, or reserved.
+    states: BTreeMap<LargeFrameNum, FrameState>,
+    /// Free large frames (no base frame allocated, not reserved), in
+    /// ascending order for determinism.
+    free: Vec<LargeFrameNum>,
+    /// Frames currently holding real application data.
+    app_frames: u64,
+    /// High-water mark of `app_frames`.
+    peak_app_frames: u64,
+    /// High-water mark of tracked (reserved) frames.
+    peak_tracked: u64,
+}
+
+impl FramePool {
+    /// Creates a pool covering `bytes` of physical memory striped over
+    /// `channels` DRAM channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a positive multiple of 2 MB or `channels`
+    /// is zero.
+    pub fn new(bytes: u64, channels: usize) -> Self {
+        assert!(bytes > 0 && bytes.is_multiple_of(LARGE_PAGE_SIZE), "memory must be a multiple of 2MB");
+        assert!(channels > 0, "need at least one channel");
+        let total = bytes / LARGE_PAGE_SIZE;
+        FramePool {
+            total,
+            channels,
+            states: BTreeMap::new(),
+            // Keep descending so `pop` hands out ascending frame numbers.
+            free: (0..total).rev().map(LargeFrameNum).collect(),
+            app_frames: 0,
+            peak_app_frames: 0,
+            peak_tracked: 0,
+        }
+    }
+
+    /// Number of large frames in the pool.
+    pub fn total_large_frames(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of frames on the free-frame list.
+    pub fn free_frames(&self) -> usize {
+        self.free.len()
+    }
+
+    /// The home DRAM channel of a large frame (coarse page-to-channel
+    /// assignment used for CAC's same-channel migration constraint).
+    pub fn channel_of(&self, lf: LargeFrameNum) -> usize {
+        (lf.raw() % self.channels as u64) as usize
+    }
+
+    /// Takes a frame off the free-frame list (CoCoA's allocation step).
+    pub fn take_free_frame(&mut self) -> Option<LargeFrameNum> {
+        let lf = self.free.pop()?;
+        self.states.entry(lf).or_default();
+        self.peak_tracked = self.peak_tracked.max(self.states.len() as u64);
+        Some(lf)
+    }
+
+    /// Returns a fully-empty frame to the free list (CAC's step 10 in
+    /// Figure 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any base frame in it is still allocated.
+    pub fn release_frame(&mut self, lf: LargeFrameNum) {
+        if let Some(state) = self.states.remove(&lf) {
+            assert!(state.is_empty(), "cannot release a frame with allocated base pages");
+        }
+        self.free.push(lf);
+    }
+
+    /// Allocation state of a large frame (empty default if untouched).
+    pub fn state(&self, lf: LargeFrameNum) -> FrameState {
+        self.states.get(&lf).cloned().unwrap_or_default()
+    }
+
+    /// Sets (or clears) the owner of one base frame.
+    pub fn set_owner(&mut self, pfn: PhysFrameNum, owner: Option<AppId>) {
+        let lf = pfn.large_frame();
+        let state = self.states.entry(lf).or_default();
+        let idx = pfn.index_in_large() as usize;
+        let app_before = state.app_used;
+        match (state.owners[idx], owner) {
+            (None, Some(_)) => state.used += 1,
+            (Some(_), None) => state.used -= 1,
+            _ => {}
+        }
+        let is_app = |o: Option<AppId>| o.is_some_and(|a| a != FRAG_OWNER);
+        match (is_app(state.owners[idx]), is_app(owner)) {
+            (false, true) => state.app_used += 1,
+            (true, false) => state.app_used -= 1,
+            _ => {}
+        }
+        state.owners[idx] = owner;
+        match (app_before, state.app_used) {
+            (0, 1..) => self.app_frames += 1,
+            (1.., 0) => self.app_frames -= 1,
+            _ => {}
+        }
+        self.peak_app_frames = self.peak_app_frames.max(self.app_frames);
+        self.peak_tracked = self.peak_tracked.max(self.states.len() as u64);
+    }
+
+    /// Owner of one base frame.
+    pub fn owner(&self, pfn: PhysFrameNum) -> Option<AppId> {
+        self.states.get(&pfn.large_frame()).and_then(|s| s.owner(pfn.index_in_large()))
+    }
+
+    /// Iterates `(frame, state)` over frames with any allocation or
+    /// reservation.
+    pub fn tracked(&self) -> impl Iterator<Item = (LargeFrameNum, &FrameState)> {
+        self.states.iter().map(|(&lf, s)| (lf, s))
+    }
+
+    /// Total allocated base frames across the pool.
+    pub fn allocated_base_frames(&self) -> u64 {
+        self.states.values().map(FrameState::used).sum()
+    }
+
+    /// Bytes of physical memory covered by tracked (reserved or partially
+    /// used) large frames — the footprint figure used for memory-bloat
+    /// accounting.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.states.len() as u64 * LARGE_PAGE_SIZE
+    }
+
+    /// Bytes of physical memory covered by large frames holding at least
+    /// one base frame of a *real* application (excluding frames used only
+    /// by injected pre-fragmentation data). This is the footprint the
+    /// Table 2 bloat comparison charges to the applications.
+    pub fn app_reserved_bytes(&self) -> u64 {
+        self.app_frames * LARGE_PAGE_SIZE
+    }
+
+    /// High-water mark of [`FramePool::app_reserved_bytes`] over the
+    /// pool's lifetime — kernels deallocate on completion, so end-of-run
+    /// footprints say nothing; bloat is measured at the peak.
+    pub fn peak_app_reserved_bytes(&self) -> u64 {
+        self.peak_app_frames * LARGE_PAGE_SIZE
+    }
+
+    /// High-water mark of [`FramePool::reserved_bytes`].
+    pub fn peak_reserved_bytes(&self) -> u64 {
+        self.peak_tracked * LARGE_PAGE_SIZE
+    }
+
+    /// Injects pre-fragmented data for the Section 6.4 stress tests:
+    /// a `fragmentation_index` fraction of all large frames each receive
+    /// `occupancy` of their base frames, owned by [`FRAG_OWNER`], placed
+    /// randomly with `rng`.
+    ///
+    /// Fragmented frames are removed from the free-frame list.
+    pub fn pre_fragment(
+        &mut self,
+        fragmentation_index: f64,
+        occupancy: f64,
+        rng: &mut mosaic_sim_core::SimRng,
+    ) -> u64 {
+        let index = fragmentation_index.clamp(0.0, 1.0);
+        let occupancy = occupancy.clamp(0.0, 1.0);
+        let n_frames = (self.total as f64 * index).round() as u64;
+        let per_frame = ((BASE_PAGES_PER_LARGE_PAGE as f64 * occupancy).round() as u64)
+            .clamp(if n_frames > 0 && occupancy > 0.0 { 1 } else { 0 }, BASE_PAGES_PER_LARGE_PAGE);
+        let mut victims: Vec<LargeFrameNum> = self.free.clone();
+        rng.shuffle(&mut victims);
+        victims.truncate(n_frames as usize);
+        let mut injected = 0;
+        for lf in victims {
+            self.free.retain(|&f| f != lf);
+            let mut indices: Vec<u64> = (0..BASE_PAGES_PER_LARGE_PAGE).collect();
+            rng.shuffle(&mut indices);
+            for &i in indices.iter().take(per_frame as usize) {
+                self.set_owner(lf.base_frame(i), Some(FRAG_OWNER));
+                injected += 1;
+            }
+        }
+        injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_sim_core::SimRng;
+
+    fn pool(frames: u64) -> FramePool {
+        FramePool::new(frames * LARGE_PAGE_SIZE, 6)
+    }
+
+    #[test]
+    fn frames_hand_out_in_ascending_order() {
+        let mut p = pool(4);
+        assert_eq!(p.take_free_frame(), Some(LargeFrameNum(0)));
+        assert_eq!(p.take_free_frame(), Some(LargeFrameNum(1)));
+        assert_eq!(p.free_frames(), 2);
+    }
+
+    #[test]
+    fn pool_exhausts() {
+        let mut p = pool(2);
+        assert!(p.take_free_frame().is_some());
+        assert!(p.take_free_frame().is_some());
+        assert_eq!(p.take_free_frame(), None);
+    }
+
+    #[test]
+    fn ownership_tracking() {
+        let mut p = pool(2);
+        let lf = p.take_free_frame().unwrap();
+        p.set_owner(lf.base_frame(3), Some(AppId(1)));
+        p.set_owner(lf.base_frame(4), Some(AppId(1)));
+        assert_eq!(p.state(lf).used(), 2);
+        assert!(p.state(lf).single_owner(AppId(1)));
+        assert!(!p.state(lf).single_owner(AppId(2)));
+        assert_eq!(p.owner(lf.base_frame(3)), Some(AppId(1)));
+
+        p.set_owner(lf.base_frame(3), None);
+        assert_eq!(p.state(lf).used(), 1);
+        assert_eq!(p.allocated_base_frames(), 1);
+    }
+
+    #[test]
+    fn release_requires_empty() {
+        let mut p = pool(2);
+        let lf = p.take_free_frame().unwrap();
+        p.set_owner(lf.base_frame(0), Some(AppId(0)));
+        p.set_owner(lf.base_frame(0), None);
+        p.release_frame(lf);
+        assert_eq!(p.free_frames(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocated base pages")]
+    fn release_nonempty_panics() {
+        let mut p = pool(2);
+        let lf = p.take_free_frame().unwrap();
+        p.set_owner(lf.base_frame(0), Some(AppId(0)));
+        p.release_frame(lf);
+    }
+
+    #[test]
+    fn full_and_empty_predicates() {
+        let mut p = pool(1);
+        let lf = p.take_free_frame().unwrap();
+        assert!(p.state(lf).is_empty());
+        for i in 0..BASE_PAGES_PER_LARGE_PAGE {
+            p.set_owner(lf.base_frame(i), Some(AppId(0)));
+        }
+        assert!(p.state(lf).is_full());
+        assert_eq!(p.state(lf).holes().count(), 0);
+    }
+
+    #[test]
+    fn reserved_bytes_counts_tracked_frames() {
+        let mut p = pool(8);
+        let _a = p.take_free_frame().unwrap();
+        let _b = p.take_free_frame().unwrap();
+        assert_eq!(p.reserved_bytes(), 2 * LARGE_PAGE_SIZE);
+    }
+
+    #[test]
+    fn pre_fragment_injects_requested_amounts() {
+        let mut p = pool(100);
+        let mut rng = SimRng::from_seed(1);
+        let injected = p.pre_fragment(0.5, 0.25, &mut rng);
+        assert_eq!(injected, 50 * 128);
+        // Fragmented frames left the free list.
+        assert_eq!(p.free_frames(), 50);
+        // All injected pages belong to the pseudo-owner.
+        let frag_frames = p
+            .tracked()
+            .filter(|(_, s)| s.allocated().any(|(_, o)| o == FRAG_OWNER))
+            .count();
+        assert_eq!(frag_frames, 50);
+    }
+
+    #[test]
+    fn pre_fragment_full_index_empties_free_list() {
+        let mut p = pool(10);
+        let mut rng = SimRng::from_seed(2);
+        p.pre_fragment(1.0, 0.5, &mut rng);
+        assert_eq!(p.free_frames(), 0);
+    }
+
+    #[test]
+    fn channel_assignment_is_stable() {
+        let p = pool(12);
+        assert_eq!(p.channel_of(LargeFrameNum(0)), 0);
+        assert_eq!(p.channel_of(LargeFrameNum(7)), 1);
+    }
+}

@@ -1,0 +1,319 @@
+//! The GPU-MMU baseline memory manager (Section 3.1).
+//!
+//! Power et al.'s GPU MMU design with the paper's modification: a
+//! 512-entry shared L2 TLB in place of the page-walk cache. Its allocator
+//! is what Figure 1a depicts: base pages are handed out in fault-arrival
+//! order from a shared "open" large frame, so pages of different
+//! applications interleave within large frames and virtually-contiguous
+//! pages scatter physically. Consequently the baseline can essentially
+//! never coalesce without migrating data — which it therefore never does.
+//!
+//! The same type also provides the **2 MB-only** configuration used by the
+//! Section 3 motivation experiments: every first touch materializes (and
+//! transfers!) an entire large page, exposing both the six-fold far-fault
+//! latency and the memory bloat of large-page-only management.
+
+use crate::frames::FramePool;
+use crate::{ManagerStats, MemError, MemoryManager, MgmtEvent, TouchOutcome};
+use mosaic_vm::{
+    AppId, LargeFrameNum, PageSize, PageTableSet, VirtPageNum, BASE_PAGES_PER_LARGE_PAGE,
+    BASE_PAGE_SIZE, LARGE_PAGE_SIZE,
+};
+use std::collections::HashSet;
+
+/// The baseline manager.
+///
+/// # Examples
+///
+/// ```
+/// use mosaic_core::{GpuMmuManager, MemoryManager};
+/// use mosaic_vm::{AppId, PageSize, VirtPageNum};
+///
+/// let mut mmu = GpuMmuManager::new(64 * 2 * 1024 * 1024, 6, PageSize::Base);
+/// mmu.register_app(AppId(0));
+/// mmu.reserve(AppId(0), VirtPageNum(0), 1024);
+/// let outcome = mmu.touch(AppId(0), VirtPageNum(7)).unwrap();
+/// assert_eq!(outcome.transfer_bytes, 4096); // base-page far-fault
+/// ```
+#[derive(Debug)]
+pub struct GpuMmuManager {
+    page_size: PageSize,
+    tables: PageTableSet,
+    pool: FramePool,
+    /// The shared partially-filled frame base allocations bump through —
+    /// the source of Figure 1a's inter-application interleaving.
+    open: Option<(LargeFrameNum, u64)>,
+    reservations: Vec<(AppId, VirtPageNum, u64)>,
+    touched: HashSet<(AppId, VirtPageNum)>,
+    stats: ManagerStats,
+}
+
+impl GpuMmuManager {
+    /// Creates the baseline manager over `memory_bytes` of physical memory
+    /// striped across `channels`, managing pages of size `page_size`.
+    pub fn new(memory_bytes: u64, channels: usize, page_size: PageSize) -> Self {
+        GpuMmuManager {
+            page_size,
+            tables: PageTableSet::new(),
+            pool: FramePool::new(memory_bytes, channels),
+            open: None,
+            reservations: Vec::new(),
+            touched: HashSet::new(),
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// The page size this instance manages (4 KB baseline or the 2 MB-only
+    /// motivation configuration).
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// Access to the frame pool (for experiment instrumentation).
+    pub fn pool(&self) -> &FramePool {
+        &self.pool
+    }
+
+    fn is_reserved(&self, asid: AppId, vpn: VirtPageNum) -> bool {
+        self.reservations
+            .iter()
+            .any(|&(a, start, n)| a == asid && vpn.raw() >= start.raw() && vpn.raw() < start.raw() + n)
+    }
+
+    fn alloc_base_interleaved(&mut self, asid: AppId) -> Result<mosaic_vm::PhysFrameNum, MemError> {
+        let (lf, idx) = match self.open.take() {
+            Some((lf, idx)) if idx < BASE_PAGES_PER_LARGE_PAGE => (lf, idx),
+            _ => (self.pool.take_free_frame().ok_or(MemError::OutOfMemory)?, 0),
+        };
+        let pfn = lf.base_frame(idx);
+        self.pool.set_owner(pfn, Some(asid));
+        if idx + 1 < BASE_PAGES_PER_LARGE_PAGE {
+            self.open = Some((lf, idx + 1));
+        }
+        Ok(pfn)
+    }
+
+    fn touch_base(&mut self, asid: AppId, vpn: VirtPageNum) -> Result<TouchOutcome, MemError> {
+        if self.tables.table_mut(asid).is_mapped(vpn) {
+            return Ok(TouchOutcome::default());
+        }
+        let pfn = self.alloc_base_interleaved(asid)?;
+        self.tables
+            .table_mut(asid)
+            .map_base(vpn, pfn)
+            .expect("checked unmapped above");
+        self.stats.far_faults += 1;
+        self.stats.transferred_bytes += BASE_PAGE_SIZE;
+        Ok(TouchOutcome { transfer_bytes: BASE_PAGE_SIZE, events: Vec::new() })
+    }
+
+    fn touch_large(&mut self, asid: AppId, vpn: VirtPageNum) -> Result<TouchOutcome, MemError> {
+        let lpn = vpn.large_page();
+        if self.tables.table_mut(asid).is_mapped(vpn) {
+            return Ok(TouchOutcome::default());
+        }
+        // Materialize the whole large page: one frame, 512 contiguous
+        // mappings, coalesced so the TLB can use a single large entry.
+        let lf = self.pool.take_free_frame().ok_or(MemError::OutOfMemory)?;
+        let table = self.tables.table_mut(asid);
+        for i in 0..BASE_PAGES_PER_LARGE_PAGE {
+            table.map_base(lpn.base_page(i), lf.base_frame(i)).expect("fresh region");
+            self.pool.set_owner(lf.base_frame(i), Some(asid));
+        }
+        let table = self.tables.table_mut(asid);
+        table.coalesce(lpn).expect("contiguous by construction");
+        self.stats.coalesces += 1;
+        self.stats.far_faults += 1;
+        self.stats.transferred_bytes += LARGE_PAGE_SIZE;
+        Ok(TouchOutcome {
+            transfer_bytes: LARGE_PAGE_SIZE,
+            events: vec![MgmtEvent::Coalesced { asid, lpn }],
+        })
+    }
+}
+
+impl MemoryManager for GpuMmuManager {
+    fn name(&self) -> &str {
+        match self.page_size {
+            PageSize::Base => "GPU-MMU",
+            PageSize::Large => "GPU-MMU-2MB",
+        }
+    }
+
+    fn register_app(&mut self, asid: AppId) {
+        self.tables.table_mut(asid);
+    }
+
+    fn reserve(&mut self, asid: AppId, start: VirtPageNum, pages: u64) {
+        self.reservations.push((asid, start, pages));
+    }
+
+    fn touch(&mut self, asid: AppId, vpn: VirtPageNum) -> Result<TouchOutcome, MemError> {
+        if !self.is_reserved(asid, vpn) {
+            return Err(MemError::NotReserved);
+        }
+        self.touched.insert((asid, vpn));
+        match self.page_size {
+            PageSize::Base => self.touch_base(asid, vpn),
+            PageSize::Large => self.touch_large(asid, vpn),
+        }
+    }
+
+    fn deallocate(&mut self, asid: AppId, start: VirtPageNum, pages: u64) -> Vec<MgmtEvent> {
+        let mut events = Vec::new();
+        let mut lpns = HashSet::new();
+        for i in 0..pages {
+            let vpn = VirtPageNum(start.raw() + i);
+            lpns.insert(vpn.large_page());
+            if let Some(pfn) = self.tables.table_mut(asid).unmap_base(vpn) {
+                self.pool.set_owner(pfn, None);
+            }
+        }
+        // Splinter and release fully-drained large regions.
+        for lpn in lpns {
+            let table = self.tables.table_mut(asid);
+            if table.mapped_in_large(lpn) == 0 && table.splinter(lpn) {
+                self.stats.splinters += 1;
+                events.push(MgmtEvent::Splintered { asid, lpn });
+            }
+        }
+        // Return wholly-freed frames to the pool.
+        let empty: Vec<_> = self
+            .pool
+            .tracked()
+            .filter(|(_, s)| s.is_empty())
+            .map(|(lf, _)| lf)
+            .collect();
+        for lf in empty {
+            if self.open.is_none_or(|(open, _)| open != lf) {
+                self.pool.release_frame(lf);
+            }
+        }
+        events
+    }
+
+    fn tables(&self) -> &PageTableSet {
+        &self.tables
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.pool.peak_reserved_bytes()
+    }
+
+    fn app_footprint_bytes(&self) -> u64 {
+        self.pool.peak_app_reserved_bytes()
+    }
+
+    fn touched_bytes(&self) -> u64 {
+        self.touched.len() as u64 * BASE_PAGE_SIZE
+    }
+
+    fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mmu(frames: u64, size: PageSize) -> GpuMmuManager {
+        let mut m = GpuMmuManager::new(frames * LARGE_PAGE_SIZE, 6, size);
+        m.register_app(AppId(0));
+        m.register_app(AppId(1));
+        m.reserve(AppId(0), VirtPageNum(0), 10_000);
+        m.reserve(AppId(1), VirtPageNum(0), 10_000);
+        m
+    }
+
+    #[test]
+    fn base_mode_transfers_4kb_once() {
+        let mut m = mmu(4, PageSize::Base);
+        let a = m.touch(AppId(0), VirtPageNum(5)).unwrap();
+        assert_eq!(a.transfer_bytes, BASE_PAGE_SIZE);
+        let again = m.touch(AppId(0), VirtPageNum(5)).unwrap();
+        assert_eq!(again.transfer_bytes, 0, "already resident");
+        assert_eq!(m.stats().far_faults, 1);
+    }
+
+    #[test]
+    fn base_mode_interleaves_applications_within_frames() {
+        let mut m = mmu(4, PageSize::Base);
+        m.touch(AppId(0), VirtPageNum(0)).unwrap();
+        m.touch(AppId(1), VirtPageNum(0)).unwrap();
+        m.touch(AppId(0), VirtPageNum(1)).unwrap();
+        let f0 = m.tables().table(AppId(0)).unwrap().translate(VirtPageNum(0).addr()).unwrap();
+        let f1 = m.tables().table(AppId(1)).unwrap().translate(VirtPageNum(0).addr()).unwrap();
+        // Figure 1a: both applications land in the same large frame.
+        assert_eq!(f0.frame.large_frame(), f1.frame.large_frame());
+    }
+
+    #[test]
+    fn base_mode_never_coalesces() {
+        let mut m = mmu(8, PageSize::Base);
+        // Touch a full 2MB region of app 0, interleaved with app 1.
+        for i in 0..BASE_PAGES_PER_LARGE_PAGE {
+            m.touch(AppId(0), VirtPageNum(i)).unwrap();
+            m.touch(AppId(1), VirtPageNum(i)).unwrap();
+        }
+        let table = m.tables().table(AppId(0)).unwrap();
+        assert!(!table.is_coalesced(VirtPageNum(0).large_page()));
+        assert_eq!(table.can_coalesce(VirtPageNum(0).large_page()).ok(), None);
+        assert_eq!(m.stats().coalesces, 0);
+    }
+
+    #[test]
+    fn large_mode_transfers_2mb_and_coalesces() {
+        let mut m = mmu(4, PageSize::Large);
+        let out = m.touch(AppId(0), VirtPageNum(3)).unwrap();
+        assert_eq!(out.transfer_bytes, LARGE_PAGE_SIZE);
+        assert!(matches!(out.events[0], MgmtEvent::Coalesced { .. }));
+        // A sibling page in the same 2MB region is already resident.
+        let sib = m.touch(AppId(0), VirtPageNum(400)).unwrap();
+        assert_eq!(sib.transfer_bytes, 0);
+        let t = m.tables().table(AppId(0)).unwrap().translate(VirtPageNum(3).addr()).unwrap();
+        assert_eq!(t.size, PageSize::Large);
+    }
+
+    #[test]
+    fn large_mode_bloats_memory() {
+        let mut m = mmu(4, PageSize::Large);
+        m.touch(AppId(0), VirtPageNum(0)).unwrap(); // 1 page touched, 2MB committed
+        assert_eq!(m.touched_bytes(), BASE_PAGE_SIZE);
+        assert_eq!(m.footprint_bytes(), LARGE_PAGE_SIZE);
+        assert!(m.memory_bloat() > 100.0, "511/512 of the frame is bloat");
+    }
+
+    #[test]
+    fn unreserved_touch_rejected() {
+        let mut m = mmu(4, PageSize::Base);
+        assert_eq!(m.touch(AppId(0), VirtPageNum(999_999)), Err(MemError::NotReserved));
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let mut m = mmu(1, PageSize::Large);
+        m.touch(AppId(0), VirtPageNum(0)).unwrap();
+        assert_eq!(m.touch(AppId(0), VirtPageNum(512)), Err(MemError::OutOfMemory));
+    }
+
+    #[test]
+    fn deallocate_releases_frames() {
+        let mut m = mmu(2, PageSize::Large);
+        m.touch(AppId(0), VirtPageNum(0)).unwrap();
+        let events = m.deallocate(AppId(0), VirtPageNum(0), BASE_PAGES_PER_LARGE_PAGE);
+        assert!(matches!(events[0], MgmtEvent::Splintered { .. }));
+        // The frame is reusable.
+        m.touch(AppId(0), VirtPageNum(512)).unwrap();
+        m.touch(AppId(0), VirtPageNum(1024)).unwrap();
+    }
+
+    #[test]
+    fn weighted_touched_bytes_counts_unique_pages() {
+        let mut m = mmu(4, PageSize::Base);
+        m.touch(AppId(0), VirtPageNum(1)).unwrap();
+        m.touch(AppId(0), VirtPageNum(1)).unwrap();
+        m.touch(AppId(1), VirtPageNum(1)).unwrap();
+        assert_eq!(m.touched_bytes(), 2 * BASE_PAGE_SIZE);
+    }
+}

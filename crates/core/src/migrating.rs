@@ -1,0 +1,416 @@
+//! A CPU-style *migrating* coalescer: the state-of-the-art the paper
+//! argues against (Sections 3.3 and 7.1).
+//!
+//! CPU large-page managers (Navarro et al.'s reservation-based promotion,
+//! Ingens' utilization-based promotion) monitor base-page utilization and
+//! *promote* a 2 MB region once enough of it is populated. Because their
+//! allocators conserve no contiguity, promotion must **migrate** every
+//! mapped base page into a freshly-allocated large frame, zero-fill the
+//! rest, update the PTEs, and shoot down the TLBs — the full Figure 6a
+//! timeline. This manager implements that design faithfully on the GPU
+//! substrate so the reproduction can measure exactly what Mosaic's
+//! in-place design saves:
+//!
+//! * allocation is GPU-MMU-style (fault-order interleaved frames — no
+//!   contiguity, no soft guarantee);
+//! * when a 2 MB region's utilization reaches `promote_threshold`, the
+//!   manager allocates a whole large frame, emits one
+//!   [`MgmtEvent::PageMigrated`] per mapped page, maps the region's
+//!   remaining pages to the frame's spare slots (zero-filled — the
+//!   memory-bloat source CPU promotion is known for), coalesces, and
+//!   emits [`MgmtEvent::TlbShootdown`] (stale translations point at the
+//!   pre-migration frames, so correctness demands an IPI-style
+//!   shootdown of the region on every SM).
+
+use crate::frames::FramePool;
+use crate::{ManagerStats, MemError, MemoryManager, MgmtEvent, TouchOutcome};
+use mosaic_vm::{
+    AppId, LargeFrameNum, LargePageNum, PageTableSet, PhysFrameNum, VirtPageNum,
+    BASE_PAGES_PER_LARGE_PAGE, BASE_PAGE_SIZE,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Policy knobs for the migrating coalescer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigratingConfig {
+    /// Promote a region once this fraction of its base pages is mapped
+    /// (Ingens uses utilization thresholds of this order).
+    pub promote_threshold: f64,
+    /// Whether promotion is enabled at all (`false` degenerates to the
+    /// GPU-MMU baseline allocator).
+    pub promote: bool,
+}
+
+impl Default for MigratingConfig {
+    fn default() -> Self {
+        MigratingConfig { promote_threshold: 0.70, promote: true }
+    }
+}
+
+/// The migrating (CPU-style) coalescing manager.
+///
+/// # Examples
+///
+/// ```
+/// use mosaic_core::{MigratingManager, MigratingConfig, MemoryManager, MgmtEvent};
+/// use mosaic_vm::{AppId, VirtPageNum};
+///
+/// let mut m = MigratingManager::new(64 * 2 * 1024 * 1024, 6, MigratingConfig::default());
+/// m.register_app(AppId(0));
+/// m.reserve(AppId(0), VirtPageNum(0), 512);
+/// let mut migrations = 0;
+/// for i in 0..512 {
+///     let out = m.touch(AppId(0), VirtPageNum(i)).unwrap();
+///     migrations += out.events.iter().filter(|e| matches!(e, MgmtEvent::PageMigrated { .. })).count();
+/// }
+/// assert!(migrations > 300, "promotion migrated the already-mapped pages");
+/// ```
+#[derive(Debug)]
+pub struct MigratingManager {
+    config: MigratingConfig,
+    tables: PageTableSet,
+    pool: FramePool,
+    /// Fault-order bump allocation, as in the GPU-MMU baseline.
+    open: Option<(LargeFrameNum, u64)>,
+    reservations: Vec<(AppId, VirtPageNum, u64)>,
+    touched: HashSet<(AppId, VirtPageNum)>,
+    /// Regions already promoted (never re-promoted).
+    promoted: HashSet<(AppId, LargePageNum)>,
+    stats: ManagerStats,
+}
+
+impl MigratingManager {
+    /// Creates the manager over `memory_bytes` striped across `channels`.
+    pub fn new(memory_bytes: u64, channels: usize, config: MigratingConfig) -> Self {
+        MigratingManager {
+            config,
+            tables: PageTableSet::new(),
+            pool: FramePool::new(memory_bytes, channels),
+            open: None,
+            reservations: Vec::new(),
+            touched: HashSet::new(),
+            promoted: HashSet::new(),
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// The policy in effect.
+    pub fn config(&self) -> &MigratingConfig {
+        &self.config
+    }
+
+    fn is_reserved(&self, asid: AppId, vpn: VirtPageNum) -> bool {
+        self.reservations.iter().any(|&(a, start, n)| {
+            a == asid && vpn.raw() >= start.raw() && vpn.raw() < start.raw() + n
+        })
+    }
+
+    /// Whether `lpn` lies fully inside one reservation (promotion must not
+    /// map pages the application never reserved).
+    fn region_reserved(&self, asid: AppId, lpn: LargePageNum) -> bool {
+        let first = lpn.base_page(0);
+        let last = VirtPageNum(first.raw() + BASE_PAGES_PER_LARGE_PAGE - 1);
+        self.is_reserved(asid, first) && self.is_reserved(asid, last)
+    }
+
+    fn alloc_base_interleaved(&mut self, asid: AppId) -> Result<PhysFrameNum, MemError> {
+        let (lf, idx) = match self.open.take() {
+            Some((lf, idx)) if idx < BASE_PAGES_PER_LARGE_PAGE => (lf, idx),
+            _ => (self.pool.take_free_frame().ok_or(MemError::OutOfMemory)?, 0),
+        };
+        let pfn = lf.base_frame(idx);
+        self.pool.set_owner(pfn, Some(asid));
+        if idx + 1 < BASE_PAGES_PER_LARGE_PAGE {
+            self.open = Some((lf, idx + 1));
+        }
+        Ok(pfn)
+    }
+
+    /// The Figure 6a promotion: migrate the mapped pages, *transfer* the
+    /// unmapped ones (on a discrete GPU their data still lives in CPU
+    /// memory — promotion must fully populate the region with real
+    /// contents), update PTEs, shoot down the TLBs. Returns the events
+    /// plus the extra bytes to move over the I/O bus.
+    fn promote(
+        &mut self,
+        asid: AppId,
+        lpn: LargePageNum,
+    ) -> Result<(Vec<MgmtEvent>, u64), MemError> {
+        let dest = self.pool.take_free_frame().ok_or(MemError::OutOfMemory)?;
+        let mut events = Vec::new();
+        let moved: Vec<(VirtPageNum, PhysFrameNum)> = self
+            .tables
+            .table_mut(asid)
+            .region_mappings(lpn)
+            .map(|(vpn, pfn, _)| (vpn, pfn))
+            .collect();
+        for (vpn, old) in &moved {
+            let slot = dest.base_frame(vpn.index_in_large());
+            self.tables.table_mut(asid).remap_base(*vpn, slot).expect("mapped");
+            self.pool.set_owner(*old, None);
+            self.pool.set_owner(slot, Some(asid));
+            self.stats.migrations += 1;
+            events.push(MgmtEvent::PageMigrated {
+                channel: self.pool.channel_of(dest),
+                bulk: false,
+                // Promotion is copy-then-switch: the old mappings stay
+                // valid while the copy engine works in the background.
+                blocking: false,
+            });
+        }
+        // Populate the holes: their data never left CPU memory, so the
+        // promotion transfers it now (this prefetch of never-requested
+        // data is the demand-paging waste — and the memory bloat — that
+        // large-page promotion is known for).
+        let holes: Vec<VirtPageNum> = lpn
+            .base_pages()
+            .filter(|vpn| !self.tables.table_mut(asid).is_mapped(*vpn))
+            .collect();
+        let extra_bytes = holes.len() as u64 * BASE_PAGE_SIZE;
+        for vpn in holes {
+            let slot = dest.base_frame(vpn.index_in_large());
+            self.tables.table_mut(asid).map_base(vpn, slot).expect("hole");
+            self.pool.set_owner(slot, Some(asid));
+        }
+        self.stats.transferred_bytes += extra_bytes;
+        self.tables.table_mut(asid).coalesce(lpn).expect("contiguous after migration");
+        self.stats.coalesces += 1;
+        self.promoted.insert((asid, lpn));
+        // Correctness: the pre-migration base translations are stale on
+        // every SM — a targeted (IPI-style) shootdown of the region.
+        events.push(MgmtEvent::TlbShootdown { asid, lpn });
+        Ok((events, extra_bytes))
+    }
+}
+
+impl MemoryManager for MigratingManager {
+    fn name(&self) -> &str {
+        "Migrating-Coalescer"
+    }
+
+    fn register_app(&mut self, asid: AppId) {
+        self.tables.table_mut(asid);
+    }
+
+    fn reserve(&mut self, asid: AppId, start: VirtPageNum, pages: u64) {
+        self.reservations.push((asid, start, pages));
+    }
+
+    fn touch(&mut self, asid: AppId, vpn: VirtPageNum) -> Result<TouchOutcome, MemError> {
+        if !self.is_reserved(asid, vpn) {
+            return Err(MemError::NotReserved);
+        }
+        self.touched.insert((asid, vpn));
+        if self.tables.table_mut(asid).is_mapped(vpn) {
+            return Ok(TouchOutcome::default());
+        }
+        let pfn = self.alloc_base_interleaved(asid)?;
+        self.tables.table_mut(asid).map_base(vpn, pfn).expect("checked unmapped");
+        self.stats.far_faults += 1;
+        self.stats.transferred_bytes += BASE_PAGE_SIZE;
+        let mut events = Vec::new();
+        let mut transfer_bytes = BASE_PAGE_SIZE;
+        let lpn = vpn.large_page();
+        if self.config.promote && !self.promoted.contains(&(asid, lpn)) && self.region_reserved(asid, lpn)
+        {
+            let mapped = self.tables.table_mut(asid).mapped_in_large(lpn) as f64;
+            if mapped / BASE_PAGES_PER_LARGE_PAGE as f64 >= self.config.promote_threshold {
+                match self.promote(asid, lpn) {
+                    Ok((ev, extra)) => {
+                        events = ev;
+                        transfer_bytes += extra;
+                    }
+                    // Out of whole frames: keep running unpromoted.
+                    Err(MemError::OutOfMemory) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(TouchOutcome { transfer_bytes, events })
+    }
+
+    fn deallocate(&mut self, asid: AppId, start: VirtPageNum, pages: u64) -> Vec<MgmtEvent> {
+        let mut events = Vec::new();
+        let mut lpns = HashSet::new();
+        for i in 0..pages {
+            let vpn = VirtPageNum(start.raw() + i);
+            lpns.insert(vpn.large_page());
+            if let Some(pfn) = self.tables.table_mut(asid).unmap_base(vpn) {
+                self.pool.set_owner(pfn, None);
+            }
+        }
+        for lpn in lpns {
+            let table = self.tables.table_mut(asid);
+            if table.mapped_in_large(lpn) == 0 && table.splinter(lpn) {
+                self.stats.splinters += 1;
+                self.promoted.remove(&(asid, lpn));
+                events.push(MgmtEvent::Splintered { asid, lpn });
+            }
+        }
+        let empty: Vec<_> =
+            self.pool.tracked().filter(|(_, s)| s.is_empty()).map(|(lf, _)| lf).collect();
+        for lf in empty {
+            if self.open.is_none_or(|(open, _)| open != lf) {
+                self.pool.release_frame(lf);
+            }
+        }
+        events
+    }
+
+    fn tables(&self) -> &PageTableSet {
+        &self.tables
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.pool.peak_reserved_bytes()
+    }
+
+    fn app_footprint_bytes(&self) -> u64 {
+        self.pool.peak_app_reserved_bytes()
+    }
+
+    fn touched_bytes(&self) -> u64 {
+        self.touched.len() as u64 * BASE_PAGE_SIZE
+    }
+
+    fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_vm::{PageSize, LARGE_PAGE_SIZE};
+
+    fn mgr(frames: u64) -> MigratingManager {
+        let mut m =
+            MigratingManager::new(frames * LARGE_PAGE_SIZE, 6, MigratingConfig::default());
+        m.register_app(AppId(0));
+        m.register_app(AppId(1));
+        m.reserve(AppId(0), VirtPageNum(0), 4096);
+        m.reserve(AppId(1), VirtPageNum(0), 4096);
+        m
+    }
+
+    #[test]
+    fn promotion_fires_at_threshold_with_migrations_and_flush() {
+        let mut m = mgr(16);
+        let needed = (512.0f64 * 0.70).ceil() as u64;
+        let mut all_events = Vec::new();
+        for i in 0..needed {
+            all_events.extend(m.touch(AppId(0), VirtPageNum(i)).unwrap().events);
+        }
+        let migrations =
+            all_events.iter().filter(|e| matches!(e, MgmtEvent::PageMigrated { .. })).count();
+        assert_eq!(migrations as u64, needed, "every mapped page migrated");
+        assert!(all_events.iter().any(|e| matches!(e, MgmtEvent::TlbShootdown { .. })));
+        // The region is now coalesced and fully populated.
+        let table = m.tables().table(AppId(0)).unwrap();
+        assert!(table.is_coalesced(LargePageNum(0)));
+        assert_eq!(table.mapped_in_large(LargePageNum(0)), 512);
+        // Translation is large, and contiguous in the destination frame.
+        let t = table.translate(VirtPageNum(3).addr()).unwrap();
+        assert_eq!(t.size, PageSize::Large);
+    }
+
+    #[test]
+    fn promotion_zero_fill_bloats_memory() {
+        let mut m = mgr(16);
+        for i in 0..((512.0f64 * 0.70).ceil() as u64) {
+            m.touch(AppId(0), VirtPageNum(i)).unwrap();
+        }
+        // 359 pages touched, a full 2MB region (plus migration sources)
+        // committed.
+        assert!(m.memory_bloat() > 0.3, "bloat {:.3}", m.memory_bloat());
+    }
+
+    #[test]
+    fn below_threshold_regions_stay_base_paged() {
+        let mut m = mgr(16);
+        for i in 0..128 {
+            m.touch(AppId(0), VirtPageNum(i)).unwrap();
+        }
+        let table = m.tables().table(AppId(0)).unwrap();
+        assert!(!table.is_coalesced(LargePageNum(0)));
+        assert_eq!(m.stats().migrations, 0);
+    }
+
+    #[test]
+    fn promotion_disabled_degenerates_to_baseline() {
+        let mut m = MigratingManager::new(
+            16 * LARGE_PAGE_SIZE,
+            6,
+            MigratingConfig { promote: false, ..Default::default() },
+        );
+        m.register_app(AppId(0));
+        m.reserve(AppId(0), VirtPageNum(0), 1024);
+        for i in 0..1024 {
+            m.touch(AppId(0), VirtPageNum(i)).unwrap();
+        }
+        assert_eq!(m.stats().coalesces, 0);
+        assert_eq!(m.stats().migrations, 0);
+    }
+
+    #[test]
+    fn promotion_respects_memory_pressure() {
+        // One frame total: promotion cannot find a destination frame and
+        // must degrade gracefully.
+        let mut m = mgr(1);
+        for i in 0..512 {
+            m.touch(AppId(0), VirtPageNum(i)).unwrap();
+        }
+        let table = m.tables().table(AppId(0)).unwrap();
+        assert!(!table.is_coalesced(LargePageNum(0)), "no frame to migrate into");
+        assert_eq!(m.stats().migrations, 0);
+    }
+
+    #[test]
+    fn interleaved_apps_promote_independently() {
+        let mut m = mgr(32);
+        for i in 0..512 {
+            m.touch(AppId(0), VirtPageNum(i)).unwrap();
+            m.touch(AppId(1), VirtPageNum(i)).unwrap();
+        }
+        for a in [AppId(0), AppId(1)] {
+            let table = m.tables().table(a).unwrap();
+            assert!(table.is_coalesced(LargePageNum(0)), "{a} promoted");
+            // Every frame of the promoted region belongs to this app.
+            for (_, frame, _) in table.region_mappings(LargePageNum(0)) {
+                assert_eq!(m.pool.owner(frame), Some(a));
+            }
+        }
+    }
+
+    #[test]
+    fn dealloc_splinters_and_releases() {
+        let mut m = mgr(16);
+        for i in 0..512 {
+            m.touch(AppId(0), VirtPageNum(i)).unwrap();
+        }
+        let events = m.deallocate(AppId(0), VirtPageNum(0), 512);
+        assert!(events.iter().any(|e| matches!(e, MgmtEvent::Splintered { .. })));
+        // Reuse works after release.
+        for i in 512..1024 {
+            m.touch(AppId(0), VirtPageNum(i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn unreserved_region_tail_blocks_promotion() {
+        let mut m = MigratingManager::new(
+            16 * LARGE_PAGE_SIZE,
+            6,
+            MigratingConfig::default(),
+        );
+        m.register_app(AppId(0));
+        // Reserve only 400 pages of the first region: promotion would
+        // have to map pages the app never reserved, so it must not fire.
+        m.reserve(AppId(0), VirtPageNum(0), 400);
+        for i in 0..400 {
+            m.touch(AppId(0), VirtPageNum(i)).unwrap();
+        }
+        assert!(!m.tables().table(AppId(0)).unwrap().is_coalesced(LargePageNum(0)));
+    }
+}

@@ -1,0 +1,75 @@
+//! Command-line driver: regenerate any (or every) table/figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p mosaic-experiments --bin reproduce -- all
+//! cargo run --release -p mosaic-experiments --bin reproduce -- fig08 fig13
+//! MOSAIC_SCOPE=full cargo run --release -p mosaic-experiments --bin reproduce -- fig08
+//! MOSAIC_JSON=out.json cargo run ... -- fig03
+//! ```
+
+use mosaic_experiments as exp;
+use mosaic_experiments::Scope;
+use serde::Serialize;
+
+const ALL: [&str; 15] = [
+    "fig03", "fig04", "bloat", "fig06", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "table2", "ablations",
+];
+
+fn emit<T: Serialize + std::fmt::Display>(name: &str, value: T, sink: &mut Vec<(String, serde_json::Value)>) {
+    println!("==================================================================");
+    println!("{value}");
+    sink.push((name.to_string(), serde_json::to_value(&value).expect("serializable result")));
+}
+
+fn main() {
+    let scope = Scope::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    eprintln!("scope: {scope:?} (set MOSAIC_SCOPE=smoke|default|full)");
+
+    let mut results = Vec::new();
+    for name in wanted {
+        let t0 = std::time::Instant::now();
+        match name {
+            "fig03" => emit(name, exp::fig03::run(scope), &mut results),
+            "fig04" => emit(name, exp::fig04::run(scope), &mut results),
+            "bloat" => emit(name, exp::bloat::run(scope), &mut results),
+            "fig06" => emit(name, exp::fig06::run(scope), &mut results),
+            "fig08" => emit(name, exp::fig08::run(scope), &mut results),
+            "fig09" => emit(name, exp::fig09::run(scope), &mut results),
+            "fig10" => emit(name, exp::fig10::run(scope), &mut results),
+            "fig11" => emit(name, exp::fig11::run(scope), &mut results),
+            "fig12" => emit(name, exp::fig12::run(scope), &mut results),
+            "fig13" => emit(name, exp::fig13::run(scope), &mut results),
+            "fig14" => emit(name, exp::fig14::run(scope), &mut results),
+            "fig15" => emit(name, exp::fig15::run(scope), &mut results),
+            "fig16" => emit(name, exp::fig16::run(scope), &mut results),
+            "table2" => emit(name, exp::table2::run(scope), &mut results),
+            "ablations" => {
+                emit("ablation_pwc", exp::ablations::pwc_vs_l2tlb(scope), &mut results);
+                emit("ablation_walker", exp::ablations::walker_threads(scope), &mut results);
+                emit("ablation_cac_threshold", exp::ablations::cac_threshold(scope), &mut results);
+                emit("ablation_coalescers", exp::ablations::migrating_coalescer(scope), &mut results);
+                emit("ablation_multikernel", exp::ablations::multi_kernel(scope), &mut results);
+            }
+            other => {
+                eprintln!("unknown experiment {other}; available: {ALL:?}");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("[{name} done in {:.1?}]", t0.elapsed());
+    }
+
+    if let Ok(path) = std::env::var("MOSAIC_JSON") {
+        let map: serde_json::Map<String, serde_json::Value> = results.into_iter().collect();
+        std::fs::write(&path, serde_json::to_string_pretty(&map).expect("valid json"))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote machine-readable results to {path}");
+    }
+}

@@ -1,0 +1,225 @@
+//! Shared experiment machinery: sweep scopes, alone-baseline caching, and
+//! small statistics helpers.
+
+use mosaic_gpusim::{run_workload, sm_share, ManagerKind, RunConfig, RunResult};
+use mosaic_workloads::{heterogeneous_suite, homogeneous_suite, AppProfile, ScaleConfig, Workload};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How much of the paper's evaluation a driver sweeps.
+///
+/// The paper simulates 235 workloads; a full sweep takes a while, so
+/// drivers default to representative subsets and can be widened via the
+/// `MOSAIC_SCOPE` environment variable (`smoke`, `default`, `full`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scope {
+    /// Tiny: a few workloads at reduced scale — for tests and CI.
+    Smoke,
+    /// Representative subset at the default scale — for benches.
+    Default,
+    /// The complete suites at the default scale.
+    Full,
+}
+
+impl Scope {
+    /// Reads the scope from `MOSAIC_SCOPE` (default: `Default`).
+    pub fn from_env() -> Self {
+        match std::env::var("MOSAIC_SCOPE").unwrap_or_default().to_ascii_lowercase().as_str() {
+            "smoke" => Scope::Smoke,
+            "full" => Scope::Full,
+            _ => Scope::Default,
+        }
+    }
+
+    /// The workload scale this scope runs at.
+    pub fn scale(self) -> ScaleConfig {
+        match self {
+            Scope::Smoke => ScaleConfig { ws_divisor: 16, mem_ops_per_warp: 120, warps_per_sm: 6, phases: 1 },
+            _ => ScaleConfig::default(),
+        }
+    }
+
+    /// A base run configuration at this scope's scale.
+    pub fn config(self, manager: ManagerKind) -> RunConfig {
+        RunConfig::new(manager).with_scale(self.scale())
+    }
+
+    /// Applications per single-application sweep (Figure 3 and friends).
+    pub fn apps(self) -> Vec<&'static AppProfile> {
+        let take = match self {
+            Scope::Smoke => 6,
+            Scope::Default => 12,
+            Scope::Full => 27,
+        };
+        // Spread across the TLB-friendly/TLB-sensitive spectrum by taking
+        // every k-th application of the (alphabetical) roster.
+        let all = mosaic_workloads::ALL_PROFILES.iter().collect::<Vec<_>>();
+        let stride = (all.len() / take).max(1);
+        all.into_iter().step_by(stride).take(take).collect()
+    }
+
+    /// The homogeneous suite (27 workloads in the paper) at this scope.
+    pub fn homogeneous(self, copies: usize) -> Vec<Workload> {
+        let suite = homogeneous_suite(copies);
+        self.subset(suite)
+    }
+
+    /// The heterogeneous suite (25 workloads in the paper) at this scope.
+    pub fn heterogeneous(self, apps: usize) -> Vec<Workload> {
+        let suite = heterogeneous_suite(apps, 7);
+        self.subset(suite)
+    }
+
+    fn subset(self, suite: Vec<Workload>) -> Vec<Workload> {
+        let take = match self {
+            Scope::Smoke => 3,
+            Scope::Default => 8,
+            Scope::Full => suite.len(),
+        };
+        let stride = (suite.len() / take).max(1);
+        suite.into_iter().step_by(stride).take(take).collect()
+    }
+}
+
+/// Memoized per-application alone baselines.
+///
+/// The weighted-speedup denominator (`IPC_alone`) depends only on the
+/// application and its SM share, so across a suite sweep most lookups are
+/// repeats; caching them is what makes full-suite sweeps affordable.
+#[derive(Debug, Default)]
+pub struct AloneCache {
+    cache: HashMap<(String, usize), RunResult>,
+}
+
+impl AloneCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// IPC of `profile` running alone on `sms` SMs under the baseline
+    /// GPU-MMU configuration derived from `cfg`.
+    pub fn alone_ipc(&mut self, profile: &'static AppProfile, sms: usize, cfg: RunConfig) -> f64 {
+        let key = (profile.name.to_string(), sms);
+        let result = self.cache.entry(key).or_insert_with(|| {
+            let mut alone_cfg = cfg;
+            alone_cfg.manager = ManagerKind::GpuMmu4K;
+            alone_cfg.system.ideal_tlb = false;
+            alone_cfg.fragmentation = None;
+            alone_cfg.system.sm_count = sms;
+            let solo = Workload { name: profile.name.to_string(), apps: vec![profile] };
+            run_workload(&solo, alone_cfg)
+        });
+        result.apps[0].ipc
+    }
+
+    /// Weighted speedup of `shared` using cached alone baselines.
+    pub fn weighted_speedup(&mut self, workload: &Workload, shared: &RunResult, cfg: RunConfig) -> f64 {
+        let n = workload.app_count();
+        workload
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let alone = self.alone_ipc(p, sm_share(cfg.system.sm_count, n, i), cfg);
+                if alone == 0.0 {
+                    0.0
+                } else {
+                    shared.apps[i].ipc / alone
+                }
+            })
+            .sum()
+    }
+
+    /// Number of distinct alone runs performed so far.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether no alone run has been performed yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean; `0.0` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any element is non-positive.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Renders one labelled series as a paper-style table row.
+pub fn fmt_row(label: &str, values: &[f64]) -> String {
+    let cells: Vec<String> = values.iter().map(|v| format!("{v:>8.3}")).collect();
+    format!("{label:<24} {}", cells.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_subsets_shrink() {
+        assert_eq!(Scope::Full.homogeneous(2).len(), 27);
+        assert_eq!(Scope::Default.homogeneous(2).len(), 8);
+        assert_eq!(Scope::Smoke.homogeneous(2).len(), 3);
+        assert_eq!(Scope::Full.apps().len(), 27);
+        assert!(Scope::Smoke.apps().len() >= 5);
+    }
+
+    #[test]
+    fn alone_cache_memoizes() {
+        let mut cache = AloneCache::new();
+        let cfg = Scope::Smoke.config(ManagerKind::GpuMmu4K);
+        let p = AppProfile::by_name("NN").unwrap();
+        let a = cache.alone_ipc(p, 3, cfg);
+        let b = cache.alone_ipc(p, 3, cfg);
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+        let _ = cache.alone_ipc(p, 4, cfg);
+        assert_eq!(cache.len(), 2, "different SM share is a different baseline");
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn fmt_row_aligns() {
+        let row = fmt_row("Mosaic", &[1.0, 2.5]);
+        assert!(row.starts_with("Mosaic"));
+        assert!(row.contains("2.500"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Figure 10: weighted speedup of 15 selected two-application
+//! heterogeneous workloads, split into TLB-friendly and TLB-sensitive
+//! classes.
+//!
+//! TLB-friendly workloads approach the Ideal TLB once Mosaic gives them
+//! large pages; TLB-sensitive pairs (e.g. HS–CONS, NW–HISTO in the paper)
+//! keep a gap, because one application is highly sensitive to shared L2
+//! TLB misses that the other, memory-intensive application keeps
+//! inflicting.
+
+use crate::common::{AloneCache, Scope};
+use mosaic_gpusim::{run_workload, ManagerKind};
+use mosaic_workloads::Workload;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The 15 pairs, mixing friendly and sensitive classes (HS–CONS and
+/// NW–HISTO are the paper's called-out sensitive examples).
+pub const PAIRS: [[&str; 2]; 15] = [
+    ["MM", "NN"],
+    ["HS", "CONS"],
+    ["BLK", "JPEG"],
+    ["NW", "HISTO"],
+    ["CONS", "SCP"],
+    ["GUPS", "MM"],
+    ["SAD", "SRAD"],
+    ["LPS", "3DS"],
+    ["RED", "SCAN"],
+    ["FFT", "FWT"],
+    ["LUD", "MM"],
+    ["MUM", "NN"],
+    ["SPMV", "BLK"],
+    ["QTC", "RAY"],
+    ["BFS2", "SC"],
+];
+
+/// One pair's weighted speedups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairRow {
+    /// Workload name, e.g. `"HS-CONS"`.
+    pub name: String,
+    /// Whether either application is TLB-sensitive.
+    pub tlb_sensitive: bool,
+    /// Weighted speedup under GPU-MMU.
+    pub gpu_mmu: f64,
+    /// Weighted speedup under Mosaic.
+    pub mosaic: f64,
+    /// Weighted speedup under the Ideal TLB.
+    pub ideal: f64,
+}
+
+/// The Figure 10 rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig10 {
+    /// One row per selected pair.
+    pub rows: Vec<PairRow>,
+}
+
+impl Fig10 {
+    /// Average Mosaic-to-Ideal ratio over one class.
+    pub fn avg_mosaic_to_ideal(&self, sensitive: bool) -> f64 {
+        let r: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.tlb_sensitive == sensitive)
+            .map(|r| r.mosaic / r.ideal)
+            .collect();
+        crate::common::mean(&r)
+    }
+}
+
+/// Runs the experiment.
+pub fn run(scope: Scope) -> Fig10 {
+    let pairs: &[[&str; 2]] = if scope == Scope::Smoke { &PAIRS[..6] } else { &PAIRS };
+    let mut cache = AloneCache::new();
+    let mut rows = Vec::new();
+    for pair in pairs {
+        let w = Workload::from_names(pair);
+        let sensitive = w.apps.iter().any(|p| p.tlb_sensitive());
+        let mut ws = [0.0f64; 3];
+        let configs = [
+            scope.config(ManagerKind::GpuMmu4K),
+            scope.config(ManagerKind::mosaic()),
+            scope.config(ManagerKind::GpuMmu4K).ideal_tlb(),
+        ];
+        for (i, cfg) in configs.into_iter().enumerate() {
+            let shared = run_workload(&w, cfg);
+            ws[i] = cache.weighted_speedup(&w, &shared, cfg);
+        }
+        rows.push(PairRow {
+            name: w.name,
+            tlb_sensitive: sensitive,
+            gpu_mmu: ws[0],
+            mosaic: ws[1],
+            ideal: ws[2],
+        });
+    }
+    Fig10 { rows }
+}
+
+impl fmt::Display for Fig10 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 10: selected two-application workloads (weighted speedup)")?;
+        writeln!(f, "{:<16} {:>10} {:>8} {:>8} {:>8}", "workload", "class", "GPU-MMU", "Mosaic", "Ideal")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<16} {:>10} {:>8.2} {:>8.2} {:>8.2}",
+                r.name,
+                if r.tlb_sensitive { "sensitive" } else { "friendly" },
+                r.gpu_mmu,
+                r.mosaic,
+                r.ideal
+            )?;
+        }
+        writeln!(
+            f,
+            "Mosaic reaches {:.0}% of Ideal on TLB-friendly pairs vs {:.0}% on TLB-sensitive ones.",
+            self.avg_mosaic_to_ideal(false) * 100.0,
+            self.avg_mosaic_to_ideal(true) * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_classes_present_and_mosaic_helps() {
+        let fig = run(Scope::Smoke);
+        assert!(fig.rows.iter().any(|r| r.tlb_sensitive));
+        assert!(fig.rows.iter().any(|r| !r.tlb_sensitive));
+        // Mosaic improves the average pair.
+        let avg_m: f64 = crate::common::mean(&fig.rows.iter().map(|r| r.mosaic).collect::<Vec<_>>());
+        let avg_g: f64 = crate::common::mean(&fig.rows.iter().map(|r| r.gpu_mmu).collect::<Vec<_>>());
+        assert!(avg_m > avg_g);
+    }
+}

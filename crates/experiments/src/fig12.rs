@@ -1,0 +1,104 @@
+//! Figure 12: GPU-MMU and Mosaic *with* demand paging, compared against
+//! GPU-MMU *without* demand paging (all data staged to GPU memory before
+//! the kernels start).
+//!
+//! The paper: Mosaic with paging beats even the no-paging GPU-MMU
+//! baseline (+58.5% homogeneous, +47.5% heterogeneous), and demand paging
+//! itself has little impact on the weighted speedup — the transfer cost
+//! exists either way.
+
+use crate::common::{fmt_row, mean, AloneCache, Scope};
+use mosaic_gpusim::{run_workload, ManagerKind, RunConfig};
+use mosaic_workloads::Workload;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One workload group's bars.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupRow {
+    /// Group label ("homogeneous" / "heterogeneous").
+    pub group: String,
+    /// GPU-MMU with paging, normalized to GPU-MMU without paging.
+    pub gpu_mmu_paging: f64,
+    /// Mosaic with paging, normalized to GPU-MMU without paging.
+    pub mosaic_paging: f64,
+}
+
+/// The Figure 12 bars.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig12 {
+    /// Homogeneous and heterogeneous rows.
+    pub groups: Vec<GroupRow>,
+}
+
+fn group(scope: Scope, label: &str, workloads: Vec<(Workload, RunConfig)>) -> GroupRow {
+    let mut cache = AloneCache::new();
+    let mut g_ratio = Vec::new();
+    let mut m_ratio = Vec::new();
+    for (w, base_cfg) in workloads {
+        let no_paging_cfg = base_cfg.preloaded();
+        let no_paging = run_workload(&w, no_paging_cfg);
+        let ws_no_paging = cache.weighted_speedup(&w, &no_paging, base_cfg);
+        let with_paging = run_workload(&w, base_cfg);
+        let ws_paging = cache.weighted_speedup(&w, &with_paging, base_cfg);
+        let mosaic_cfg = scope.config(ManagerKind::mosaic());
+        let mosaic = run_workload(&w, mosaic_cfg);
+        let ws_mosaic = cache.weighted_speedup(&w, &mosaic, mosaic_cfg);
+        g_ratio.push(ws_paging / ws_no_paging);
+        m_ratio.push(ws_mosaic / ws_no_paging);
+    }
+    GroupRow { group: label.to_string(), gpu_mmu_paging: mean(&g_ratio), mosaic_paging: mean(&m_ratio) }
+}
+
+/// Runs the experiment.
+pub fn run(scope: Scope) -> Fig12 {
+    let levels = if scope == Scope::Smoke { 2 } else { 4 };
+    let base = scope.config(ManagerKind::GpuMmu4K);
+    let homog: Vec<_> = (2..=levels)
+        .flat_map(|n| scope.homogeneous(n))
+        .map(|w| (w, base))
+        .collect();
+    let heter: Vec<_> = (2..=levels)
+        .flat_map(|n| scope.heterogeneous(n))
+        .map(|w| (w, base))
+        .collect();
+    Fig12 {
+        groups: vec![group(scope, "homogeneous", homog), group(scope, "heterogeneous", heter)],
+    }
+}
+
+impl fmt::Display for Fig12 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 12: normalized to GPU-MMU WITHOUT demand paging")?;
+        writeln!(f, "{:<24} {:>8} {:>8}", "group", "GPU-MMU", "Mosaic")?;
+        for g in &self.groups {
+            writeln!(f, "{}", fmt_row(&g.group, &[g.gpu_mmu_paging, g.mosaic_paging]))?;
+        }
+        writeln!(
+            f,
+            "paper: Mosaic-with-paging beats no-paging GPU-MMU by 58.5% (homog.) / 47.5% (heterog.);\n\
+             demand paging itself costs GPU-MMU little."
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mosaic_with_paging_beats_gpu_mmu_without() {
+        let fig = run(Scope::Smoke);
+        assert_eq!(fig.groups.len(), 2);
+        for g in &fig.groups {
+            assert!(
+                g.mosaic_paging > g.gpu_mmu_paging,
+                "{}: mosaic {:.2} vs gpu-mmu {:.2}",
+                g.group,
+                g.mosaic_paging,
+                g.gpu_mmu_paging
+            );
+            assert!(g.mosaic_paging > 1.0, "{}: {:.2}", g.group, g.mosaic_paging);
+        }
+    }
+}

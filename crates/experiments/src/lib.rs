@@ -1,0 +1,51 @@
+//! Experiment drivers that regenerate every table and figure of the
+//! Mosaic paper's evaluation.
+//!
+//! Each module reproduces one figure or table (see `DESIGN.md` at the
+//! workspace root for the full index):
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig03`] | Figure 3 — 4 KB vs 2 MB pages, no paging overhead, vs ideal TLB |
+//! | [`fig04`] | Figure 4 — demand-paging impact of page size, 1–5 apps |
+//! | [`bloat`] | Section 3.2 — memory bloat of 2 MB-only management |
+//! | [`fig06`] | Figure 6 — coalescing cost: baseline vs Mosaic |
+//! | [`fig08`] | Figure 8 — homogeneous weighted speedup |
+//! | [`fig09`] | Figure 9 — heterogeneous weighted speedup |
+//! | [`fig10`] | Figure 10 — selected 2-app workloads |
+//! | [`fig11`] | Figure 11 — sorted per-application normalized IPC |
+//! | [`fig12`] | Figure 12 — with vs without demand paging |
+//! | [`fig13`] | Figure 13 — L1/L2 TLB hit rates |
+//! | [`fig14`] | Figure 14 — base-page TLB entry sensitivity |
+//! | [`fig15`] | Figure 15 — large-page TLB entry sensitivity |
+//! | [`fig16`] | Figure 16 — CAC under fragmentation |
+//! | [`table2`] | Table 2 — memory bloat vs frame occupancy |
+//! | [`ablations`] | §3.1 page-walk-cache ablation + walker/threshold sweeps |
+//!
+//! Every driver takes a [`Scope`] that bounds how much of the paper's
+//! 235-workload evaluation it sweeps (`Smoke` for CI, `Default` for
+//! benches, `Full` for the complete suites) and returns a serializable
+//! result whose `Display` impl prints the same rows/series the paper
+//! reports.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablations;
+pub mod bloat;
+pub mod common;
+pub mod fig03;
+pub mod fig04;
+pub mod fig06;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod table2;
+
+pub use common::{geomean, mean, AloneCache, Scope};

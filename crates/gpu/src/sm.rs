@@ -1,0 +1,344 @@
+//! The streaming multiprocessor (SM) model with GTO warp scheduling.
+//!
+//! Each SM owns a set of resident warps (its thread blocks' warps), issues
+//! at most one warp instruction per cycle, and follows the
+//! greedy-then-oldest policy of the paper's configuration (Table 1): keep
+//! issuing from the current warp until it stalls, then switch to the
+//! oldest ready warp. When no warp is ready the SM fast-forwards to the
+//! earliest wake-up — those skipped cycles are the *stall cycles* that
+//! TLB misses and far-faults inflate and that Mosaic claws back.
+
+use crate::warp::{MemoryInterface, WarpOp, WarpStream};
+use mosaic_sim_core::Cycle;
+use mosaic_vm::AppId;
+use serde::{Deserialize, Serialize};
+
+/// SM parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmConfig {
+    /// Resident warps per SM (warp slots across its thread blocks).
+    pub warps: usize,
+    /// Maximum instructions issued per [`Sm::advance`] call before
+    /// returning control to the global scheduler (keeps SM clocks in
+    /// lockstep with shared-resource contention).
+    pub batch: usize,
+}
+
+impl Default for SmConfig {
+    fn default() -> Self {
+        SmConfig { warps: 32, batch: 8 }
+    }
+}
+
+/// Per-SM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmStats {
+    /// Warp instructions retired.
+    pub instructions: u64,
+    /// Memory instructions among them.
+    pub memory_instructions: u64,
+    /// Cycles with no warp ready to issue.
+    pub stall_cycles: u64,
+    /// Memory transactions issued (post-coalescing).
+    pub transactions: u64,
+}
+
+#[derive(Debug)]
+struct WarpCtx {
+    stream: Box<dyn WarpStream>,
+    ready_at: Cycle,
+    finished: bool,
+}
+
+/// One streaming multiprocessor.
+///
+/// Drive it with [`Sm::advance`] from a loop that always advances the SM
+/// with the smallest local clock; the SM is done when [`Sm::is_active`]
+/// turns false.
+#[derive(Debug)]
+pub struct Sm {
+    id: usize,
+    asid: AppId,
+    config: SmConfig,
+    warps: Vec<WarpCtx>,
+    current: usize,
+    now: Cycle,
+    /// External stall barrier (e.g., worst-case compaction stalls): the SM
+    /// may not issue before this cycle.
+    fence: Cycle,
+    stats: SmStats,
+}
+
+impl Sm {
+    /// Creates an SM for application `asid` with the given warp streams.
+    /// SMs with no warps start inactive.
+    pub fn new(
+        id: usize,
+        asid: AppId,
+        config: SmConfig,
+        streams: Vec<Box<dyn WarpStream>>,
+    ) -> Self {
+        let warps = streams
+            .into_iter()
+            .map(|stream| WarpCtx { stream, ready_at: Cycle::ZERO, finished: false })
+            .collect();
+        Sm { id, asid, config, warps, current: 0, now: Cycle::ZERO, fence: Cycle::ZERO, stats: SmStats::default() }
+    }
+
+    /// This SM's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The application this SM is partitioned to.
+    pub fn asid(&self) -> AppId {
+        self.asid
+    }
+
+    /// The SM's local clock.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SmStats {
+        self.stats
+    }
+
+    /// Whether any warp still has work.
+    pub fn is_active(&self) -> bool {
+        self.warps.iter().any(|w| !w.finished)
+    }
+
+    /// Stalls the SM until `until` (used for the conservative whole-GPU
+    /// compaction stalls and baseline TLB-shootdown modelling).
+    pub fn stall_until(&mut self, until: Cycle) {
+        self.fence = self.fence.max(until);
+    }
+
+    /// GTO pick: the current warp if ready, else the oldest (lowest index)
+    /// ready warp, else `None`.
+    fn pick(&self) -> Option<usize> {
+        let ready = |w: &WarpCtx| !w.finished && w.ready_at <= self.now;
+        if ready(&self.warps[self.current]) {
+            return Some(self.current);
+        }
+        self.warps.iter().position(ready)
+    }
+
+    /// Earliest cycle any unfinished warp becomes ready.
+    fn next_wakeup(&self) -> Option<Cycle> {
+        self.warps.iter().filter(|w| !w.finished).map(|w| w.ready_at).min()
+    }
+
+    /// Runs the SM for up to `config.batch` issued instructions (or one
+    /// stall jump), charging memory operations to `mem`. Returns `true`
+    /// while active.
+    pub fn advance(&mut self, mem: &mut dyn MemoryInterface) -> bool {
+        if !self.is_active() {
+            return false;
+        }
+        if self.fence > self.now {
+            self.stats.stall_cycles += self.fence - self.now;
+            self.now = self.fence;
+        }
+        for _ in 0..self.config.batch {
+            let Some(w) = self.pick() else {
+                // Nothing ready: fast-forward to the next wake-up.
+                if let Some(wake) = self.next_wakeup() {
+                    if wake > self.now {
+                        self.stats.stall_cycles += wake - self.now;
+                        self.now = wake;
+                    }
+                    return true;
+                }
+                return false; // everyone finished
+            };
+            self.current = w;
+            let op = self.warps[w].stream.next_op();
+            match op {
+                WarpOp::Compute { cycles } => {
+                    self.stats.instructions += 1;
+                    self.warps[w].ready_at = self.now + u64::from(cycles.max(1));
+                    self.now += 1;
+                }
+                WarpOp::Memory { addresses } => {
+                    self.stats.instructions += 1;
+                    self.stats.memory_instructions += 1;
+                    self.stats.transactions += addresses.len() as u64;
+                    let done = mem.warp_access(self.now, self.id, self.asid, &addresses);
+                    debug_assert!(done >= self.now);
+                    // SIMT lockstep: the warp waits for its slowest lane.
+                    self.warps[w].ready_at = done;
+                    self.now += 1;
+                }
+                WarpOp::Exit => {
+                    self.warps[w].finished = true;
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs the SM to completion against `mem` (single-SM convenience for
+    /// tests and microbenchmarks). Returns the final cycle.
+    pub fn run_to_completion(&mut self, mem: &mut dyn MemoryInterface) -> Cycle {
+        while self.advance(mem) {}
+        self.now
+    }
+
+    /// Instructions per cycle retired so far.
+    pub fn ipc(&self) -> f64 {
+        if self.now == Cycle::ZERO {
+            0.0
+        } else {
+            self.stats.instructions as f64 / self.now.as_u64() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::FixedLatencyMemory;
+    use mosaic_vm::VirtAddr;
+
+    /// `n` compute ops then exit.
+    #[derive(Debug)]
+    struct ComputeN(u64);
+    impl WarpStream for ComputeN {
+        fn next_op(&mut self) -> WarpOp {
+            if self.0 == 0 {
+                WarpOp::Exit
+            } else {
+                self.0 -= 1;
+                WarpOp::Compute { cycles: 1 }
+            }
+        }
+    }
+
+    /// Alternates memory and compute, `n` memory ops total.
+    #[derive(Debug)]
+    struct MemN(u64);
+    impl WarpStream for MemN {
+        fn next_op(&mut self) -> WarpOp {
+            if self.0 == 0 {
+                WarpOp::Exit
+            } else {
+                self.0 -= 1;
+                WarpOp::Memory { addresses: vec![VirtAddr(self.0 * 128)] }
+            }
+        }
+    }
+
+    fn sm_with(streams: Vec<Box<dyn WarpStream>>) -> Sm {
+        Sm::new(0, AppId(0), SmConfig { warps: streams.len(), batch: 8 }, streams)
+    }
+
+    #[test]
+    fn single_compute_warp_is_ipc_1() {
+        let mut sm = sm_with(vec![Box::new(ComputeN(100))]);
+        let mut mem = FixedLatencyMemory { latency: 0 };
+        let end = sm.run_to_completion(&mut mem);
+        assert_eq!(sm.stats().instructions, 100);
+        assert_eq!(end.as_u64(), 100);
+        assert!((sm.ipc() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_latency_stalls_single_warp() {
+        let mut sm = sm_with(vec![Box::new(MemN(10))]);
+        let mut mem = FixedLatencyMemory { latency: 100 };
+        let end = sm.run_to_completion(&mut mem);
+        // Each op: issue (1cy) then wait ~100: about 1000 cycles total.
+        assert!(end.as_u64() >= 1000);
+        assert!(sm.stats().stall_cycles > 900);
+        assert_eq!(sm.stats().memory_instructions, 10);
+    }
+
+    #[test]
+    fn tlp_hides_memory_latency() {
+        // One warp: ~100 cycles per op. 32 warps: the SM interleaves them,
+        // so total time is far less than 32x.
+        let streams: Vec<Box<dyn WarpStream>> = (0..32).map(|_| Box::new(MemN(10)) as _).collect();
+        let mut sm = sm_with(streams);
+        let mut mem = FixedLatencyMemory { latency: 100 };
+        let end = sm.run_to_completion(&mut mem);
+        let single_warp_time = 1010;
+        assert!(
+            end.as_u64() < 2 * single_warp_time,
+            "32 warps should overlap: {} cycles",
+            end.as_u64()
+        );
+        assert_eq!(sm.stats().instructions, 320);
+    }
+
+    #[test]
+    fn gto_prefers_current_warp() {
+        // Two warps of compute: greedy keeps issuing warp 0 until it exits.
+        #[derive(Debug)]
+        struct Tagged(&'static str, u64, std::rc::Rc<std::cell::RefCell<Vec<&'static str>>>);
+        impl WarpStream for Tagged {
+            fn next_op(&mut self) -> WarpOp {
+                if self.1 == 0 {
+                    WarpOp::Exit
+                } else {
+                    self.1 -= 1;
+                    self.2.borrow_mut().push(self.0);
+                    WarpOp::Compute { cycles: 1 }
+                }
+            }
+        }
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let streams: Vec<Box<dyn WarpStream>> = vec![
+            Box::new(Tagged("a", 3, log.clone())),
+            Box::new(Tagged("b", 3, log.clone())),
+        ];
+        let mut sm = sm_with(streams);
+        let mut mem = FixedLatencyMemory { latency: 0 };
+        sm.run_to_completion(&mut mem);
+        // With 1-cycle compute, warp 0 is always ready again by the next
+        // cycle, so GTO never leaves it until exit.
+        assert_eq!(&log.borrow()[..3], &["a", "a", "a"]);
+    }
+
+    #[test]
+    fn stall_fence_blocks_issue() {
+        let mut sm = sm_with(vec![Box::new(ComputeN(10))]);
+        sm.stall_until(Cycle::new(500));
+        let mut mem = FixedLatencyMemory { latency: 0 };
+        let end = sm.run_to_completion(&mut mem);
+        assert!(end.as_u64() >= 510);
+        assert!(sm.stats().stall_cycles >= 500);
+    }
+
+    #[test]
+    fn empty_sm_is_inactive() {
+        let mut sm = sm_with(vec![]);
+        let mut mem = FixedLatencyMemory { latency: 0 };
+        assert!(!sm.advance(&mut mem));
+        assert!(!sm.is_active());
+        assert_eq!(sm.ipc(), 0.0);
+    }
+
+    #[test]
+    fn transactions_count_divergence() {
+        #[derive(Debug)]
+        struct Divergent(bool);
+        impl WarpStream for Divergent {
+            fn next_op(&mut self) -> WarpOp {
+                if self.0 {
+                    self.0 = false;
+                    WarpOp::Memory { addresses: (0..32).map(|i| VirtAddr(i * 4096)).collect() }
+                } else {
+                    WarpOp::Exit
+                }
+            }
+        }
+        let mut sm = sm_with(vec![Box::new(Divergent(true))]);
+        let mut mem = FixedLatencyMemory { latency: 1 };
+        sm.run_to_completion(&mut mem);
+        assert_eq!(sm.stats().transactions, 32);
+        assert_eq!(sm.stats().memory_instructions, 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! System and run configuration.
+
+use mosaic_core::cac::CacConfig;
+use mosaic_core::migrating::MigratingConfig;
+use mosaic_iobus::IoBusConfig;
+use mosaic_mem::{CacheConfig, CrossbarConfig, DramConfig};
+use mosaic_vm::TlbConfig;
+use mosaic_workloads::ScaleConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which memory manager the system runs (the paper's comparison points).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ManagerKind {
+    /// The GPU-MMU baseline with 4 KB pages (Section 3.1).
+    GpuMmu4K,
+    /// GPU-MMU managing only 2 MB pages (the Section 3.2 motivation
+    /// configuration).
+    GpuMmu2M,
+    /// Mosaic with the given CAC policy.
+    Mosaic(CacConfig),
+    /// A CPU-style utilization-based coalescer that migrates data and
+    /// shoots down TLBs to promote (Ingens/Navarro-like, Section 7.1).
+    Migrating(MigratingConfig),
+}
+
+impl ManagerKind {
+    /// Mosaic with default CAC.
+    pub fn mosaic() -> Self {
+        ManagerKind::Mosaic(CacConfig::default())
+    }
+
+    /// The CPU-style migrating coalescer with default policy.
+    pub fn migrating() -> Self {
+        ManagerKind::Migrating(MigratingConfig::default())
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ManagerKind::GpuMmu4K => "GPU-MMU",
+            ManagerKind::GpuMmu2M => "GPU-MMU-2MB",
+            ManagerKind::Migrating(_) => "Migrating-Coalescer",
+            ManagerKind::Mosaic(c) if !c.enabled => "Mosaic (no CAC)",
+            ManagerKind::Mosaic(c) if c.ideal => "Mosaic (Ideal CAC)",
+            ManagerKind::Mosaic(c) if c.bulk_copy => "Mosaic (CAC-BC)",
+            ManagerKind::Mosaic(_) => "Mosaic",
+        }
+    }
+}
+
+/// How pages reach GPU memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DemandPagingMode {
+    /// Pages fault in on first touch; far-faults cross the I/O bus at the
+    /// manager's transfer granularity.
+    OnDemand,
+    /// All reserved pages are resident before cycle 0 at no charge — the
+    /// "no demand paging overhead" idealization used by Figures 3, 4
+    /// and 12.
+    PreloadedFree,
+}
+
+/// The simulated system (Table 1) plus experiment knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of SMs (Table 1: 30).
+    pub sm_count: usize,
+    /// Core clock in MHz (Table 1: 1020).
+    pub core_clock_mhz: f64,
+    /// Per-SM L1 TLB geometry.
+    pub l1_tlb: TlbConfig,
+    /// Shared L2 TLB geometry.
+    pub l2_tlb: TlbConfig,
+    /// Per-SM L1 data cache.
+    pub l1_cache: CacheConfig,
+    /// One shared-L2 slice per memory partition.
+    pub l2_cache_slice: CacheConfig,
+    /// SM-to-partition crossbar.
+    pub xbar: CrossbarConfig,
+    /// DRAM subsystem.
+    pub dram: DramConfig,
+    /// Concurrent page-table walks (Table 1 baseline: 64).
+    pub walker_threads: usize,
+    /// Page-walk cache entries; `0` disables it (the paper's baseline
+    /// replaces it with the shared L2 TLB, Section 3.1).
+    pub walk_cache_entries: usize,
+    /// System I/O bus.
+    pub iobus: IoBusConfig,
+    /// GPU physical memory in bytes.
+    pub memory_bytes: u64,
+    /// When `true`, every translation behaves as an L1 TLB hit (the
+    /// paper's Ideal TLB reference).
+    pub ideal_tlb: bool,
+    /// The paper's conservative worst-case compaction model: migrations
+    /// stall every SM until the copy finishes (Section 5). Off by
+    /// default in this reproduction: at reduced run lengths a whole-GPU
+    /// stall per migration is proportionally far costlier than at the
+    /// paper's 100M+-cycle runs; compaction still pays DRAM-channel
+    /// occupancy either way.
+    pub compaction_stalls_gpu: bool,
+}
+
+impl SystemConfig {
+    /// The paper's configuration (Table 1), with 3 GB of memory.
+    pub fn paper() -> Self {
+        SystemConfig {
+            sm_count: 30,
+            core_clock_mhz: 1020.0,
+            l1_tlb: TlbConfig::paper_l1(),
+            l2_tlb: TlbConfig::paper_l2(),
+            l1_cache: CacheConfig::paper_l1(),
+            l2_cache_slice: CacheConfig::paper_l2_slice(),
+            xbar: CrossbarConfig::paper(),
+            dram: DramConfig::paper(),
+            walker_threads: 64,
+            walk_cache_entries: 0,
+            iobus: IoBusConfig::paper(),
+            memory_bytes: 3 * 1024 * 1024 * 1024,
+            ideal_tlb: false,
+            compaction_stalls_gpu: false,
+        }
+    }
+
+    /// The paper configuration with physical memory *and I/O-bus transfer
+    /// times* scaled to match a workload scale divisor: working sets,
+    /// memory, and far-fault costs shrink together, preserving the
+    /// execution-to-transfer ratio the demand-paging experiments measure.
+    pub fn paper_scaled(ws_divisor: u32) -> Self {
+        let mut c = Self::paper();
+        c.memory_bytes = (3 * 1024 * 1024 * 1024) / u64::from(ws_divisor.max(1));
+        c.iobus = IoBusConfig::scaled(ws_divisor);
+        c
+    }
+}
+
+/// Everything one simulation run needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// The simulated system.
+    pub system: SystemConfig,
+    /// Workload scaling.
+    pub scale: ScaleConfig,
+    /// Which manager to run.
+    pub manager: ManagerKind,
+    /// Demand paging mode.
+    pub paging: DemandPagingMode,
+    /// Master seed (workload streams, fragmentation).
+    pub seed: u64,
+    /// Optional pre-fragmentation `(fragmentation_index, occupancy)` for
+    /// the Section 6.4 stress tests (Mosaic only).
+    pub fragmentation: Option<(f64, f64)>,
+}
+
+impl RunConfig {
+    /// A default on-demand run of `manager` at the default scale.
+    pub fn new(manager: ManagerKind) -> Self {
+        let scale = ScaleConfig::default();
+        RunConfig {
+            system: SystemConfig::paper_scaled(scale.ws_divisor),
+            scale,
+            manager,
+            paging: DemandPagingMode::OnDemand,
+            seed: 42,
+            fragmentation: None,
+        }
+    }
+
+    /// Same run with the Ideal TLB reference enabled.
+    pub fn ideal_tlb(mut self) -> Self {
+        self.system.ideal_tlb = true;
+        self
+    }
+
+    /// Same run with free preloading ("no demand paging overhead").
+    pub fn preloaded(mut self) -> Self {
+        self.paging = DemandPagingMode::PreloadedFree;
+        self
+    }
+
+    /// Same run at a different scale (system memory follows).
+    pub fn with_scale(mut self, scale: ScaleConfig) -> Self {
+        self.scale = scale;
+        self.system.memory_bytes = (3 * 1024 * 1024 * 1024) / u64::from(scale.ws_divisor.max(1));
+        self.system.iobus = IoBusConfig::scaled(scale.ws_divisor);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table_1() {
+        let c = SystemConfig::paper();
+        assert_eq!(c.sm_count, 30);
+        assert_eq!(c.core_clock_mhz, 1020.0);
+        assert_eq!(c.l1_tlb.base_entries, 128);
+        assert_eq!(c.l1_tlb.large_entries, 16);
+        assert_eq!(c.l2_tlb.base_entries, 512);
+        assert_eq!(c.l2_tlb.large_entries, 256);
+        assert_eq!(c.dram.channels, 6);
+        assert_eq!(c.dram.banks_per_channel, 16, "two ranks of eight banks");
+        assert_eq!(c.walker_threads, 64);
+        assert_eq!(c.walk_cache_entries, 0, "baseline uses a shared L2 TLB instead");
+        assert_eq!(c.memory_bytes, 3 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn scaled_memory_follows_divisor() {
+        let c = SystemConfig::paper_scaled(16);
+        assert_eq!(c.memory_bytes, 192 * 1024 * 1024);
+    }
+
+    #[test]
+    fn manager_labels() {
+        assert_eq!(ManagerKind::GpuMmu4K.label(), "GPU-MMU");
+        assert_eq!(ManagerKind::mosaic().label(), "Mosaic");
+        assert_eq!(ManagerKind::Mosaic(CacConfig::disabled()).label(), "Mosaic (no CAC)");
+        assert_eq!(ManagerKind::Mosaic(CacConfig::ideal()).label(), "Mosaic (Ideal CAC)");
+        assert_eq!(ManagerKind::Mosaic(CacConfig::with_bulk_copy()).label(), "Mosaic (CAC-BC)");
+    }
+
+    #[test]
+    fn run_config_builders_compose() {
+        let r = RunConfig::new(ManagerKind::GpuMmu4K).ideal_tlb().preloaded();
+        assert!(r.system.ideal_tlb);
+        assert_eq!(r.paging, DemandPagingMode::PreloadedFree);
+    }
+}

@@ -1,0 +1,359 @@
+//! Workload execution and the weighted-speedup metric.
+//!
+//! SMs are partitioned equally across the concurrently-executing
+//! applications (Section 5), each SM is populated with warps drawing from
+//! the application's synthetic instruction streams, and the simulation
+//! advances the SM with the smallest local clock first so shared-resource
+//! contention (L2 TLB, walker, DRAM, I/O bus) is observed in near-global
+//! order. When an application's last warp retires, its memory is
+//! deallocated — which is what drives CAC activity in long multi-app
+//! runs.
+
+use crate::config::{ManagerKind, RunConfig};
+use crate::system::{GpuSystem, SystemStats};
+use mosaic_gpu::{Sm, SmConfig, WarpStream};
+use mosaic_sim_core::{Cycle, SimRng};
+use mosaic_vm::AppId;
+use mosaic_workloads::{AppLayout, AppWarpStream, Workload};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-application outcome of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppResult {
+    /// Application name (profile abbreviation).
+    pub name: String,
+    /// Its address space in this run.
+    pub asid: u16,
+    /// Warp instructions retired across its SMs.
+    pub instructions: u64,
+    /// Cycles until its last SM finished.
+    pub cycles: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+}
+
+/// Outcome of one workload run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Workload display name.
+    pub workload: String,
+    /// Manager label.
+    pub manager: String,
+    /// Per-application results, in workload order.
+    pub apps: Vec<AppResult>,
+    /// End-of-run system statistics.
+    pub stats: SystemStats,
+    /// Cycle at which the whole workload finished.
+    pub total_cycles: u64,
+}
+
+impl RunResult {
+    /// IPC of application `i`.
+    pub fn ipc(&self, i: usize) -> f64 {
+        self.apps[i].ipc
+    }
+}
+
+/// Number of SMs application `i` of `n` receives out of `total` (equal
+/// partition, remainder to the earliest applications).
+pub fn sm_share(total: usize, n: usize, i: usize) -> usize {
+    total / n + usize::from(i < total % n)
+}
+
+/// Runs one workload under `cfg` and returns per-application IPC plus
+/// system statistics.
+///
+/// # Panics
+///
+/// Panics if the workload is empty or has more applications than SMs.
+pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
+    let n = workload.app_count();
+    assert!(n >= 1, "empty workload");
+    assert!(n <= cfg.system.sm_count, "more applications than SMs");
+    let mut system = GpuSystem::new(cfg);
+    let root = SimRng::from_seed(cfg.seed);
+
+    // Launch applications: register + reserve every allocation of each
+    // app's layout (+ preload when configured).
+    let layouts: Vec<AppLayout> =
+        workload.apps.iter().map(|p| AppLayout::build(p, &cfg.scale)).collect();
+    for (i, layout) in layouts.iter().enumerate() {
+        let asid = AppId(i as u16);
+        for (start, pages) in layout.reservations() {
+            system.launch_app(asid, start, pages);
+        }
+    }
+
+    // Each kernel phase rebuilds the warps (a new grid) and, on the
+    // non-final phases, deallocates the application's scratch region (the
+    // second half of its main buffer) when its kernel finishes — the
+    // between-kernels deallocation that drives CAC (Section 4.4).
+    let phases = cfg.scale.phases.max(1);
+    let mut phase_start = Cycle::ZERO;
+    let mut instr_per_app = vec![0u64; n];
+    let mut cycles_per_app = vec![0u64; n];
+    let mut total_cycles = 0u64;
+
+    for phase in 0..phases {
+        // Partition SMs and build their warps for this phase's grid.
+        let mut sms: Vec<Sm> = Vec::with_capacity(cfg.system.sm_count);
+        let mut per_app_sm_seen = vec![0u64; n];
+        for sm_id in 0..cfg.system.sm_count {
+            let app = sm_id % n;
+            let profile = workload.apps[app];
+            let asid = AppId(app as u16);
+            let share = sm_share(cfg.system.sm_count, n, app) as u64;
+            let total_warps = share * cfg.scale.warps_per_sm as u64;
+            let sm_ordinal = per_app_sm_seen[app];
+            per_app_sm_seen[app] += 1;
+            let mem_ops = cfg.scale.mem_ops_for(profile, total_warps);
+            let app_rng =
+                root.fork("app-instance", app as u64).fork("phase", u64::from(phase));
+            let streams: Vec<Box<dyn WarpStream>> = (0..cfg.scale.warps_per_sm as u64)
+                .map(|w| {
+                    let warp_idx = sm_ordinal * cfg.scale.warps_per_sm as u64 + w;
+                    Box::new(AppWarpStream::new(
+                        profile,
+                        &layouts[app],
+                        warp_idx,
+                        total_warps,
+                        mem_ops,
+                        &app_rng,
+                    )) as Box<dyn WarpStream>
+                })
+                .collect();
+            let mut sm = Sm::new(
+                sm_id,
+                asid,
+                SmConfig { warps: cfg.scale.warps_per_sm, batch: 8 },
+                streams,
+            );
+            // Later phases start where the previous grid left off.
+            sm.stall_until(phase_start);
+            sms.push(sm);
+        }
+
+        // Smallest-clock-first scheduling loop.
+        let mut heap: BinaryHeap<(Reverse<Cycle>, usize)> =
+            (0..sms.len()).map(|i| (Reverse(Cycle::ZERO), i)).collect();
+        let mut active_per_app: Vec<usize> =
+            (0..n).map(|i| sm_share(cfg.system.sm_count, n, i)).collect();
+        while let Some((_, idx)) = heap.pop() {
+            let still_active = sms[idx].advance(&mut system);
+            if let Some(stall) = system.take_pending_stall() {
+                // Worst-case model (when enabled): compaction/shootdowns
+                // stall every SM (Section 5).
+                for sm in &mut sms {
+                    sm.stall_until(stall);
+                }
+            }
+            if still_active {
+                heap.push((Reverse(sms[idx].now()), idx));
+            } else {
+                let app = sms[idx].asid().0 as usize;
+                active_per_app[app] -= 1;
+                if active_per_app[app] == 0 {
+                    // This application's kernel finished.
+                    let now = sms[idx].now();
+                    let asid = sms[idx].asid();
+                    if phase + 1 == phases {
+                        // Final kernel: everything is deallocated.
+                        for (start, pages) in layouts[app].reservations() {
+                            system.deallocate(now, asid, start, pages);
+                        }
+                    } else {
+                        // Intermediate kernel: drop the scratch half of
+                        // the main buffer; the next kernel re-touches it.
+                        let pages = layouts[app].main_bytes / mosaic_vm::BASE_PAGE_SIZE;
+                        let start =
+                            mosaic_vm::VirtPageNum(layouts[app].main_base.base_page().raw() + pages / 2);
+                        system.deallocate(now, asid, start, pages - pages / 2);
+                    }
+                }
+            }
+        }
+
+        // Accumulate this phase's results.
+        for (i, _) in workload.apps.iter().enumerate() {
+            let my_sms = sms.iter().filter(|s| s.asid().0 as usize == i);
+            let mut cycles = 0;
+            for s in my_sms {
+                instr_per_app[i] += s.stats().instructions;
+                cycles = cycles.max(s.now().as_u64());
+            }
+            cycles_per_app[i] = cycles;
+        }
+        let phase_end = sms.iter().map(|s| s.now()).max().unwrap_or(phase_start);
+        total_cycles = phase_end.as_u64();
+        phase_start = phase_end;
+    }
+
+    // Collect per-application results.
+    let mut apps = Vec::with_capacity(n);
+    for (i, profile) in workload.apps.iter().enumerate() {
+        apps.push(AppResult {
+            name: profile.name.to_string(),
+            asid: i as u16,
+            instructions: instr_per_app[i],
+            cycles: cycles_per_app[i],
+            ipc: if cycles_per_app[i] == 0 {
+                0.0
+            } else {
+                instr_per_app[i] as f64 / cycles_per_app[i] as f64
+            },
+        });
+    }
+    RunResult {
+        workload: workload.name.clone(),
+        manager: if cfg.system.ideal_tlb {
+            "Ideal TLB".to_string()
+        } else {
+            cfg.manager.label().to_string()
+        },
+        apps,
+        stats: system.stats(),
+        total_cycles,
+    }
+}
+
+/// Runs each application of `workload` *alone* on its shared-run SM share
+/// under the baseline GPU-MMU configuration — the `IPC_alone` denominator
+/// of the weighted-speedup metric (Section 5). Demand paging and scale
+/// follow `cfg`.
+pub fn run_alone_baselines(workload: &Workload, cfg: RunConfig) -> Vec<RunResult> {
+    let n = workload.app_count();
+    workload
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(i, profile)| {
+            let mut alone_cfg = cfg;
+            alone_cfg.manager = ManagerKind::GpuMmu4K;
+            alone_cfg.system.ideal_tlb = false;
+            alone_cfg.fragmentation = None;
+            alone_cfg.system.sm_count = sm_share(cfg.system.sm_count, n, i);
+            let solo = Workload { name: profile.name.to_string(), apps: vec![profile] };
+            run_workload(&solo, alone_cfg)
+        })
+        .collect()
+}
+
+/// The weighted speedup of a shared run against per-application alone
+/// baselines: `Σ IPC_shared / IPC_alone` (Section 5, Equation 1).
+///
+/// # Panics
+///
+/// Panics if the app counts disagree.
+pub fn weighted_speedup(shared: &RunResult, alone: &[RunResult]) -> f64 {
+    assert_eq!(shared.apps.len(), alone.len(), "need one alone baseline per application");
+    shared
+        .apps
+        .iter()
+        .zip(alone)
+        .map(|(s, a)| {
+            let alone_ipc = a.apps[0].ipc;
+            if alone_ipc == 0.0 {
+                0.0
+            } else {
+                s.ipc / alone_ipc
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_workloads::ScaleConfig;
+
+    fn tiny_cfg(manager: ManagerKind) -> RunConfig {
+        let mut cfg = RunConfig::new(manager).with_scale(ScaleConfig {
+            ws_divisor: 64,
+            mem_ops_per_warp: 20,
+            warps_per_sm: 4,
+            phases: 1,
+        });
+        cfg.system.sm_count = 6;
+        cfg
+    }
+
+    #[test]
+    fn sm_share_partitions_equally() {
+        assert_eq!(sm_share(30, 1, 0), 30);
+        assert_eq!(sm_share(30, 2, 0), 15);
+        assert_eq!(sm_share(30, 4, 0), 8);
+        assert_eq!(sm_share(30, 4, 3), 7);
+        let total: usize = (0..4).map(|i| sm_share(30, 4, i)).sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn single_app_run_produces_ipc() {
+        let w = Workload::from_names(&["MM"]);
+        let r = run_workload(&w, tiny_cfg(ManagerKind::GpuMmu4K));
+        assert_eq!(r.apps.len(), 1);
+        assert!(r.apps[0].instructions > 0);
+        assert!(r.apps[0].ipc > 0.0);
+        assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let w = Workload::from_names(&["HS", "CONS"]);
+        let a = run_workload(&w, tiny_cfg(ManagerKind::mosaic()));
+        let b = run_workload(&w, tiny_cfg(ManagerKind::mosaic()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn two_apps_share_the_gpu() {
+        let w = Workload::from_names(&["MM", "NN"]);
+        let r = run_workload(&w, tiny_cfg(ManagerKind::GpuMmu4K));
+        assert_eq!(r.apps.len(), 2);
+        assert!(r.apps.iter().all(|a| a.instructions > 0));
+    }
+
+    #[test]
+    fn weighted_speedup_of_alone_config_is_app_count() {
+        // Sharing nothing (the alone baseline against itself) gives a
+        // weighted speedup equal to the number of applications.
+        let w = Workload::from_names(&["MM"]);
+        let cfg = tiny_cfg(ManagerKind::GpuMmu4K);
+        let shared = run_workload(&w, cfg);
+        let alone = run_alone_baselines(&w, cfg);
+        let ws = weighted_speedup(&shared, &alone);
+        assert!((ws - 1.0).abs() < 1e-9, "GPU-MMU alone vs itself: {ws}");
+    }
+
+    #[test]
+    fn ideal_tlb_is_at_least_as_fast() {
+        let w = Workload::from_names(&["GUPS"]);
+        let cfg = tiny_cfg(ManagerKind::GpuMmu4K);
+        let base = run_workload(&w, cfg);
+        let ideal = run_workload(&w, cfg.ideal_tlb());
+        assert!(
+            ideal.apps[0].ipc >= base.apps[0].ipc,
+            "ideal {} vs base {}",
+            ideal.apps[0].ipc,
+            base.apps[0].ipc
+        );
+        assert_eq!(ideal.manager, "Ideal TLB");
+    }
+
+    #[test]
+    fn mosaic_coalesces_under_preload() {
+        let w = Workload::from_names(&["MM", "MM"]);
+        let r = run_workload(&w, tiny_cfg(ManagerKind::mosaic()).preloaded());
+        assert!(r.stats.manager.coalesces > 0, "preloaded chunks coalesce");
+        assert_eq!(r.stats.iobus_transfers, 0);
+    }
+
+    #[test]
+    fn gpu_mmu_never_coalesces() {
+        let w = Workload::from_names(&["MM", "NN"]);
+        let r = run_workload(&w, tiny_cfg(ManagerKind::GpuMmu4K));
+        assert_eq!(r.stats.manager.coalesces, 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Runner-level invariants across SM counts, managers, and seeds.
+
+use mosaic_gpusim::{
+    run_workload, sm_share, weighted_speedup, run_alone_baselines, ManagerKind, RunConfig,
+};
+use mosaic_workloads::{ScaleConfig, Workload};
+
+fn tiny(manager: ManagerKind, sms: usize) -> RunConfig {
+    let mut cfg = RunConfig::new(manager)
+        .with_scale(ScaleConfig { ws_divisor: 64, mem_ops_per_warp: 30, warps_per_sm: 4, phases: 1 });
+    cfg.system.sm_count = sms;
+    cfg
+}
+
+#[test]
+fn sm_shares_always_sum_to_total() {
+    for total in [6, 7, 30, 31] {
+        for n in 1..=5usize {
+            let sum: usize = (0..n).map(|i| sm_share(total, n, i)).sum();
+            assert_eq!(sum, total, "total {total}, {n} apps");
+            // Shares differ by at most one.
+            let shares: Vec<_> = (0..n).map(|i| sm_share(total, n, i)).collect();
+            let (mn, mx) = (shares.iter().min().unwrap(), shares.iter().max().unwrap());
+            assert!(mx - mn <= 1);
+        }
+    }
+}
+
+#[test]
+fn uneven_sm_partitions_still_run_all_apps() {
+    // 7 SMs across 3 apps: shares 3/2/2.
+    let w = Workload::from_names(&["NN", "HS", "MM"]);
+    let r = run_workload(&w, tiny(ManagerKind::mosaic(), 7));
+    assert_eq!(r.apps.len(), 3);
+    for a in &r.apps {
+        assert!(a.instructions > 0, "{} starved", a.name);
+    }
+}
+
+#[test]
+fn migrating_manager_runs_in_system() {
+    let w = Workload::from_names(&["HS", "NN"]);
+    let r = run_workload(&w, tiny(ManagerKind::migrating(), 6));
+    assert_eq!(r.manager, "Migrating-Coalescer");
+    assert!(r.apps.iter().all(|a| a.instructions > 0));
+    // Promotion moved data; Mosaic on the same workload moves none.
+    let m = run_workload(&w, tiny(ManagerKind::mosaic(), 6));
+    assert_eq!(m.stats.manager.migrations, 0);
+}
+
+#[test]
+fn weighted_speedup_is_seed_stable_for_alone_baselines() {
+    let w = Workload::from_names(&["HS"]);
+    let cfg = tiny(ManagerKind::GpuMmu4K, 6);
+    let alone1 = run_alone_baselines(&w, cfg);
+    let alone2 = run_alone_baselines(&w, cfg);
+    assert_eq!(alone1, alone2);
+    let shared = run_workload(&w, cfg);
+    let ws = weighted_speedup(&shared, &alone1);
+    assert!((ws - 1.0).abs() < 1e-9, "baseline against itself: {ws}");
+}
+
+#[test]
+fn single_sm_degenerate_case_works() {
+    let w = Workload::from_names(&["NN"]);
+    let r = run_workload(&w, tiny(ManagerKind::mosaic(), 1));
+    assert!(r.apps[0].ipc > 0.0);
+}
+
+#[test]
+#[should_panic(expected = "more applications than SMs")]
+fn more_apps_than_sms_is_rejected() {
+    let w = Workload::from_names(&["NN", "HS", "MM"]);
+    let _ = run_workload(&w, tiny(ManagerKind::mosaic(), 2));
+}
+
+#[test]
+fn multi_kernel_phases_drive_cac_between_kernels() {
+    let w = Workload::from_names(&["HS"]);
+    let mut cfg = tiny(ManagerKind::mosaic(), 6);
+    cfg.scale.phases = 3;
+    let multi = run_workload(&w, cfg);
+    let mut single = cfg;
+    single.scale.phases = 1;
+    let one = run_workload(&w, single);
+    // Three kernels retire three grids' worth of instructions...
+    assert!(multi.apps[0].instructions > one.apps[0].instructions * 2);
+    assert!(multi.total_cycles > one.total_cycles);
+    // ...and the between-kernel scratch deallocations exercised the
+    // splinter path (pages re-fault next kernel).
+    assert!(
+        multi.stats.manager.splinters >= one.stats.manager.splinters,
+        "multi {} vs single {}",
+        multi.stats.manager.splinters,
+        one.stats.manager.splinters
+    );
+    assert!(multi.stats.iobus_transfers > one.stats.iobus_transfers, "scratch re-faults");
+}
+
+#[test]
+fn multi_kernel_runs_stay_deterministic() {
+    let w = Workload::from_names(&["NN", "HS"]);
+    let mut cfg = tiny(ManagerKind::mosaic(), 6);
+    cfg.scale.phases = 2;
+    assert_eq!(run_workload(&w, cfg), run_workload(&w, cfg));
+}

@@ -1,0 +1,56 @@
+//! Properties of the I/O-bus scaling rule used by the experiments.
+
+use mosaic_iobus::{IoBus, IoBusConfig};
+use mosaic_sim_core::Cycle;
+
+const BASE_PAGE: u64 = 4096;
+const LARGE_PAGE: u64 = 2 * 1024 * 1024;
+
+#[test]
+fn scaled_1_is_the_paper_calibration() {
+    let a = IoBusConfig::scaled(1);
+    let b = IoBusConfig::paper();
+    assert!((a.uncontended_latency(BASE_PAGE).0 - b.uncontended_latency(BASE_PAGE).0).abs() < 1.0);
+}
+
+#[test]
+fn scaling_shrinks_latency_monotonically() {
+    let mut prev = f64::INFINITY;
+    for d in [1, 2, 4, 8, 16, 32] {
+        let lat = IoBusConfig::scaled(d).uncontended_latency(BASE_PAGE).0;
+        assert!(lat < prev, "divisor {d}: {lat} not below {prev}");
+        prev = lat;
+    }
+}
+
+#[test]
+fn large_fault_stays_much_costlier_than_base_fault_at_any_scale() {
+    for d in [1, 4, 8, 16, 64] {
+        let cfg = IoBusConfig::scaled(d);
+        let ratio = cfg.uncontended_latency(LARGE_PAGE).0 / cfg.uncontended_latency(BASE_PAGE).0;
+        assert!(
+            ratio > 3.0,
+            "divisor {d}: 2MB/4KB fault ratio {ratio:.1} lost the paper's asymmetry"
+        );
+    }
+}
+
+#[test]
+fn bus_throughput_is_work_conserving() {
+    // N serialized transfers finish no earlier than the sum of their wire
+    // times and no later than sum + first-transfer latency.
+    let cfg = IoBusConfig::scaled(8);
+    let mut bus = IoBus::new(cfg);
+    let n = 64;
+    let mut last = Cycle::ZERO;
+    for _ in 0..n {
+        last = bus.transfer(Cycle::ZERO, BASE_PAGE);
+    }
+    let wire_ns = BASE_PAGE as f64 / cfg.bytes_per_ns;
+    let min_ns = wire_ns * n as f64;
+    let max_ns = wire_ns * n as f64 + cfg.base_latency.0 + 2_000.0;
+    let got_ns = last.as_u64() as f64 / 1.020;
+    assert!(got_ns >= min_ns * 0.9, "{got_ns} vs min {min_ns}");
+    assert!(got_ns <= max_ns * 1.1, "{got_ns} vs max {max_ns}");
+    assert_eq!(bus.transfers(), n);
+}

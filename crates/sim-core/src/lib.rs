@@ -1,0 +1,30 @@
+//! Simulation kernel for the Mosaic reproduction.
+//!
+//! This crate provides the time base, statistics, deterministic random
+//! number generation, and contention-modeling primitives shared by every
+//! other crate in the workspace:
+//!
+//! * [`Cycle`] and [`ClockDomain`] — the cycle-typed time base and
+//!   frequency-domain conversions (the simulated GPU runs its cores at
+//!   1020 MHz and its GDDR5 interface at 1674 MHz, and the PCIe model is
+//!   specified in nanoseconds).
+//! * [`stats`] — counters, ratios, and histograms that the memory hierarchy
+//!   uses to report hit rates, latencies, and bandwidth.
+//! * [`rng`] — seeded, forkable random number generation so that every
+//!   experiment in the paper reproduction is bit-deterministic.
+//! * [`queue`] — occupancy trackers and throughput ports used to model
+//!   contended resources (TLB ports, page-walker slots, DRAM banks, the
+//!   system I/O bus) without per-cycle queue simulation.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod clock;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{ClockDomain, Cycle, Nanos};
+pub use queue::{OccupancyPool, ThroughputPort};
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, Ratio, StatSet};

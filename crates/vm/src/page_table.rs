@@ -1,0 +1,658 @@
+//! Four-level page tables with Mosaic's PTE extensions.
+//!
+//! The paper (Section 4.3, Figure 7) keeps the conventional x86-64
+//! four-level radix table and adds two bits:
+//!
+//! * a **large-page bit** on each L3 PTE (the entry covering one 2 MB
+//!   region): when set, the region is *coalesced* and translations use the
+//!   large-page mapping read from the first L4 PTE of the child table;
+//! * a **disabled bit** on each L4 PTE (one base page): set while the
+//!   parent is coalesced, to discourage filling base-page TLB entries for
+//!   pages already covered by a large-page entry. The base mappings stay
+//!   correct because the In-Place Coalescer never migrates data.
+//!
+//! Because the In-Place Coalescer's key property is that coalescing is a
+//! *metadata-only* operation, [`PageTable::coalesce`] and
+//! [`PageTable::splinter`] touch only these bits — no frame numbers change.
+//!
+//! Page-table nodes live in simulated physical memory: every node has a
+//! physical address, and [`PageTable::walk_path`] returns the four PTE
+//! addresses a hardware walk dereferences, so the memory hierarchy can
+//! charge realistic latencies (and cache page-table data in the L2, as the
+//! GPU-MMU baseline does).
+
+use crate::addr::{
+    AppId, LargeFrameNum, LargePageNum, PageSize, PhysAddr, PhysFrameNum, VirtAddr, VirtPageNum,
+    BASE_PAGES_PER_LARGE_PAGE,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Outcome of a successful address translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// The physical base frame holding the page.
+    pub frame: PhysFrameNum,
+    /// Which page-size class served the translation (what a TLB entry for
+    /// it would cover).
+    pub size: PageSize,
+}
+
+impl Translation {
+    /// The large frame containing the translated page.
+    pub fn large_frame(&self) -> LargeFrameNum {
+        self.frame.large_frame()
+    }
+}
+
+/// Why a translation could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslationError {
+    /// No mapping exists for the page: the access must page-fault and the
+    /// runtime must allocate + transfer the page (a *far-fault* if the data
+    /// crosses the system I/O bus).
+    NotMapped,
+}
+
+impl std::fmt::Display for TranslationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslationError::NotMapped => write!(f, "page not mapped"),
+        }
+    }
+}
+
+impl std::error::Error for TranslationError {}
+
+/// Why a coalesce request was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoalesceError {
+    /// Not every base page of the large page is mapped (the paper coalesces
+    /// only fully-populated large page frames).
+    NotFullyPopulated,
+    /// The mapped base pages are not contiguous/aligned within one large
+    /// frame, so an in-place (migration-free) coalesce is impossible.
+    NotContiguous,
+    /// The region is already coalesced.
+    AlreadyCoalesced,
+}
+
+impl std::fmt::Display for CoalesceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoalesceError::NotFullyPopulated => write!(f, "large page frame not fully populated"),
+            CoalesceError::NotContiguous => write!(f, "base pages not contiguous and aligned"),
+            CoalesceError::AlreadyCoalesced => write!(f, "region already coalesced"),
+        }
+    }
+}
+
+impl std::error::Error for CoalesceError {}
+
+/// One L4 (leaf) page-table entry: a base-page mapping plus Mosaic's
+/// disabled bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct L4Pte {
+    frame: PhysFrameNum,
+    disabled: bool,
+}
+
+/// The L3 PTE state and child L4 table covering one 2 MB virtual region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct L3Region {
+    /// Mosaic's large-page bit.
+    large: bool,
+    /// The coalesced mapping's large frame. In hardware this is read out
+    /// of the first L4 PTE (Figure 7b), whose high bits survive even if
+    /// that base page is later deallocated while the region stays
+    /// coalesced; we keep it explicitly for exactly that case.
+    large_frame: Option<LargeFrameNum>,
+    /// Physical address of the child L4 table node (for walk modelling).
+    l4_node: PhysAddr,
+    /// Sparse L4 table: index within the large page -> PTE.
+    entries: HashMap<u64, L4Pte>,
+}
+
+/// A single application's four-level page table.
+///
+/// # Examples
+///
+/// ```
+/// use mosaic_vm::{PageTable, AppId, VirtPageNum, PhysFrameNum, PageSize};
+///
+/// let mut pt = PageTable::new(AppId(0));
+/// pt.map_base(VirtPageNum(0), PhysFrameNum(512)).unwrap();
+/// let t = pt.translate(VirtPageNum(0).addr()).unwrap();
+/// assert_eq!(t.frame, PhysFrameNum(512));
+/// assert_eq!(t.size, PageSize::Base);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PageTable {
+    asid: AppId,
+    /// Physical address of the root (L1) node; the per-SM PTBR points here.
+    root: PhysAddr,
+    /// L2 node addresses, keyed by L1 index.
+    l2_nodes: HashMap<u64, PhysAddr>,
+    /// L3 node addresses, keyed by (L1 index, L2 index).
+    l3_nodes: HashMap<(u64, u64), PhysAddr>,
+    /// Leaf regions, keyed by large page number.
+    regions: HashMap<LargePageNum, L3Region>,
+    /// Bump allocator for page-table node addresses.
+    next_node: u64,
+    mapped_base_pages: u64,
+}
+
+/// Mask yielding the 9-bit radix index for each level.
+fn level_indices(addr: VirtAddr) -> [u64; 4] {
+    let v = addr.raw();
+    [(v >> 39) & 0x1ff, (v >> 30) & 0x1ff, (v >> 21) & 0x1ff, (v >> 12) & 0x1ff]
+}
+
+impl PageTable {
+    /// Page-table nodes are modelled in a reserved physical region so their
+    /// addresses never collide with data frames: 1 TiB + 4 GiB per ASID.
+    const NODE_REGION_BASE: u64 = 1 << 40;
+    const NODE_REGION_STRIDE: u64 = 1 << 32;
+    const NODE_SIZE: u64 = 4096;
+
+    /// Creates an empty table for `asid`.
+    pub fn new(asid: AppId) -> Self {
+        let region = Self::NODE_REGION_BASE + u64::from(asid.0) * Self::NODE_REGION_STRIDE;
+        let mut pt = PageTable {
+            asid,
+            root: PhysAddr(0),
+            l2_nodes: HashMap::new(),
+            l3_nodes: HashMap::new(),
+            regions: HashMap::new(),
+            next_node: region,
+            mapped_base_pages: 0,
+        };
+        pt.root = pt.alloc_node();
+        pt
+    }
+
+    fn alloc_node(&mut self) -> PhysAddr {
+        let a = PhysAddr(self.next_node);
+        self.next_node += Self::NODE_SIZE;
+        a
+    }
+
+    /// The address space this table translates.
+    pub fn asid(&self) -> AppId {
+        self.asid
+    }
+
+    /// Physical address of the root node (the PTBR value).
+    pub fn root(&self) -> PhysAddr {
+        self.root
+    }
+
+    /// Number of base pages currently mapped.
+    pub fn mapped_base_pages(&self) -> u64 {
+        self.mapped_base_pages
+    }
+
+    /// Maps a virtual base page to a physical base frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(frame)` with the existing mapping if the page is
+    /// already mapped.
+    pub fn map_base(
+        &mut self,
+        vpn: VirtPageNum,
+        frame: PhysFrameNum,
+    ) -> Result<(), PhysFrameNum> {
+        let addr = vpn.addr();
+        let [i1, i2, _, _] = level_indices(addr);
+        if !self.l2_nodes.contains_key(&i1) {
+            let n = self.alloc_node();
+            self.l2_nodes.insert(i1, n);
+        }
+        if !self.l3_nodes.contains_key(&(i1, i2)) {
+            let n = self.alloc_node();
+            self.l3_nodes.insert((i1, i2), n);
+        }
+        let lpn = vpn.large_page();
+        if !self.regions.contains_key(&lpn) {
+            let node = self.alloc_node();
+            self.regions.insert(
+                lpn,
+                L3Region { large: false, large_frame: None, l4_node: node, entries: HashMap::new() },
+            );
+        }
+        let region = self.regions.get_mut(&lpn).expect("just inserted");
+        match region.entries.entry(vpn.index_in_large()) {
+            Entry::Occupied(e) => Err(e.get().frame),
+            Entry::Vacant(e) => {
+                e.insert(L4Pte { frame, disabled: region.large });
+                self.mapped_base_pages += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes the mapping for a base page, returning the frame it pointed
+    /// to, or `None` if the page was not mapped.
+    ///
+    /// Deallocating inside a coalesced region is allowed (the paper's
+    /// Section 4.4): the large mapping keeps covering the region, and the
+    /// freed base frame stays unusable until CAC splinters the page.
+    pub fn unmap_base(&mut self, vpn: VirtPageNum) -> Option<PhysFrameNum> {
+        let lpn = vpn.large_page();
+        let region = self.regions.get_mut(&lpn)?;
+        let removed = region.entries.remove(&vpn.index_in_large()).map(|pte| pte.frame);
+        if removed.is_some() {
+            self.mapped_base_pages -= 1;
+        }
+        removed
+    }
+
+    /// Changes the physical frame a mapped base page points to (used by
+    /// CAC's compaction migration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslationError::NotMapped`] if the page is not mapped.
+    pub fn remap_base(
+        &mut self,
+        vpn: VirtPageNum,
+        new_frame: PhysFrameNum,
+    ) -> Result<PhysFrameNum, TranslationError> {
+        let region =
+            self.regions.get_mut(&vpn.large_page()).ok_or(TranslationError::NotMapped)?;
+        let pte = region
+            .entries
+            .get_mut(&vpn.index_in_large())
+            .ok_or(TranslationError::NotMapped)?;
+        let old = pte.frame;
+        pte.frame = new_frame;
+        Ok(old)
+    }
+
+    /// Translates a virtual address.
+    ///
+    /// If the containing region is coalesced, the translation is served at
+    /// [`PageSize::Large`] (the mapping read, per Figure 7b, from the first
+    /// L4 PTE: its high bits *are* the large-frame number because the
+    /// coalescer never migrates data). Otherwise the base-page PTE is used.
+    ///
+    /// # Errors
+    ///
+    /// [`TranslationError::NotMapped`] if no valid mapping covers the
+    /// address.
+    pub fn translate(&self, addr: VirtAddr) -> Result<Translation, TranslationError> {
+        let vpn = addr.base_page();
+        let region = self.regions.get(&vpn.large_page()).ok_or(TranslationError::NotMapped)?;
+        if region.large {
+            // Large mapping: offset within the large frame is preserved.
+            let lf = region.large_frame.ok_or(TranslationError::NotMapped)?;
+            Ok(Translation { frame: lf.base_frame(vpn.index_in_large()), size: PageSize::Large })
+        } else {
+            let pte =
+                region.entries.get(&vpn.index_in_large()).ok_or(TranslationError::NotMapped)?;
+            Ok(Translation { frame: pte.frame, size: PageSize::Base })
+        }
+    }
+
+    /// Whether the given base page has a mapping (independent of
+    /// coalescing state).
+    pub fn is_mapped(&self, vpn: VirtPageNum) -> bool {
+        self.regions
+            .get(&vpn.large_page())
+            .is_some_and(|r| r.entries.contains_key(&vpn.index_in_large()))
+    }
+
+    /// Whether the region containing `lpn` is currently coalesced.
+    pub fn is_coalesced(&self, lpn: LargePageNum) -> bool {
+        self.regions.get(&lpn).is_some_and(|r| r.large)
+    }
+
+    /// Number of mapped base pages within a large page (`0..=512`).
+    pub fn mapped_in_large(&self, lpn: LargePageNum) -> u64 {
+        self.regions.get(&lpn).map_or(0, |r| r.entries.len() as u64)
+    }
+
+    /// Checks the In-Place Coalescer's precondition: all 512 base pages
+    /// mapped, physically contiguous, and aligned within one large frame.
+    pub fn can_coalesce(&self, lpn: LargePageNum) -> Result<LargeFrameNum, CoalesceError> {
+        let region = self.regions.get(&lpn).ok_or(CoalesceError::NotFullyPopulated)?;
+        if region.large {
+            return Err(CoalesceError::AlreadyCoalesced);
+        }
+        if region.entries.len() as u64 != BASE_PAGES_PER_LARGE_PAGE {
+            return Err(CoalesceError::NotFullyPopulated);
+        }
+        let first = region.entries.get(&0).ok_or(CoalesceError::NotContiguous)?;
+        if first.frame.index_in_large() != 0 {
+            return Err(CoalesceError::NotContiguous);
+        }
+        let lf = first.frame.large_frame();
+        for i in 0..BASE_PAGES_PER_LARGE_PAGE {
+            let pte = region.entries.get(&i).ok_or(CoalesceError::NotContiguous)?;
+            if pte.frame != lf.base_frame(i) {
+                return Err(CoalesceError::NotContiguous);
+            }
+        }
+        Ok(lf)
+    }
+
+    /// Coalesces a fully-populated, contiguous large page region in place:
+    /// sets the L3 large-page bit (one atomic store in hardware) and then
+    /// the disabled bits on the 512 L4 PTEs. No frame numbers change and no
+    /// TLB flush is required (Section 4.3).
+    ///
+    /// Returns the large frame now mapped.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CoalesceError`] from [`PageTable::can_coalesce`].
+    pub fn coalesce(&mut self, lpn: LargePageNum) -> Result<LargeFrameNum, CoalesceError> {
+        let lf = self.can_coalesce(lpn)?;
+        let region = self.regions.get_mut(&lpn).expect("checked by can_coalesce");
+        region.large = true;
+        region.large_frame = Some(lf);
+        for pte in region.entries.values_mut() {
+            pte.disabled = true;
+        }
+        Ok(lf)
+    }
+
+    /// Splinters a coalesced large page back into base pages: clears the
+    /// disabled bits, then atomically clears the large-page bit
+    /// (Section 4.4). The caller must flush the TLB's large-page entry.
+    ///
+    /// Returns `true` if the region was coalesced.
+    pub fn splinter(&mut self, lpn: LargePageNum) -> bool {
+        match self.regions.get_mut(&lpn) {
+            Some(region) if region.large => {
+                for pte in region.entries.values_mut() {
+                    pte.disabled = false;
+                }
+                region.large = false;
+                region.large_frame = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The four physical PTE addresses a hardware page-table walk for
+    /// `addr` dereferences, in order (L1, L2, L3, L4). Returned even for
+    /// unmapped addresses (a walk discovers the fault by reading the
+    /// tables).
+    ///
+    /// For a coalesced region the fourth access reads the *first* L4 PTE of
+    /// the child table (Figure 7b) instead of the faulting page's own PTE.
+    pub fn walk_path(&self, addr: VirtAddr) -> [PhysAddr; 4] {
+        let [i1, i2, i3, i4] = level_indices(addr);
+        let l1_entry = PhysAddr(self.root.raw() + i1 * 8);
+        let l2_node = self.l2_nodes.get(&i1).copied().unwrap_or(self.root);
+        let l2_entry = PhysAddr(l2_node.raw() + i2 * 8);
+        let l3_node = self.l3_nodes.get(&(i1, i2)).copied().unwrap_or(l2_node);
+        let l3_entry = PhysAddr(l3_node.raw() + i3 * 8);
+        let region = self.regions.get(&addr.base_page().large_page());
+        let (l4_node, l4_index) = match region {
+            Some(r) if r.large => (r.l4_node, 0),
+            Some(r) => (r.l4_node, i4),
+            None => (l3_node, i4),
+        };
+        let l4_entry = PhysAddr(l4_node.raw() + l4_index * 8);
+        [l1_entry, l2_entry, l3_entry, l4_entry]
+    }
+
+    /// Iterates over mapped `(virtual page, frame, disabled)` triples of
+    /// one large page region, in index order.
+    pub fn region_mappings(
+        &self,
+        lpn: LargePageNum,
+    ) -> impl Iterator<Item = (VirtPageNum, PhysFrameNum, bool)> + '_ {
+        let region = self.regions.get(&lpn);
+        let mut idx: Vec<u64> = region.map(|r| r.entries.keys().copied().collect()).unwrap_or_default();
+        idx.sort_unstable();
+        idx.into_iter().filter_map(move |i| {
+            region.and_then(|r| r.entries.get(&i)).map(|pte| (lpn.base_page(i), pte.frame, pte.disabled))
+        })
+    }
+
+    /// Iterates over all large page numbers with at least one mapping.
+    pub fn mapped_regions(&self) -> impl Iterator<Item = LargePageNum> + '_ {
+        self.regions.iter().filter(|(_, r)| !r.entries.is_empty()).map(|(&lpn, _)| lpn)
+    }
+}
+
+/// The set of page tables for all applications sharing the GPU.
+///
+/// Provides the PTBR lookup the walker performs (step 3 of Figure 2) and
+/// convenience accessors used by the memory managers.
+#[derive(Debug, Default)]
+pub struct PageTableSet {
+    tables: HashMap<AppId, PageTable>,
+}
+
+impl PageTableSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the table for `asid`, creating an empty one on first use.
+    pub fn table_mut(&mut self, asid: AppId) -> &mut PageTable {
+        self.tables.entry(asid).or_insert_with(|| PageTable::new(asid))
+    }
+
+    /// Returns the table for `asid` if it exists.
+    pub fn table(&self, asid: AppId) -> Option<&PageTable> {
+        self.tables.get(&asid)
+    }
+
+    /// Iterates over all `(asid, table)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AppId, &PageTable)> {
+        self.tables.iter().map(|(&a, t)| (a, t))
+    }
+
+    /// Total base pages mapped across all address spaces.
+    pub fn total_mapped(&self) -> u64 {
+        self.tables.values().map(|t| t.mapped_base_pages()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_contiguous(pt: &mut PageTable, lpn: LargePageNum, lf: LargeFrameNum) {
+        for i in 0..BASE_PAGES_PER_LARGE_PAGE {
+            pt.map_base(lpn.base_page(i), lf.base_frame(i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn map_translate_unmap() {
+        let mut pt = PageTable::new(AppId(1));
+        let vpn = VirtPageNum(1000);
+        pt.map_base(vpn, PhysFrameNum(77)).unwrap();
+        assert!(pt.is_mapped(vpn));
+        let t = pt.translate(vpn.addr()).unwrap();
+        assert_eq!(t.frame, PhysFrameNum(77));
+        assert_eq!(t.size, PageSize::Base);
+        assert_eq!(pt.unmap_base(vpn), Some(PhysFrameNum(77)));
+        assert_eq!(pt.translate(vpn.addr()), Err(TranslationError::NotMapped));
+        assert_eq!(pt.mapped_base_pages(), 0);
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let mut pt = PageTable::new(AppId(0));
+        pt.map_base(VirtPageNum(5), PhysFrameNum(1)).unwrap();
+        assert_eq!(pt.map_base(VirtPageNum(5), PhysFrameNum(2)), Err(PhysFrameNum(1)));
+        // Original mapping is untouched.
+        assert_eq!(pt.translate(VirtPageNum(5).addr()).unwrap().frame, PhysFrameNum(1));
+    }
+
+    #[test]
+    fn coalesce_requires_full_population() {
+        let mut pt = PageTable::new(AppId(0));
+        let lpn = LargePageNum(4);
+        let lf = LargeFrameNum(9);
+        pt.map_base(lpn.base_page(0), lf.base_frame(0)).unwrap();
+        assert_eq!(pt.can_coalesce(lpn), Err(CoalesceError::NotFullyPopulated));
+    }
+
+    #[test]
+    fn coalesce_requires_contiguity_and_alignment() {
+        let mut pt = PageTable::new(AppId(0));
+        let lpn = LargePageNum(4);
+        let lf = LargeFrameNum(9);
+        for i in 0..BASE_PAGES_PER_LARGE_PAGE {
+            // Swap two frames to break contiguity.
+            let j = match i {
+                3 => 4,
+                4 => 3,
+                other => other,
+            };
+            pt.map_base(lpn.base_page(i), lf.base_frame(j)).unwrap();
+        }
+        assert_eq!(pt.can_coalesce(lpn), Err(CoalesceError::NotContiguous));
+    }
+
+    #[test]
+    fn coalesce_misaligned_rejected() {
+        let mut pt = PageTable::new(AppId(0));
+        let lpn = LargePageNum(4);
+        // Contiguous but starting at index 1 of the large frame: the first
+        // base page is not large-frame aligned.
+        for i in 0..BASE_PAGES_PER_LARGE_PAGE {
+            pt.map_base(lpn.base_page(i), PhysFrameNum(9 * 512 + 1 + i)).unwrap();
+        }
+        assert_eq!(pt.can_coalesce(lpn), Err(CoalesceError::NotContiguous));
+    }
+
+    #[test]
+    fn coalesce_translates_as_large_without_migration() {
+        let mut pt = PageTable::new(AppId(0));
+        let lpn = LargePageNum(4);
+        let lf = LargeFrameNum(9);
+        full_contiguous(&mut pt, lpn, lf);
+        let before = pt.translate(lpn.base_page(17).addr()).unwrap();
+        assert_eq!(before.size, PageSize::Base);
+
+        assert_eq!(pt.coalesce(lpn), Ok(lf));
+        assert!(pt.is_coalesced(lpn));
+        let after = pt.translate(lpn.base_page(17).addr()).unwrap();
+        // Same frame as before — the coalesce moved no data.
+        assert_eq!(after.frame, before.frame);
+        assert_eq!(after.size, PageSize::Large);
+
+        assert_eq!(pt.coalesce(lpn), Err(CoalesceError::AlreadyCoalesced));
+    }
+
+    #[test]
+    fn splinter_reverses_coalesce() {
+        let mut pt = PageTable::new(AppId(0));
+        let lpn = LargePageNum(2);
+        let lf = LargeFrameNum(3);
+        full_contiguous(&mut pt, lpn, lf);
+        pt.coalesce(lpn).unwrap();
+        assert!(pt.splinter(lpn));
+        assert!(!pt.is_coalesced(lpn));
+        let t = pt.translate(lpn.base_page(100).addr()).unwrap();
+        assert_eq!(t.size, PageSize::Base);
+        assert_eq!(t.frame, lf.base_frame(100));
+        // Splintering an uncoalesced page is a no-op.
+        assert!(!pt.splinter(lpn));
+    }
+
+    #[test]
+    fn dealloc_inside_coalesced_keeps_large_mapping() {
+        let mut pt = PageTable::new(AppId(0));
+        let lpn = LargePageNum(6);
+        let lf = LargeFrameNum(8);
+        full_contiguous(&mut pt, lpn, lf);
+        pt.coalesce(lpn).unwrap();
+        pt.unmap_base(lpn.base_page(42));
+        assert_eq!(pt.mapped_in_large(lpn), 511);
+        // Translation of the deallocated page still resolves through the
+        // large mapping (the region is still coalesced).
+        let t = pt.translate(lpn.base_page(42).addr()).unwrap();
+        assert_eq!(t.size, PageSize::Large);
+        // Even deallocating the FIRST base page must not lose the large
+        // mapping: hardware reads it from the first L4 PTE's surviving
+        // high bits (Figure 7b).
+        pt.unmap_base(lpn.base_page(0));
+        let t = pt.translate(lpn.base_page(7).addr()).unwrap();
+        assert_eq!(t.size, PageSize::Large);
+        assert_eq!(t.frame, lf.base_frame(7));
+    }
+
+    #[test]
+    fn walk_path_is_four_distinct_levels() {
+        let mut pt = PageTable::new(AppId(0));
+        let vpn = VirtPageNum(123_456);
+        pt.map_base(vpn, PhysFrameNum(1)).unwrap();
+        let path = pt.walk_path(vpn.addr());
+        assert_eq!(path.len(), 4);
+        // All four accesses land in the reserved node region.
+        for a in path {
+            assert!(a.raw() >= PageTable::NODE_REGION_BASE);
+        }
+    }
+
+    #[test]
+    fn walk_path_reads_first_l4_pte_when_coalesced() {
+        let mut pt = PageTable::new(AppId(0));
+        let lpn = LargePageNum(4);
+        full_contiguous(&mut pt, lpn, LargeFrameNum(9));
+        let addr = lpn.base_page(300).addr();
+        let before = pt.walk_path(addr);
+        pt.coalesce(lpn).unwrap();
+        let after = pt.walk_path(addr);
+        assert_eq!(before[..3], after[..3]);
+        assert_ne!(before[3], after[3], "coalesced walk reads the first L4 PTE");
+        assert_eq!(after[3].raw() % 4096, 0, "first PTE sits at node base");
+    }
+
+    #[test]
+    fn remap_base_changes_frame() {
+        let mut pt = PageTable::new(AppId(0));
+        let vpn = VirtPageNum(9);
+        pt.map_base(vpn, PhysFrameNum(10)).unwrap();
+        assert_eq!(pt.remap_base(vpn, PhysFrameNum(20)), Ok(PhysFrameNum(10)));
+        assert_eq!(pt.translate(vpn.addr()).unwrap().frame, PhysFrameNum(20));
+        assert_eq!(
+            pt.remap_base(VirtPageNum(1000), PhysFrameNum(1)),
+            Err(TranslationError::NotMapped)
+        );
+    }
+
+    #[test]
+    fn region_mappings_in_order() {
+        let mut pt = PageTable::new(AppId(0));
+        let lpn = LargePageNum(1);
+        pt.map_base(lpn.base_page(10), PhysFrameNum(110)).unwrap();
+        pt.map_base(lpn.base_page(2), PhysFrameNum(102)).unwrap();
+        let m: Vec<_> = pt.region_mappings(lpn).collect();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0], (lpn.base_page(2), PhysFrameNum(102), false));
+        assert_eq!(m[1], (lpn.base_page(10), PhysFrameNum(110), false));
+    }
+
+    #[test]
+    fn page_table_set_isolates_asids() {
+        let mut set = PageTableSet::new();
+        set.table_mut(AppId(0)).map_base(VirtPageNum(1), PhysFrameNum(100)).unwrap();
+        set.table_mut(AppId(1)).map_base(VirtPageNum(1), PhysFrameNum(200)).unwrap();
+        assert_eq!(
+            set.table(AppId(0)).unwrap().translate(VirtPageNum(1).addr()).unwrap().frame,
+            PhysFrameNum(100)
+        );
+        assert_eq!(
+            set.table(AppId(1)).unwrap().translate(VirtPageNum(1).addr()).unwrap().frame,
+            PhysFrameNum(200)
+        );
+        assert_eq!(set.total_mapped(), 2);
+        // Distinct roots: protection domains are separate tables.
+        assert_ne!(set.table(AppId(0)).unwrap().root(), set.table(AppId(1)).unwrap().root());
+    }
+}

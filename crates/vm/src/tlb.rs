@@ -1,0 +1,500 @@
+//! Set-associative, ASID-tagged TLBs with split base/large entries.
+//!
+//! Following the paper (Section 2.2), every TLB level holds two separate
+//! sets of entries: one for 4 KB base-page translations and one for 2 MB
+//! large-page translations. A lookup probes the large-page entries first;
+//! only on a large miss are the base-page entries probed (Section 4.3,
+//! "TLB Lookups After Coalescing"). Shared (L2) TLB entries are extended
+//! with address-space identifiers so concurrently-running applications can
+//! share the structure.
+//!
+//! These structures are *structural*: they model contents and replacement
+//! exactly, while access latency and port contention are charged by the
+//! full-system simulator that instantiates them.
+
+use crate::addr::{AppId, PageSize, VirtAddr};
+use serde::{Deserialize, Serialize};
+
+use mosaic_sim_core::Ratio;
+
+/// Geometry of one TLB level.
+///
+/// An associativity of `0` (or one at least as large as the entry count)
+/// means fully associative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Number of base-page (4 KB) entries.
+    pub base_entries: usize,
+    /// Associativity of the base-page array (`0` = fully associative).
+    pub base_assoc: usize,
+    /// Number of large-page (2 MB) entries.
+    pub large_entries: usize,
+    /// Associativity of the large-page array (`0` = fully associative).
+    pub large_assoc: usize,
+    /// Access latency in core cycles.
+    pub latency: u64,
+}
+
+impl TlbConfig {
+    /// The paper's per-SM L1 TLB: 128 base + 16 large entries, fully
+    /// associative, 1-cycle latency (Table 1).
+    pub fn paper_l1() -> Self {
+        TlbConfig { base_entries: 128, base_assoc: 0, large_entries: 16, large_assoc: 0, latency: 1 }
+    }
+
+    /// The paper's shared L2 TLB: 512 base entries 16-way + 256 large
+    /// entries fully associative, 10-cycle latency (Table 1).
+    pub fn paper_l2() -> Self {
+        TlbConfig {
+            base_entries: 512,
+            base_assoc: 16,
+            large_entries: 256,
+            large_assoc: 0,
+            latency: 10,
+        }
+    }
+}
+
+/// The outcome of a TLB probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbLookup {
+    /// Hit in the large-page entries; base entries were not probed.
+    HitLarge,
+    /// Miss in the large-page entries, hit in the base-page entries.
+    HitBase,
+    /// Miss in both arrays: a page-table walk (or next-level probe) is
+    /// required.
+    Miss,
+}
+
+impl TlbLookup {
+    /// Whether the probe hit in either array.
+    pub fn is_hit(self) -> bool {
+        !matches!(self, TlbLookup::Miss)
+    }
+}
+
+/// One replacement slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    asid: AppId,
+    /// Base- or large-page number, depending on the array.
+    page: u64,
+    last_used: u64,
+}
+
+/// A set-associative translation array with LRU replacement.
+#[derive(Debug, Clone)]
+struct TranslationArray {
+    sets: Vec<Vec<Slot>>,
+    assoc: usize,
+    tick: u64,
+}
+
+impl TranslationArray {
+    fn new(entries: usize, assoc: usize) -> Self {
+        let (num_sets, assoc) = if entries == 0 {
+            (0, 1)
+        } else if assoc == 0 || assoc >= entries {
+            (1, entries)
+        } else {
+            assert!(
+                entries.is_multiple_of(assoc),
+                "TLB entries ({entries}) must be a multiple of associativity ({assoc})"
+            );
+            (entries / assoc, assoc)
+        };
+        TranslationArray {
+            sets: (0..num_sets).map(|_| Vec::with_capacity(assoc)).collect(),
+            assoc,
+            tick: 0,
+        }
+    }
+
+    fn set_index(&self, page: u64) -> usize {
+        (page % self.sets.len() as u64) as usize
+    }
+
+    fn lookup(&mut self, asid: AppId, page: u64) -> bool {
+        if self.sets.is_empty() {
+            return false;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(page);
+        match self.sets[idx].iter_mut().find(|s| s.asid == asid && s.page == page) {
+            Some(slot) => {
+                slot.last_used = tick;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts a translation, returning any evicted `(asid, page)`.
+    fn insert(&mut self, asid: AppId, page: u64) -> Option<(AppId, u64)> {
+        if self.sets.is_empty() {
+            return None;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(page);
+        let assoc = self.assoc;
+        let set = &mut self.sets[idx];
+        if let Some(slot) = set.iter_mut().find(|s| s.asid == asid && s.page == page) {
+            slot.last_used = tick;
+            return None;
+        }
+        if set.len() < assoc {
+            set.push(Slot { asid, page, last_used: tick });
+            return None;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|s| s.last_used)
+            .expect("set is full, hence non-empty");
+        let evicted = (victim.asid, victim.page);
+        *victim = Slot { asid, page, last_used: tick };
+        Some(evicted)
+    }
+
+    fn invalidate(&mut self, asid: AppId, page: u64) -> bool {
+        if self.sets.is_empty() {
+            return false;
+        }
+        let idx = self.set_index(page);
+        let set = &mut self.sets[idx];
+        let before = set.len();
+        set.retain(|s| !(s.asid == asid && s.page == page));
+        set.len() != before
+    }
+
+    fn flush_asid(&mut self, asid: AppId) -> usize {
+        let mut n = 0;
+        for set in &mut self.sets {
+            let before = set.len();
+            set.retain(|s| s.asid != asid);
+            n += before - set.len();
+        }
+        n
+    }
+
+    fn flush_all(&mut self) -> usize {
+        let mut n = 0;
+        for set in &mut self.sets {
+            n += set.len();
+            set.clear();
+        }
+        n
+    }
+
+    fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+/// One TLB level: split base/large arrays, ASID tags, LRU replacement, and
+/// hit-rate statistics.
+///
+/// # Examples
+///
+/// ```
+/// use mosaic_vm::{Tlb, TlbConfig, TlbLookup, AppId, VirtAddr, PageSize};
+///
+/// let mut tlb = Tlb::new(TlbConfig::paper_l1());
+/// let a = VirtAddr(0x20_0000);
+/// assert_eq!(tlb.lookup(AppId(0), a), TlbLookup::Miss);
+/// tlb.fill(AppId(0), a, PageSize::Base);
+/// assert_eq!(tlb.lookup(AppId(0), a), TlbLookup::HitBase);
+/// // A different address space never hits another ASID's entries.
+/// assert_eq!(tlb.lookup(AppId(1), a), TlbLookup::Miss);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    base: TranslationArray,
+    large: TranslationArray,
+    base_stats: Ratio,
+    large_stats: Ratio,
+    overall: Ratio,
+}
+
+impl Tlb {
+    /// Creates a TLB with the given geometry.
+    pub fn new(config: TlbConfig) -> Self {
+        Tlb {
+            config,
+            base: TranslationArray::new(config.base_entries, config.base_assoc),
+            large: TranslationArray::new(config.large_entries, config.large_assoc),
+            base_stats: Ratio::default(),
+            large_stats: Ratio::default(),
+            overall: Ratio::default(),
+        }
+    }
+
+    /// The geometry this TLB was built with.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// Access latency in core cycles.
+    pub fn latency(&self) -> u64 {
+        self.config.latency
+    }
+
+    /// Probes the TLB for `addr` in address space `asid`: large entries
+    /// first, then base entries.
+    pub fn lookup(&mut self, asid: AppId, addr: VirtAddr) -> TlbLookup {
+        let large_hit = self.large.lookup(asid, addr.large_page().raw());
+        self.large_stats.record(large_hit);
+        if large_hit {
+            self.overall.record(true);
+            return TlbLookup::HitLarge;
+        }
+        let base_hit = self.base.lookup(asid, addr.base_page().raw());
+        self.base_stats.record(base_hit);
+        self.overall.record(base_hit);
+        if base_hit {
+            TlbLookup::HitBase
+        } else {
+            TlbLookup::Miss
+        }
+    }
+
+    /// Probes without recording statistics or updating recency (used for
+    /// inspection in tests and assertions).
+    pub fn peek(&self, asid: AppId, addr: VirtAddr) -> TlbLookup {
+        let lp = addr.large_page().raw();
+        if !self.large.sets.is_empty()
+            && self.large.sets[self.large.set_index(lp)]
+                .iter()
+                .any(|s| s.asid == asid && s.page == lp)
+        {
+            return TlbLookup::HitLarge;
+        }
+        let bp = addr.base_page().raw();
+        if !self.base.sets.is_empty()
+            && self.base.sets[self.base.set_index(bp)]
+                .iter()
+                .any(|s| s.asid == asid && s.page == bp)
+        {
+            return TlbLookup::HitBase;
+        }
+        TlbLookup::Miss
+    }
+
+    /// Fills the translation for `addr` into the array selected by `size`,
+    /// returning any evicted `(asid, page-number)` pair.
+    pub fn fill(&mut self, asid: AppId, addr: VirtAddr, size: PageSize) -> Option<(AppId, u64)> {
+        match size {
+            PageSize::Base => self.base.insert(asid, addr.base_page().raw()),
+            PageSize::Large => self.large.insert(asid, addr.large_page().raw()),
+        }
+    }
+
+    /// Invalidates the large-page entry covering `addr`, as required when a
+    /// coalesced page is splintered (Section 4.4). Returns whether an entry
+    /// was present.
+    pub fn flush_large(&mut self, asid: AppId, addr: VirtAddr) -> bool {
+        self.large.invalidate(asid, addr.large_page().raw())
+    }
+
+    /// Invalidates the base-page entry covering `addr`. Returns whether an
+    /// entry was present.
+    pub fn flush_base(&mut self, asid: AppId, addr: VirtAddr) -> bool {
+        self.base.invalidate(asid, addr.base_page().raw())
+    }
+
+    /// Removes every entry belonging to `asid` (both arrays), returning the
+    /// number of entries dropped. Used when an application terminates.
+    pub fn flush_asid(&mut self, asid: AppId) -> usize {
+        self.base.flush_asid(asid) + self.large.flush_asid(asid)
+    }
+
+    /// Removes all entries; the full-TLB shootdown of the baseline
+    /// coalescing path (Figure 6a). Returns entries dropped.
+    pub fn flush_all(&mut self) -> usize {
+        self.base.flush_all() + self.large.flush_all()
+    }
+
+    /// Hit rate over base-entry probes only.
+    pub fn base_hit_rate(&self) -> Ratio {
+        self.base_stats
+    }
+
+    /// Hit rate over large-entry probes only.
+    pub fn large_hit_rate(&self) -> Ratio {
+        self.large_stats
+    }
+
+    /// Hit rate over all lookups (hit in either array).
+    pub fn hit_rate(&self) -> Ratio {
+        self.overall
+    }
+
+    /// Number of valid entries across both arrays.
+    pub fn occupancy(&self) -> usize {
+        self.base.occupancy() + self.large.occupancy()
+    }
+
+    /// Clears hit/miss statistics without touching contents (used to
+    /// exclude warm-up from measurements).
+    pub fn reset_stats(&mut self) {
+        self.base_stats = Ratio::default();
+        self.large_stats = Ratio::default();
+        self.overall = Ratio::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{LargePageNum, VirtPageNum, LARGE_PAGE_SIZE};
+
+    fn small_tlb(base: usize, large: usize) -> Tlb {
+        Tlb::new(TlbConfig {
+            base_entries: base,
+            base_assoc: 0,
+            large_entries: large,
+            large_assoc: 0,
+            latency: 1,
+        })
+    }
+
+    #[test]
+    fn large_probed_before_base() {
+        let mut tlb = small_tlb(4, 4);
+        let addr = VirtAddr(3 * LARGE_PAGE_SIZE + 0x1000);
+        tlb.fill(AppId(0), addr, PageSize::Base);
+        tlb.fill(AppId(0), addr, PageSize::Large);
+        // Both arrays hold the page; the large entry must win.
+        assert_eq!(tlb.lookup(AppId(0), addr), TlbLookup::HitLarge);
+    }
+
+    #[test]
+    fn large_entry_covers_whole_2mb() {
+        let mut tlb = small_tlb(4, 4);
+        let lpn = LargePageNum(5);
+        tlb.fill(AppId(0), lpn.addr(), PageSize::Large);
+        // Any base page within the large page hits.
+        assert_eq!(tlb.lookup(AppId(0), lpn.base_page(511).addr()), TlbLookup::HitLarge);
+        // The neighbouring large page does not.
+        assert_eq!(tlb.lookup(AppId(0), LargePageNum(6).addr()), TlbLookup::Miss);
+    }
+
+    #[test]
+    fn lru_eviction_in_fully_associative_array() {
+        let mut tlb = small_tlb(2, 0);
+        let a = VirtPageNum(1).addr();
+        let b = VirtPageNum(2).addr();
+        let c = VirtPageNum(3).addr();
+        tlb.fill(AppId(0), a, PageSize::Base);
+        tlb.fill(AppId(0), b, PageSize::Base);
+        // Touch `a` so `b` becomes LRU.
+        assert_eq!(tlb.lookup(AppId(0), a), TlbLookup::HitBase);
+        let evicted = tlb.fill(AppId(0), c, PageSize::Base);
+        assert_eq!(evicted, Some((AppId(0), VirtPageNum(2).raw())));
+        assert_eq!(tlb.peek(AppId(0), a), TlbLookup::HitBase);
+        assert_eq!(tlb.peek(AppId(0), b), TlbLookup::Miss);
+        assert_eq!(tlb.peek(AppId(0), c), TlbLookup::HitBase);
+    }
+
+    #[test]
+    fn set_associative_indexing_conflicts() {
+        // 4 entries, 2-way: 2 sets. Pages 0, 2, 4 all map to set 0.
+        let mut tlb = Tlb::new(TlbConfig {
+            base_entries: 4,
+            base_assoc: 2,
+            large_entries: 0,
+            large_assoc: 0,
+            latency: 1,
+        });
+        for p in [0u64, 2, 4] {
+            tlb.fill(AppId(0), VirtPageNum(p).addr(), PageSize::Base);
+        }
+        // Page 0 was LRU in set 0 and must have been evicted.
+        assert_eq!(tlb.peek(AppId(0), VirtPageNum(0).addr()), TlbLookup::Miss);
+        assert_eq!(tlb.peek(AppId(0), VirtPageNum(2).addr()), TlbLookup::HitBase);
+        assert_eq!(tlb.peek(AppId(0), VirtPageNum(4).addr()), TlbLookup::HitBase);
+        // Set 1 is untouched by this conflict chain.
+        tlb.fill(AppId(0), VirtPageNum(1).addr(), PageSize::Base);
+        assert_eq!(tlb.peek(AppId(0), VirtPageNum(1).addr()), TlbLookup::HitBase);
+    }
+
+    #[test]
+    fn asid_isolation() {
+        let mut tlb = small_tlb(8, 8);
+        let addr = VirtAddr(0x5000);
+        tlb.fill(AppId(0), addr, PageSize::Base);
+        assert_eq!(tlb.lookup(AppId(1), addr), TlbLookup::Miss);
+        assert_eq!(tlb.lookup(AppId(0), addr), TlbLookup::HitBase);
+    }
+
+    #[test]
+    fn duplicate_fill_does_not_evict() {
+        let mut tlb = small_tlb(2, 0);
+        let a = VirtPageNum(1).addr();
+        tlb.fill(AppId(0), a, PageSize::Base);
+        assert_eq!(tlb.fill(AppId(0), a, PageSize::Base), None);
+        assert_eq!(tlb.occupancy(), 1);
+    }
+
+    #[test]
+    fn flush_large_removes_only_large_entry() {
+        let mut tlb = small_tlb(4, 4);
+        let addr = VirtAddr(0x40_0000);
+        tlb.fill(AppId(0), addr, PageSize::Base);
+        tlb.fill(AppId(0), addr, PageSize::Large);
+        assert!(tlb.flush_large(AppId(0), addr));
+        // Base entry survives; the paper keeps base mappings usable.
+        assert_eq!(tlb.lookup(AppId(0), addr), TlbLookup::HitBase);
+        assert!(!tlb.flush_large(AppId(0), addr), "already flushed");
+    }
+
+    #[test]
+    fn flush_asid_only_affects_that_app() {
+        let mut tlb = small_tlb(8, 8);
+        tlb.fill(AppId(0), VirtAddr(0x1000), PageSize::Base);
+        tlb.fill(AppId(1), VirtAddr(0x1000), PageSize::Base);
+        tlb.fill(AppId(1), VirtAddr(0x20_0000), PageSize::Large);
+        assert_eq!(tlb.flush_asid(AppId(1)), 2);
+        assert_eq!(tlb.peek(AppId(0), VirtAddr(0x1000)), TlbLookup::HitBase);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut tlb = small_tlb(4, 4);
+        let addr = VirtAddr(0x1000);
+        tlb.lookup(AppId(0), addr); // miss
+        tlb.fill(AppId(0), addr, PageSize::Base);
+        tlb.lookup(AppId(0), addr); // hit
+        assert_eq!(tlb.hit_rate().total(), 2);
+        assert_eq!(tlb.hit_rate().hits(), 1);
+        tlb.reset_stats();
+        assert_eq!(tlb.hit_rate().total(), 0);
+    }
+
+    #[test]
+    fn zero_sized_arrays_never_hit() {
+        let mut tlb = Tlb::new(TlbConfig {
+            base_entries: 0,
+            base_assoc: 0,
+            large_entries: 0,
+            large_assoc: 0,
+            latency: 1,
+        });
+        let addr = VirtAddr(0x1000);
+        tlb.fill(AppId(0), addr, PageSize::Base);
+        tlb.fill(AppId(0), addr, PageSize::Large);
+        assert_eq!(tlb.lookup(AppId(0), addr), TlbLookup::Miss);
+    }
+
+    #[test]
+    fn flush_all_empties_tlb() {
+        let mut tlb = small_tlb(4, 4);
+        tlb.fill(AppId(0), VirtAddr(0x1000), PageSize::Base);
+        tlb.fill(AppId(0), VirtAddr(0x20_0000), PageSize::Large);
+        assert_eq!(tlb.flush_all(), 2);
+        assert_eq!(tlb.occupancy(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! The page-size trade-off (Section 3 of the paper), end to end.
+//!
+//! Runs one application four ways and shows the two sides of the
+//! trade-off Mosaic dissolves:
+//!
+//! * with **no demand paging** cost, 2 MB pages crush 4 KB pages
+//!   (TLB reach — Figure 3);
+//! * **with demand paging**, 2 MB pages transfer six-times-slower chunks
+//!   over PCIe and fall behind (Figure 4);
+//! * Mosaic gets the large-page TLB reach *and* the base-page transfer
+//!   granularity at once.
+//!
+//! ```text
+//! cargo run --release --example page_size_tradeoff [APP]
+//! ```
+
+use mosaic::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "CONS".to_string());
+    let profile = AppProfile::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown application {name}; pick one of the 27 (e.g. CONS, HS, GUPS)"));
+    let workload = Workload { name: profile.name.to_string(), apps: vec![profile] };
+    println!(
+        "application {} ({:?}, {} MB working set at paper scale)\n",
+        profile.name, profile.suite, profile.working_set_mb
+    );
+
+    let fault_us = RunConfig::new(ManagerKind::GpuMmu4K)
+        .system
+        .iobus
+        .uncontended_latency(PageSize::Base.bytes())
+        .as_micros();
+    let fault_2m_us = RunConfig::new(ManagerKind::GpuMmu4K)
+        .system
+        .iobus
+        .uncontended_latency(PageSize::Large.bytes())
+        .as_micros();
+    println!("far-fault load-to-use (this scale): 4KB = {fault_us:.1} us, 2MB = {fault_2m_us:.1} us\n");
+
+    let ideal =
+        run_workload(&workload, RunConfig::new(ManagerKind::GpuMmu4K).preloaded().ideal_tlb());
+    println!("{:<28} {:>12} {:>10} {:>10}", "configuration", "cycles", "vs ideal", "walks");
+    let show = |label: &str, r: &RunResult| {
+        println!(
+            "{label:<28} {:>12} {:>9.2}x {:>10}",
+            r.total_cycles,
+            r.total_cycles as f64 / ideal.total_cycles as f64,
+            r.stats.walks
+        );
+    };
+    show("ideal TLB (no paging)", &ideal);
+    show(
+        "4KB pages (no paging)",
+        &run_workload(&workload, RunConfig::new(ManagerKind::GpuMmu4K).preloaded()),
+    );
+    show(
+        "2MB pages (no paging)",
+        &run_workload(&workload, RunConfig::new(ManagerKind::GpuMmu2M).preloaded()),
+    );
+    show("4KB pages + demand paging", &run_workload(&workload, RunConfig::new(ManagerKind::GpuMmu4K)));
+    show("2MB pages + demand paging", &run_workload(&workload, RunConfig::new(ManagerKind::GpuMmu2M)));
+    show("Mosaic + demand paging", &run_workload(&workload, RunConfig::new(ManagerKind::mosaic())));
+
+    println!("\n2MB pages win on translation and lose on transfer; Mosaic takes both wins.");
+}

@@ -1,0 +1,76 @@
+//! # Mosaic — a reproduction of the MICRO-50 (2017) GPU memory manager
+//!
+//! This crate is the facade of a full-system Rust reproduction of
+//! *"Mosaic: A GPU Memory Manager with Application-Transparent Support for
+//! Multiple Page Sizes"* (Ausavarungnirun et al., MICRO-50, 2017): the
+//! Mosaic memory manager itself (CoCoA + In-Place Coalescer + CAC), the
+//! GPU-MMU baseline it is compared against, and the entire simulation
+//! substrate the paper's evaluation runs on — SM/warp execution with GTO
+//! scheduling, split base/large TLBs, four-level page tables with Mosaic's
+//! PTE extensions, a highly-threaded page-table walker, caches, GDDR5-like
+//! DRAM, and the PCIe demand-paging path.
+//!
+//! ## Quick start
+//!
+//! Run one multi-application workload under Mosaic and compute its
+//! weighted speedup against per-application alone baselines (the paper's
+//! Figure 8 methodology):
+//!
+//! ```
+//! use mosaic::prelude::*;
+//!
+//! let workload = Workload::from_names(&["HS", "CONS"]);
+//! let mut cfg = RunConfig::new(ManagerKind::mosaic()).with_scale(ScaleConfig::smoke());
+//! cfg.system.sm_count = 6;
+//!
+//! let alone = run_alone_baselines(&workload, cfg);
+//! let mosaic = run_workload(&workload, cfg);
+//! let ws = weighted_speedup(&mosaic, &alone);
+//! assert!(ws > 0.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`core`] | The paper's contribution: `MosaicManager`, `CoCoA`, `InPlaceCoalescer`, `Cac`, and the `GpuMmuManager` baseline |
+//! | [`vm`] | Page tables, TLBs, the page-table walker |
+//! | [`mem`] | Caches, crossbar, DRAM |
+//! | [`iobus`] | The PCIe demand-paging bus |
+//! | [`gpu`] | SMs, warps, GTO scheduling |
+//! | [`workloads`] | The 27 synthetic applications and 235-workload suites |
+//! | [`gpusim`] | Full-system assembly and the workload runner |
+//! | [`experiments`] | One driver per paper figure/table |
+//! | [`sim_core`] | Cycles, stats, deterministic RNG, contention primitives |
+
+#![warn(missing_docs)]
+
+pub use mosaic_core as core;
+pub use mosaic_experiments as experiments;
+pub use mosaic_gpu as gpu;
+pub use mosaic_gpusim as gpusim;
+pub use mosaic_iobus as iobus;
+pub use mosaic_mem as mem;
+pub use mosaic_sim_core as sim_core;
+pub use mosaic_vm as vm;
+pub use mosaic_workloads as workloads;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use mosaic_core::{
+        Cac, CacConfig, CoCoA, FramePool, GpuMmuManager, InPlaceCoalescer, ManagerStats,
+        MemError, MemoryManager, MgmtEvent, MosaicConfig, MosaicManager, TouchOutcome,
+    };
+    pub use mosaic_gpusim::{
+        run_alone_baselines, run_workload, weighted_speedup, DemandPagingMode, GpuSystem,
+        ManagerKind, RunConfig, RunResult, SystemConfig, SystemStats,
+    };
+    pub use mosaic_sim_core::{Cycle, SimRng};
+    pub use mosaic_vm::{
+        AppId, LargeFrameNum, LargePageNum, PageSize, PageTable, PhysAddr, PhysFrameNum, Tlb,
+        TlbConfig, VirtAddr, VirtPageNum,
+    };
+    pub use mosaic_workloads::{
+        heterogeneous_suite, homogeneous_suite, AppProfile, ScaleConfig, Workload, ALL_PROFILES,
+    };
+}

@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: the full simulator pipeline, from
+//! workload synthesis through the memory hierarchy to per-application
+//! results.
+
+use mosaic::prelude::*;
+
+fn smoke_cfg(manager: ManagerKind) -> RunConfig {
+    let mut cfg = RunConfig::new(manager)
+        .with_scale(ScaleConfig { ws_divisor: 32, mem_ops_per_warp: 60, warps_per_sm: 4, phases: 1 });
+    cfg.system.sm_count = 8;
+    cfg
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let w = Workload::from_names(&["HS", "GUPS"]);
+    let a = run_workload(&w, smoke_cfg(ManagerKind::mosaic()));
+    let b = run_workload(&w, smoke_cfg(ManagerKind::mosaic()));
+    assert_eq!(a, b, "same config and seed must reproduce bit-identical results");
+}
+
+#[test]
+fn different_seeds_change_results_but_not_structure() {
+    let w = Workload::from_names(&["HS"]);
+    let mut cfg2 = smoke_cfg(ManagerKind::GpuMmu4K);
+    cfg2.seed = 43;
+    let a = run_workload(&w, smoke_cfg(ManagerKind::GpuMmu4K));
+    let b = run_workload(&w, cfg2);
+    assert_eq!(a.apps.len(), b.apps.len());
+    assert_eq!(a.apps[0].instructions, b.apps[0].instructions, "instruction count is seed-free");
+    assert_ne!(a.total_cycles, b.total_cycles, "timing depends on the address streams");
+}
+
+#[test]
+fn every_manager_retires_the_same_instructions() {
+    let w = Workload::from_names(&["CONS", "NN"]);
+    let runs = [
+        run_workload(&w, smoke_cfg(ManagerKind::GpuMmu4K)),
+        run_workload(&w, smoke_cfg(ManagerKind::GpuMmu2M)),
+        run_workload(&w, smoke_cfg(ManagerKind::mosaic())),
+        run_workload(&w, smoke_cfg(ManagerKind::GpuMmu4K).ideal_tlb()),
+    ];
+    for r in &runs[1..] {
+        for (a, b) in r.apps.iter().zip(&runs[0].apps) {
+            assert_eq!(
+                a.instructions, b.instructions,
+                "memory management must not change the work performed"
+            );
+        }
+    }
+}
+
+#[test]
+fn mosaic_transfers_base_pages_but_translates_large() {
+    let w = Workload::from_names(&["CONS"]);
+    // Enough instructions that the warps cover whole 2MB chunks, so the
+    // In-Place Coalescer actually fires during the demand-paged run.
+    let mut cfg = smoke_cfg(ManagerKind::mosaic());
+    cfg = cfg.with_scale(ScaleConfig { ws_divisor: 32, mem_ops_per_warp: 600, warps_per_sm: 4, phases: 1 });
+    cfg.system.sm_count = 8;
+    let r = run_workload(&w, cfg);
+    // Demand paging moved only 4KB base pages...
+    assert_eq!(r.stats.iobus_bytes, r.stats.iobus_transfers * 4096);
+    // ...while translation used coalesced 2MB pages.
+    assert!(r.stats.manager.coalesces > 0);
+    assert_eq!(r.stats.manager.migrations, 0, "in-place coalescing moves no data");
+}
+
+#[test]
+fn gpu_mmu_2mb_transfers_large_pages() {
+    let w = Workload::from_names(&["NN"]);
+    let r = run_workload(&w, smoke_cfg(ManagerKind::GpuMmu2M));
+    assert!(r.stats.iobus_bytes >= r.stats.iobus_transfers * 2 * 1024 * 1024);
+}
+
+#[test]
+fn weighted_speedup_composes_across_crates() {
+    let w = Workload::from_names(&["HS", "CONS"]);
+    let cfg = smoke_cfg(ManagerKind::mosaic());
+    let alone = run_alone_baselines(&w, cfg);
+    assert_eq!(alone.len(), 2);
+    let shared = run_workload(&w, cfg);
+    let ws = weighted_speedup(&shared, &alone);
+    assert!(ws.is_finite() && ws > 0.0);
+    // Two applications sharing: each cannot exceed its alone performance
+    // by much more than layout luck; the sum stays in a sane band.
+    assert!(ws < 4.0, "weighted speedup {ws} out of band for 2 apps");
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let w = Workload::from_names(&["HS", "HS", "HS"]);
+    let r = run_workload(&w, smoke_cfg(ManagerKind::mosaic()));
+    let s = &r.stats;
+    assert!(s.l1_tlb_hits <= s.l1_tlb_total);
+    assert!(s.l2_tlb_hits <= s.l2_tlb_total);
+    // Every L2 probe stems from an L1 miss.
+    assert!(s.l2_tlb_total <= s.l1_tlb_total - s.l1_tlb_hits);
+    // Far-faults moved exactly the bytes the manager reported.
+    assert_eq!(s.iobus_bytes, s.manager.transferred_bytes);
+    assert_eq!(s.iobus_transfers, s.manager.far_faults);
+    // Touched memory is within the footprint high-water mark.
+    assert!(s.touched_bytes <= s.footprint_bytes);
+    assert!(s.app_footprint_bytes <= s.footprint_bytes);
+}
+
+#[test]
+fn ideal_tlb_never_walks() {
+    let w = Workload::from_names(&["GUPS"]);
+    let r = run_workload(&w, smoke_cfg(ManagerKind::GpuMmu4K).ideal_tlb());
+    assert_eq!(r.stats.walks, 0);
+    assert_eq!(r.stats.l1_tlb_total, 0, "ideal TLB is never even probed");
+}
+
+#[test]
+fn preloading_eliminates_far_faults() {
+    let w = Workload::from_names(&["HS", "NN"]);
+    let r = run_workload(&w, smoke_cfg(ManagerKind::mosaic()).preloaded());
+    assert_eq!(r.stats.iobus_transfers, 0);
+    // Preloading coalesced every full chunk up front.
+    assert!(r.stats.manager.coalesces > 0);
+}
+
+#[test]
+fn fragmented_runs_complete_with_cac() {
+    let w = Workload::from_names(&["HS"]);
+    let mut cfg = smoke_cfg(ManagerKind::mosaic());
+    cfg.fragmentation = Some((1.0, 0.5));
+    let r = run_workload(&w, cfg);
+    assert!(r.apps[0].instructions > 0, "CAC keeps the run alive under full fragmentation");
+}

@@ -1,0 +1,163 @@
+//! Memory-protection invariants across the whole stack.
+//!
+//! The paper's central correctness constraint (Section 3.3): coalescing
+//! must never violate memory protection — a large page may only ever be
+//! formed from base pages of a single address space, and no two address
+//! spaces may ever map the same physical base frame.
+
+use mosaic::core::FRAG_OWNER;
+use mosaic::prelude::*;
+use mosaic::vm::{BASE_PAGES_PER_LARGE_PAGE, LARGE_PAGE_SIZE};
+use std::collections::HashMap;
+
+/// Builds a Mosaic manager with `frames` large frames and `apps`
+/// registered applications, each reserving `pages` pages.
+fn managers(frames: u64, apps: u16, pages: u64) -> MosaicManager {
+    let mut m = MosaicManager::new(MosaicConfig::with_memory(frames * LARGE_PAGE_SIZE));
+    for a in 0..apps {
+        m.register_app(AppId(a));
+        m.reserve(AppId(a), VirtPageNum(0), pages);
+    }
+    m
+}
+
+/// Asserts that no physical base frame is mapped by two address spaces.
+fn assert_no_frame_sharing(m: &dyn MemoryManager, apps: u16) {
+    let mut owners: HashMap<u64, AppId> = HashMap::new();
+    for a in 0..apps {
+        let asid = AppId(a);
+        let table = match m.tables().table(asid) {
+            Some(t) => t,
+            None => continue,
+        };
+        for lpn in table.mapped_regions() {
+            for (vpn, frame, _) in table.region_mappings(lpn) {
+                if let Some(prev) = owners.insert(frame.raw(), asid) {
+                    panic!(
+                        "frame {frame} mapped by both {prev} and {asid} (page {vpn})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn interleaved_apps_never_share_physical_frames() {
+    let mut m = managers(64, 4, 4096);
+    // Interleave faults from four applications across their overlapping
+    // virtual ranges.
+    for i in 0..2048u64 {
+        for a in 0..4u16 {
+            m.touch(AppId(a), VirtPageNum(i)).unwrap();
+        }
+    }
+    assert_no_frame_sharing(&m, 4);
+}
+
+#[test]
+fn coalesced_pages_are_single_owner() {
+    let mut m = managers(64, 3, 2048);
+    for i in 0..2048u64 {
+        for a in 0..3u16 {
+            m.touch(AppId(a), VirtPageNum(i)).unwrap();
+        }
+    }
+    // Every coalesced region's 512 frames belong to exactly one app.
+    for a in 0..3u16 {
+        let asid = AppId(a);
+        let table = m.tables().table(asid).unwrap();
+        for lpn in table.mapped_regions() {
+            if !table.is_coalesced(lpn) {
+                continue;
+            }
+            for (_, frame, _) in table.region_mappings(lpn) {
+                assert_eq!(
+                    m.pool().owner(frame),
+                    Some(asid),
+                    "coalesced page of {asid} backed by a frame it does not own"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn protection_survives_dealloc_and_reuse() {
+    let mut m = managers(8, 2, 2048);
+    // App 0 fills most of memory, then frees it.
+    for i in 0..2048u64 {
+        m.touch(AppId(0), VirtPageNum(i)).unwrap();
+    }
+    m.deallocate(AppId(0), VirtPageNum(0), 2048);
+    // App 1 takes over the recycled frames.
+    for i in 0..2048u64 {
+        m.touch(AppId(1), VirtPageNum(i)).unwrap();
+    }
+    assert_no_frame_sharing(&m, 2);
+    // App 0's old translations are gone.
+    let t0 = m.tables().table(AppId(0)).unwrap();
+    assert_eq!(t0.mapped_base_pages(), 0);
+}
+
+#[test]
+fn compaction_migrations_preserve_protection() {
+    let mut m = managers(32, 2, 4096);
+    for a in 0..2u16 {
+        for i in 0..2048u64 {
+            m.touch(AppId(a), VirtPageNum(i)).unwrap();
+        }
+    }
+    // Deallocate most of each app's coalesced chunks to force splinter +
+    // compaction with live neighbours.
+    for a in 0..2u16 {
+        m.deallocate(AppId(a), VirtPageNum(0), 1536 + u64::from(a) * 128);
+    }
+    assert_no_frame_sharing(&m, 2);
+    // Surviving pages still translate and still belong to their app.
+    for a in 0..2u16 {
+        let asid = AppId(a);
+        let first_live = 1536 + u64::from(a) * 128;
+        let table = m.tables().table(asid).unwrap();
+        for i in first_live..2048 {
+            let t = table.translate(VirtPageNum(i).addr()).expect("survivor translates");
+            assert_eq!(m.pool().owner(t.frame), Some(asid));
+        }
+    }
+}
+
+#[test]
+fn fragmented_memory_never_leaks_frag_pages_into_translations() {
+    let mut m = MosaicManager::new(MosaicConfig::with_memory(16 * LARGE_PAGE_SIZE));
+    let mut rng = SimRng::from_seed(5);
+    m.pre_fragment(1.0, 0.5, &mut rng);
+    m.register_app(AppId(0));
+    m.reserve(AppId(0), VirtPageNum(0), BASE_PAGES_PER_LARGE_PAGE * 2);
+    for i in 0..BASE_PAGES_PER_LARGE_PAGE * 2 {
+        m.touch(AppId(0), VirtPageNum(i)).unwrap();
+    }
+    // Every translated frame is owned by app 0, never by the injected
+    // fragmentation data.
+    let table = m.tables().table(AppId(0)).unwrap();
+    for i in 0..BASE_PAGES_PER_LARGE_PAGE * 2 {
+        let t = table.translate(VirtPageNum(i).addr()).unwrap();
+        let owner = m.pool().owner(t.frame);
+        assert_eq!(owner, Some(AppId(0)), "page {i} backed by {owner:?}");
+        assert_ne!(owner, Some(FRAG_OWNER));
+    }
+}
+
+#[test]
+fn gpu_mmu_also_isolates_address_spaces() {
+    let mut m = GpuMmuManager::new(32 * LARGE_PAGE_SIZE, 6, PageSize::Base);
+    for a in 0..3u16 {
+        m.register_app(AppId(a));
+        m.reserve(AppId(a), VirtPageNum(0), 1024);
+    }
+    for i in 0..1024u64 {
+        for a in 0..3u16 {
+            m.touch(AppId(a), VirtPageNum(i)).unwrap();
+        }
+    }
+    assert_no_frame_sharing(&m, 3);
+}

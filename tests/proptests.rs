@@ -1,0 +1,185 @@
+//! Property-based tests (proptest) on the core data structures'
+//! invariants: page tables, TLBs, the frame pool, and the Mosaic
+//! manager's allocation discipline.
+
+use mosaic::prelude::*;
+use mosaic::vm::{LargeFrameNum, LargePageNum, BASE_PAGES_PER_LARGE_PAGE, LARGE_PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    /// Address decomposition round-trips for any address.
+    #[test]
+    fn address_geometry_roundtrips(raw in 0u64..(1 << 48)) {
+        let a = VirtAddr(raw);
+        let vpn = a.base_page();
+        let lpn = a.large_page();
+        prop_assert_eq!(vpn.addr().raw() + a.base_offset(), raw);
+        prop_assert_eq!(lpn.addr().raw() + a.large_offset(), raw);
+        prop_assert_eq!(vpn.large_page(), lpn);
+        prop_assert_eq!(lpn.base_page(vpn.index_in_large()), vpn);
+    }
+
+    /// Mapping then translating returns exactly what was mapped; unmapping
+    /// removes exactly that mapping.
+    #[test]
+    fn page_table_map_translate_unmap(
+        pages in proptest::collection::btree_map(0u64..100_000, 0u64..100_000, 1..64)
+    ) {
+        let mut pt = PageTable::new(AppId(0));
+        // Frames must be distinct: derive them from the (distinct) keys.
+        for &v in pages.keys() {
+            pt.map_base(VirtPageNum(v), PhysFrameNum(v + 1_000_000)).unwrap();
+        }
+        for &v in pages.keys() {
+            let t = pt.translate(VirtPageNum(v).addr()).unwrap();
+            prop_assert_eq!(t.frame, PhysFrameNum(v + 1_000_000));
+            prop_assert_eq!(t.size, PageSize::Base);
+        }
+        for &v in pages.keys() {
+            prop_assert_eq!(pt.unmap_base(VirtPageNum(v)), Some(PhysFrameNum(v + 1_000_000)));
+        }
+        prop_assert_eq!(pt.mapped_base_pages(), 0);
+    }
+
+    /// Coalescing never changes any translation's physical frame — the
+    /// defining property of in-place coalescing.
+    #[test]
+    fn coalesce_preserves_translations(lpn in 0u64..512, lf in 0u64..512, probe in 0u64..512) {
+        let lpn = LargePageNum(lpn);
+        let lf = LargeFrameNum(lf);
+        let mut pt = PageTable::new(AppId(0));
+        for i in 0..BASE_PAGES_PER_LARGE_PAGE {
+            pt.map_base(lpn.base_page(i), lf.base_frame(i)).unwrap();
+        }
+        let addr = lpn.base_page(probe).addr();
+        let before = pt.translate(addr).unwrap();
+        pt.coalesce(lpn).unwrap();
+        let after = pt.translate(addr).unwrap();
+        prop_assert_eq!(before.frame, after.frame);
+        prop_assert_eq!(after.size, PageSize::Large);
+        // Splintering restores the base view, still at the same frame.
+        pt.splinter(lpn);
+        let back = pt.translate(addr).unwrap();
+        prop_assert_eq!(back.frame, before.frame);
+        prop_assert_eq!(back.size, PageSize::Base);
+    }
+
+    /// A TLB never hits for an (asid, page) pair that was not filled, and
+    /// always hits right after its own fill.
+    #[test]
+    fn tlb_soundness(
+        fills in proptest::collection::vec((0u16..4, 0u64..1_000), 1..200),
+        probe_asid in 0u16..4,
+        probe_page in 0u64..1_000,
+    ) {
+        let mut tlb = Tlb::new(TlbConfig::paper_l1());
+        let mut filled = std::collections::HashSet::new();
+        for &(a, p) in &fills {
+            tlb.fill(AppId(a), VirtPageNum(p).addr(), PageSize::Base);
+            filled.insert((a, p));
+        }
+        let hit = tlb.lookup(AppId(probe_asid), VirtPageNum(probe_page).addr()).is_hit();
+        if hit {
+            // Hits only on genuinely filled pairs (capacity may have
+            // evicted them, so the converse does not hold).
+            prop_assert!(filled.contains(&(probe_asid, probe_page)));
+        }
+    }
+
+    /// The TLB's occupancy never exceeds its configured capacity.
+    #[test]
+    fn tlb_capacity_bound(fills in proptest::collection::vec(0u64..10_000, 0..400)) {
+        let cfg = TlbConfig { base_entries: 16, base_assoc: 4, large_entries: 4, large_assoc: 0, latency: 1 };
+        let mut tlb = Tlb::new(cfg);
+        for &p in &fills {
+            tlb.fill(AppId(0), VirtPageNum(p).addr(), PageSize::Base);
+            tlb.fill(AppId(0), VirtPageNum(p).addr(), PageSize::Large);
+        }
+        prop_assert!(tlb.occupancy() <= 20);
+    }
+
+    /// Frame-pool accounting: allocated counts match the set/cleared
+    /// owners, and released frames can be taken again.
+    #[test]
+    fn frame_pool_accounting(ops in proptest::collection::vec((0u64..64, 0u64..512, prop::bool::ANY), 1..300)) {
+        let mut pool = FramePool::new(64 * LARGE_PAGE_SIZE, 6);
+        let mut model = std::collections::HashMap::new();
+        for &(frame, idx, set) in &ops {
+            let pfn = LargeFrameNum(frame).base_frame(idx);
+            if set {
+                pool.set_owner(pfn, Some(AppId(1)));
+                model.insert(pfn, AppId(1));
+            } else {
+                pool.set_owner(pfn, None);
+                model.remove(&pfn);
+            }
+        }
+        prop_assert_eq!(pool.allocated_base_frames(), model.len() as u64);
+        for (&pfn, &owner) in &model {
+            prop_assert_eq!(pool.owner(pfn), Some(owner));
+        }
+    }
+
+    /// Mosaic invariant under arbitrary touch sequences: every coalesced
+    /// region is fully mapped, contiguous, and aligned (the In-Place
+    /// Coalescer's precondition is also its postcondition).
+    #[test]
+    fn mosaic_coalesced_regions_are_contiguous(
+        touches in proptest::collection::vec((0u16..2, 0u64..1024), 1..600)
+    ) {
+        let mut m = MosaicManager::new(MosaicConfig::with_memory(64 * LARGE_PAGE_SIZE));
+        for a in 0..2u16 {
+            m.register_app(AppId(a));
+            m.reserve(AppId(a), VirtPageNum(0), 1024);
+        }
+        for &(a, p) in &touches {
+            m.touch(AppId(a), VirtPageNum(p)).unwrap();
+        }
+        for a in 0..2u16 {
+            let table = m.tables().table(AppId(a)).unwrap();
+            for lpn in table.mapped_regions() {
+                if !table.is_coalesced(lpn) {
+                    continue;
+                }
+                prop_assert_eq!(table.mapped_in_large(lpn), BASE_PAGES_PER_LARGE_PAGE);
+                let mappings: Vec<_> = table.region_mappings(lpn).collect();
+                let first = mappings[0].1;
+                prop_assert_eq!(first.index_in_large(), 0, "aligned");
+                for (k, &(_, frame, _)) in mappings.iter().enumerate() {
+                    prop_assert_eq!(frame.raw(), first.raw() + k as u64, "contiguous");
+                }
+            }
+        }
+    }
+
+    /// Demand paging transfers each page exactly once regardless of the
+    /// touch order or repetition.
+    #[test]
+    fn far_faults_are_once_per_page(
+        touches in proptest::collection::vec(0u64..256, 1..800)
+    ) {
+        let mut m = MosaicManager::new(MosaicConfig::with_memory(16 * LARGE_PAGE_SIZE));
+        m.register_app(AppId(0));
+        m.reserve(AppId(0), VirtPageNum(0), 256);
+        let mut unique = std::collections::HashSet::new();
+        for &p in &touches {
+            m.touch(AppId(0), VirtPageNum(p)).unwrap();
+            unique.insert(p);
+        }
+        prop_assert_eq!(m.stats().far_faults, unique.len() as u64);
+        prop_assert_eq!(m.stats().transferred_bytes, unique.len() as u64 * 4096);
+    }
+
+    /// The deterministic RNG's fork streams never depend on drawing order.
+    #[test]
+    fn rng_forks_are_order_independent(seed in any::<u64>(), a in 0u64..100, b in 0u64..100) {
+        use rand::RngCore;
+        let root = SimRng::from_seed(seed);
+        let mut fa_first = root.fork("x", a);
+        let va1 = fa_first.next_u64();
+        let mut fb = root.fork("x", b);
+        let _ = fb.next_u64();
+        let mut fa_again = root.fork("x", a);
+        prop_assert_eq!(va1, fa_again.next_u64());
+    }
+}
