@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, the determinism/invariant policy
+# scanner, and the full test suite. Run from the repository root; any
+# failing step fails the script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> mosaic-audit check (determinism & invariants policy)"
+cargo run -q -p mosaic-audit -- check
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "CI green."

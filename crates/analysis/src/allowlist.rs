@@ -1,0 +1,168 @@
+//! The checked-in allowlist: the *only* way a rule violation stays in the
+//! tree, and every entry must say why.
+//!
+//! Format (`crates/analysis/allow.list`): one entry per line,
+//!
+//! ```text
+//! <rule> <repo-relative-path> <justification...>
+//! ```
+//!
+//! `#`-lines and blank lines are ignored. An entry exempts every finding
+//! of that rule in that file — per-file granularity keeps the list short
+//! and forces a file-level answer to "why is this construct sound here?".
+//! Entries that match nothing are reported (stale exemptions hide future
+//! regressions) but do not fail the check.
+
+use crate::rules::{Finding, RULES};
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule the entry exempts.
+    pub rule: String,
+    /// Repo-relative path it applies to.
+    pub path: String,
+    /// Why the construct is sound there (mandatory).
+    pub justification: String,
+    /// 1-based line in the allowlist file (for error reporting).
+    pub line: usize,
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Allowlist {
+    entries: Vec<Entry>,
+}
+
+/// A malformed allowlist line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "allow.list:{}: {}", self.line, self.message)
+    }
+}
+
+impl Allowlist {
+    /// Parses the allowlist text.
+    ///
+    /// # Errors
+    ///
+    /// Returns every malformed line: unknown rule names, missing fields,
+    /// or a missing justification.
+    pub fn parse(text: &str) -> Result<Self, Vec<ParseError>> {
+        let mut entries = Vec::new();
+        let mut errors = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut parts = trimmed.splitn(3, char::is_whitespace);
+            let rule = parts.next().unwrap_or_default().to_string();
+            let path = parts.next().unwrap_or_default().to_string();
+            let justification = parts.next().unwrap_or_default().trim().to_string();
+            if !RULES.iter().any(|(r, _)| *r == rule) {
+                errors.push(ParseError { line, message: format!("unknown rule `{rule}`") });
+                continue;
+            }
+            if path.is_empty() {
+                errors.push(ParseError { line, message: "missing path".to_string() });
+                continue;
+            }
+            if justification.is_empty() {
+                errors.push(ParseError {
+                    line,
+                    message: "missing justification: every exemption must say why".to_string(),
+                });
+                continue;
+            }
+            entries.push(Entry { rule, path, justification, line });
+        }
+        if errors.is_empty() {
+            Ok(Allowlist { entries })
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Whether `finding` is exempted.
+    pub fn allows(&self, finding: &Finding) -> bool {
+        self.entries.iter().any(|e| e.rule == finding.rule && e.path == finding.path)
+    }
+
+    /// Splits `findings` into (surviving, exempted).
+    pub fn filter(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
+        findings.into_iter().partition(|f| !self.allows(f))
+    }
+
+    /// Entries that exempted none of `findings` — stale, worth pruning.
+    pub fn unused<'a>(&'a self, all_findings: &[Finding]) -> Vec<&'a Entry> {
+        self.entries
+            .iter()
+            .filter(|e| !all_findings.iter().any(|f| f.rule == e.rule && f.path == e.path))
+            .collect()
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str) -> Finding {
+        Finding { rule, path: path.to_string(), line: 1, message: String::new() }
+    }
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let a = Allowlist::parse(
+            "# a comment\n\nhashmap-in-sim crates/vm/src/x.rs interned keys, order never observed\n",
+        )
+        .unwrap();
+        assert_eq!(a.entries().len(), 1);
+        assert_eq!(a.entries()[0].rule, "hashmap-in-sim");
+        assert!(a.allows(&finding("hashmap-in-sim", "crates/vm/src/x.rs")));
+        assert!(!a.allows(&finding("wall-clock", "crates/vm/src/x.rs")));
+        assert!(!a.allows(&finding("hashmap-in-sim", "crates/vm/src/y.rs")));
+    }
+
+    #[test]
+    fn rejects_unknown_rule_and_missing_justification() {
+        let err = Allowlist::parse("no-such-rule a.rs why\nwall-clock b.rs\n").unwrap_err();
+        assert_eq!(err.len(), 2);
+        assert!(err[0].message.contains("unknown rule"));
+        assert!(err[1].message.contains("justification"));
+    }
+
+    #[test]
+    fn unused_entries_are_reported() {
+        let a = Allowlist::parse("wall-clock crates/mem/src/x.rs measured on host\n").unwrap();
+        let unused = a.unused(&[finding("wall-clock", "crates/mem/src/other.rs")]);
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].path, "crates/mem/src/x.rs");
+    }
+
+    #[test]
+    fn filter_partitions() {
+        let a = Allowlist::parse("thread-rng crates/gpu/src/x.rs legacy, tracked\n").unwrap();
+        let (kept, exempted) = a.filter(vec![
+            finding("thread-rng", "crates/gpu/src/x.rs"),
+            finding("thread-rng", "crates/gpu/src/y.rs"),
+        ]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(exempted.len(), 1);
+        assert_eq!(kept[0].path, "crates/gpu/src/y.rs");
+    }
+}

@@ -1,0 +1,222 @@
+//! A minimal Rust source "lexer" for the audit scanner: it does not
+//! tokenize, it *erases* everything the rules must never match inside —
+//! line comments, (nested) block comments, string literals, raw string
+//! literals, byte strings, and character literals — replacing their
+//! contents with spaces so that byte offsets and line numbers of the
+//! surviving code are unchanged.
+//!
+//! Hand-rolled on purpose: the scanner must build with zero external
+//! dependencies (the workspace builds offline), and the subset of Rust
+//! lexical structure it needs is small and stable.
+
+/// Erases comments and literal contents from `source`, preserving layout.
+///
+/// Every erased character becomes a space (newlines are kept), so
+/// `strip(s).lines().nth(k)` lines up exactly with `s.lines().nth(k)`.
+///
+/// # Examples
+///
+/// ```
+/// use mosaic_audit::lexer::strip;
+/// let s = strip("let x = \"HashMap\"; // HashMap\nuse std::collections::HashMap;");
+/// assert!(!s.lines().next().unwrap().contains("HashMap"));
+/// assert!(s.lines().nth(1).unwrap().contains("HashMap"));
+/// ```
+pub fn strip(source: &str) -> String {
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+
+    let keep = |out: &mut String, c: char| out.push(c);
+    let blank = |out: &mut String, c: char| out.push(if c == '\n' { '\n' } else { ' ' });
+
+    while i < n {
+        let c = chars[i];
+        // Line comment (also covers doc comments).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                blank(&mut out, chars[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, nested per Rust.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 0;
+            while i < n {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    blank(&mut out, chars[i]);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    blank(&mut out, chars[i]);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"..." / r#"..."# / br##"..."##.
+        if c == 'r' || (c == 'b' && i + 1 < n && chars[i + 1] == 'r') {
+            let start = if c == 'b' { i + 2 } else { i + 1 };
+            let mut j = start;
+            while j < n && chars[j] == '#' {
+                j += 1;
+            }
+            let hashes = j - start;
+            // Only a raw string if an opening quote follows the hashes and
+            // `r`/`br` is not the tail of a longer identifier.
+            let prev_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+            if !prev_ident && j < n && chars[j] == '"' {
+                for &c in &chars[i..=j] {
+                    keep(&mut out, c);
+                }
+                i = j + 1;
+                // Scan to the closing quote followed by `hashes` hashes.
+                while i < n {
+                    if chars[i] == '"'
+                        && i + hashes < n
+                        && chars[i + 1..=i + hashes].iter().all(|&h| h == '#')
+                    {
+                        for &c in &chars[i..=i + hashes] {
+                            keep(&mut out, c);
+                        }
+                        i += hashes + 1;
+                        break;
+                    }
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Ordinary (byte) string.
+        if c == '"' {
+            keep(&mut out, c);
+            i += 1;
+            while i < n {
+                if chars[i] == '\\' && i + 1 < n {
+                    blank(&mut out, chars[i]);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                } else if chars[i] == '"' {
+                    keep(&mut out, chars[i]);
+                    i += 1;
+                    break;
+                } else {
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Character literal vs. lifetime: `'x'` and `'\n'` are literals;
+        // `'a` in `&'a str` is not (no closing quote right after one
+        // "payload"). A quote after an identifier char is never a literal
+        // (it closes nothing — e.g. the `'` in `it's` never appears in
+        // code position anyway once comments/strings are gone).
+        if c == '\'' {
+            let is_escape = i + 1 < n && chars[i + 1] == '\\';
+            let closes_simple = i + 2 < n && chars[i + 2] == '\'';
+            if is_escape {
+                keep(&mut out, c);
+                i += 1;
+                // Blank until the closing quote.
+                while i < n && chars[i] != '\'' {
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
+                if i < n {
+                    keep(&mut out, chars[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            if closes_simple {
+                keep(&mut out, c);
+                blank(&mut out, chars[i + 1]);
+                keep(&mut out, chars[i + 2]);
+                i += 3;
+                continue;
+            }
+            // Lifetime: keep as-is.
+            keep(&mut out, c);
+            i += 1;
+            continue;
+        }
+        keep(&mut out, c);
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let s = strip("code(); // HashMap here\nmore();");
+        assert_eq!(s.lines().next().unwrap().trim_end(), "code();");
+        assert_eq!(s.lines().nth(1).unwrap(), "more();");
+    }
+
+    #[test]
+    fn block_comments_nest_and_keep_lines() {
+        let s = strip("a /* one /* two */ still */ b\nc");
+        assert!(s.starts_with("a "));
+        assert!(s.lines().next().unwrap().ends_with(" b"));
+        assert!(!s.contains("two"));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_quotes_survive() {
+        let s = strip(r#"let x = "Instant::now()"; y"#);
+        assert!(!s.contains("Instant"));
+        assert!(s.contains("\""));
+        assert!(s.ends_with("; y"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let s = strip(r#"let x = "a\"HashMap\"b"; HashMap"#);
+        assert_eq!(s.matches("HashMap").count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = strip("let x = r#\"thread_rng\"#; thread_rng();");
+        assert_eq!(s.matches("thread_rng").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literal_handling() {
+        let s = strip("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(s.contains("<'a>"));
+        assert!(s.contains("&'a str"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let s = strip("let c = 'H'; let e = '\\n'; HashMap");
+        assert!(!s.contains("'H'"));
+        assert!(s.contains("HashMap"));
+    }
+
+    #[test]
+    fn doc_comments_are_blanked() {
+        let s = strip("/// uses HashMap internally\nfn f() {}");
+        assert!(!s.contains("HashMap"));
+        assert!(s.contains("fn f()"));
+    }
+}

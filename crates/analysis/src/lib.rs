@@ -1,0 +1,154 @@
+//! `mosaic-audit` — the workspace's determinism/invariant static-analysis
+//! pass.
+//!
+//! A cycle-accurate simulator's results are only meaningful if the same
+//! seed always produces the same run. This crate scans every Rust source
+//! file under `crates/*/src` (plus the root `src/`) for the constructs
+//! that historically break that guarantee or mask broken invariants:
+//!
+//! * `HashMap`/`HashSet` in cycle-level crates (iteration order leaks
+//!   host randomness into simulated state),
+//! * wall-clock time (`Instant`, `SystemTime`) in simulation logic,
+//! * entropy-seeded randomness (`thread_rng`, `from_entropy`),
+//! * `unwrap`/`expect`/`panic!` on per-cycle hot paths,
+//! * lossy `as` casts of address/cycle-typed values.
+//!
+//! Violations that are individually justified live in
+//! `crates/analysis/allow.list`; everything else fails the check. The
+//! scanner is hand-rolled and dependency-free (the workspace builds
+//! offline): see [`lexer`] for the comment/string eraser, [`rules`] for
+//! the checks, and [`allowlist`] for the exemption format.
+//!
+//! Run it as:
+//!
+//! ```text
+//! cargo run -p mosaic-audit -- check            # scan the repo, exit 1 on findings
+//! cargo run -p mosaic-audit -- check some/dir   # scan a different root
+//! ```
+//!
+//! The runtime half of the policy is the `AuditInvariants` trait in
+//! `mosaic-sim-core` (frame conservation, ownership agreement, TLB
+//! coherence), swept by the gpusim runner every `audit_every` cycles.
+
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+
+pub use allowlist::Allowlist;
+pub use rules::Finding;
+
+use std::path::{Path, PathBuf};
+
+/// Everything one `check` run produced.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Findings not covered by the allowlist (the check fails on any).
+    pub findings: Vec<Finding>,
+    /// Findings covered by the allowlist.
+    pub exempted: Vec<Finding>,
+    /// Files scanned.
+    pub files: usize,
+    /// Stale allowlist entries (rule+path pairs that matched nothing).
+    pub stale_allows: Vec<String>,
+}
+
+impl ScanReport {
+    /// Whether the check passes.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Collects every `.rs` file the policy covers: `crates/*/src/**` and the
+/// root package's `src/**`, sorted for deterministic output.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory traversal.
+pub fn source_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, with forward slashes (rule selection and
+/// allowlist matching are defined on this form).
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+/// Scans one file's raw source (comments/strings are stripped here).
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    rules::scan_stripped(rel_path, &lexer::strip(source))
+}
+
+/// Runs the full check over `root` with `allow`, reading every covered
+/// source file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unreadable tree).
+pub fn check(root: &Path, allow: &Allowlist) -> std::io::Result<ScanReport> {
+    let mut all = Vec::new();
+    let files = source_files(root)?;
+    let count = files.len();
+    for file in files {
+        let source = std::fs::read_to_string(&file)?;
+        all.extend(scan_source(&relative(root, &file), &source));
+    }
+    let stale = allow
+        .unused(&all)
+        .into_iter()
+        .map(|e| format!("{} {} ({})", e.rule, e.path, e.justification))
+        .collect();
+    let (findings, exempted) = allow.filter(all);
+    Ok(ScanReport { findings, exempted, files: count, stale_allows: stale })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_paths_use_forward_slashes() {
+        let root = Path::new("/repo");
+        let p = Path::new("/repo/crates/vm/src/tlb.rs");
+        assert_eq!(relative(root, p), "crates/vm/src/tlb.rs");
+    }
+
+    #[test]
+    fn scan_source_end_to_end() {
+        let f = scan_source("crates/vm/src/x.rs", "use std::collections::HashMap; // HashMap\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "hashmap-in-sim");
+        assert_eq!(f[0].line, 1);
+    }
+}

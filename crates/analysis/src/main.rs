@@ -1,0 +1,92 @@
+//! The `mosaic-audit` command-line front end.
+//!
+//! ```text
+//! mosaic-audit check [ROOT]        scan ROOT (default: .) and exit 1 on findings
+//! mosaic-audit rules               list the rules
+//! ```
+
+use mosaic_audit::{check, rules::RULES, Allowlist};
+use std::path::Path;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mosaic-audit <command>\n\
+         \n\
+         commands:\n\
+         \x20 check [ROOT]   scan ROOT (default: current directory) against the\n\
+         \x20                determinism/invariant policy; exit 1 on findings\n\
+         \x20 rules          list the rules\n\
+         \n\
+         the allowlist is read from ROOT/crates/analysis/allow.list when present"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("rules") => {
+            for (rule, what) in RULES {
+                println!("{rule}\n    {what}");
+            }
+        }
+        Some("check") => {
+            if args.len() > 2 {
+                usage();
+            }
+            let root = Path::new(args.get(1).map(String::as_str).unwrap_or("."));
+            std::process::exit(run_check(root));
+        }
+        _ => usage(),
+    }
+}
+
+fn run_check(root: &Path) -> i32 {
+    if !root.is_dir() {
+        eprintln!("mosaic-audit: {} is not a directory", root.display());
+        return 2;
+    }
+    let allow_path = root.join("crates/analysis/allow.list");
+    let allow = if allow_path.is_file() {
+        let text = match std::fs::read_to_string(&allow_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("mosaic-audit: cannot read {}: {e}", allow_path.display());
+                return 2;
+            }
+        };
+        match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(errors) => {
+                for e in errors {
+                    eprintln!("mosaic-audit: {e}");
+                }
+                return 2;
+            }
+        }
+    } else {
+        Allowlist::default()
+    };
+
+    let report = match check(root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mosaic-audit: scan failed: {e}");
+            return 2;
+        }
+    };
+    for stale in &report.stale_allows {
+        eprintln!("mosaic-audit: warning: stale allowlist entry: {stale}");
+    }
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "mosaic-audit: {} file(s), {} finding(s), {} exempted, {} stale allowlist entr(y/ies)",
+        report.files,
+        report.findings.len(),
+        report.exempted.len(),
+        report.stale_allows.len()
+    );
+    i32::from(!report.is_clean())
+}

@@ -1,0 +1,263 @@
+//! The audit rules: what the determinism/invariant policy bans and where.
+//!
+//! Every rule works on *stripped* source (see [`crate::lexer::strip`]) so
+//! comments and string literals can mention banned constructs freely, and
+//! everything from the first `#[cfg(test)]` to the end of the file is
+//! exempt (test modules sit at the bottom of each file in this workspace;
+//! tests may use wall-clocks and unwraps at will).
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (see [`RULES`]).
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// The rule identifiers, for `--help` style listings.
+pub const RULES: [(&str, &str); 5] = [
+    (
+        "hashmap-in-sim",
+        "HashMap/HashSet in a cycle-level crate: iteration order would leak \
+         host randomness into simulated state (use BTreeMap/BTreeSet)",
+    ),
+    (
+        "wall-clock",
+        "std::time::Instant/SystemTime in simulation logic: simulated \
+         behavior must depend only on simulated time",
+    ),
+    (
+        "thread-rng",
+        "thread_rng or entropy-seeded randomness: all streams must come \
+         from the seeded SimRng",
+    ),
+    (
+        "panic-in-hotpath",
+        "unwrap()/expect()/panic! in a per-cycle hot-path file: recoverable \
+         conditions must be handled, invariants belong in the audit",
+    ),
+    (
+        "lossy-cast",
+        "lossy `as` cast of an address/cycle-typed value: addresses and \
+         cycle counts are u64 end to end",
+    ),
+];
+
+/// Crates whose code runs at cycle granularity: everything the simulated
+/// state or timing can observe. The workloads/experiments/bench crates sit
+/// outside the simulated machine and may use host facilities.
+pub const CYCLE_CRATES: [&str; 7] = ["sim-core", "gpu", "gpusim", "vm", "core", "mem", "iobus"];
+
+/// Files on the per-warp-access hot path, where a panic takes down the
+/// whole simulation: panics there must be either eliminated or explicitly
+/// justified in the allowlist.
+pub const HOT_PATH_FILES: [&str; 10] = [
+    "crates/gpu/src/sm.rs",
+    "crates/gpu/src/warp.rs",
+    "crates/vm/src/tlb.rs",
+    "crates/vm/src/walker.rs",
+    "crates/vm/src/walk_cache.rs",
+    "crates/mem/src/cache.rs",
+    "crates/mem/src/dram.rs",
+    "crates/mem/src/xbar.rs",
+    "crates/iobus/src/lib.rs",
+    "crates/gpusim/src/system.rs",
+];
+
+/// The crate a repo-relative path belongs to (`crates/<name>/...`), if any.
+fn crate_of(path: &str) -> Option<&str> {
+    path.strip_prefix("crates/")?.split('/').next()
+}
+
+fn is_cycle_crate(path: &str) -> bool {
+    crate_of(path).is_some_and(|c| CYCLE_CRATES.contains(&c))
+}
+
+fn is_hot_path(path: &str) -> bool {
+    HOT_PATH_FILES.contains(&path)
+}
+
+/// Whether `needle` occurs in `line` as a whole identifier (not as part of
+/// a longer one, which would be a different name entirely).
+fn has_ident(line: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !line[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= line.len()
+            || !line[after..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// Narrow integer types an address- or cycle-typed u64 must never be cast
+/// into with `as` (silent truncation).
+const NARROW_INTS: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Detects `<expr>.raw() as <narrow>` / `<expr>.as_u64() as <narrow>`:
+/// the typed-address escape hatches immediately truncated.
+fn lossy_cast(line: &str) -> Option<String> {
+    for source in [".raw()", ".as_u64()"] {
+        let mut from = 0;
+        while let Some(pos) = line[from..].find(source) {
+            let after = from + pos + source.len();
+            let rest = line[after..].trim_start();
+            if let Some(cast) = rest.strip_prefix("as ") {
+                let ty: String =
+                    cast.trim_start().chars().take_while(|c| c.is_alphanumeric()).collect();
+                if NARROW_INTS.contains(&ty.as_str()) {
+                    return Some(format!("`{source} as {ty}` silently truncates"));
+                }
+            }
+            from = after;
+        }
+    }
+    None
+}
+
+/// Scans one file's *stripped* source, returning every finding. `path` is
+/// repo-relative with forward slashes; it selects which rules apply.
+pub fn scan_stripped(path: &str, stripped: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let cycle = is_cycle_crate(path);
+    let hot = is_hot_path(path);
+    for (idx, line) in stripped.lines().enumerate() {
+        // Test modules (from `#[cfg(test)]` down) are exempt from every
+        // rule: they run off the simulated clock and may panic freely.
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        let lineno = idx + 1;
+        let mut push = |rule: &'static str, message: String| {
+            findings.push(Finding { rule, path: path.to_string(), line: lineno, message });
+        };
+        if cycle {
+            for name in ["HashMap", "HashSet"] {
+                if has_ident(line, name) {
+                    push(
+                        "hashmap-in-sim",
+                        format!("{name} in a cycle-level crate: use BTreeMap/BTreeSet"),
+                    );
+                }
+            }
+            for name in ["Instant", "SystemTime"] {
+                if has_ident(line, name) {
+                    push(
+                        "wall-clock",
+                        format!("{name} in simulation logic: use the simulated clock"),
+                    );
+                }
+            }
+        }
+        if has_ident(line, "thread_rng") || has_ident(line, "from_entropy") {
+            push(
+                "thread-rng",
+                "entropy-seeded randomness: derive a stream from the seeded SimRng".to_string(),
+            );
+        }
+        if hot {
+            for pat in [".unwrap()", ".expect(", "panic!(", "unreachable!("] {
+                if line.contains(pat) {
+                    push("panic-in-hotpath", format!("`{pat}` on the per-cycle hot path"));
+                }
+            }
+        }
+        if cycle {
+            if let Some(msg) = lossy_cast(line) {
+                push("lossy-cast", msg);
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(path: &str, src: &str) -> Vec<Finding> {
+        scan_stripped(path, &crate::lexer::strip(src))
+    }
+
+    #[test]
+    fn hashmap_flagged_only_in_cycle_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(scan("crates/vm/src/x.rs", src).len(), 1);
+        assert_eq!(scan("crates/workloads/src/x.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn hashmap_in_comment_or_string_is_fine() {
+        let src = "// a HashMap would be wrong\nlet s = \"HashMap\";\n";
+        assert!(scan("crates/vm/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn identifier_boundaries_respected() {
+        assert!(scan("crates/vm/src/x.rs", "struct MyHashMapLike;\n").is_empty());
+        assert_eq!(scan("crates/vm/src/x.rs", "let m: HashMap<u8,u8>;\n").len(), 1);
+    }
+
+    #[test]
+    fn wall_clock_flagged() {
+        let f = scan("crates/gpusim/src/x.rs", "let t = std::time::Instant::now();\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn thread_rng_flagged_everywhere() {
+        let f = scan("crates/workloads/src/x.rs", "let mut r = rand::thread_rng();\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "thread-rng");
+    }
+
+    #[test]
+    fn panics_flagged_only_in_hot_path_files() {
+        let src = "let x = y.unwrap();\n";
+        let f = scan("crates/vm/src/tlb.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "panic-in-hotpath");
+        assert!(scan("crates/vm/src/page_table.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lossy_casts_flagged() {
+        let f = scan("crates/vm/src/x.rs", "let c = addr.raw() as u32;\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "lossy-cast");
+        assert!(scan("crates/vm/src/x.rs", "let c = addr.raw() as u64;\n").is_empty());
+        assert!(scan("crates/vm/src/x.rs", "let c = addr.raw() as f64;\n").is_empty());
+        assert_eq!(scan("crates/vm/src/x.rs", "let c = t.as_u64() as u32;\n").len(), 1);
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n  use std::collections::HashMap;\n}\n";
+        assert!(scan("crates/vm/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn findings_carry_line_numbers() {
+        let src = "fn a() {}\nuse std::collections::HashSet;\n";
+        let f = scan("crates/mem/src/x.rs", src);
+        assert_eq!(f[0].line, 2);
+    }
+}

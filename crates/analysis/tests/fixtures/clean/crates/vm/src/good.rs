@@ -1,0 +1,20 @@
+// Fixture: a file the policy fully accepts. Scanner input only.
+// A HashMap in a comment is fine, as is "thread_rng" in a string.
+use std::collections::BTreeMap;
+
+pub fn translate(map: &BTreeMap<u64, u64>, page: u64) -> Option<u64> {
+    let name = "thread_rng";
+    let _ = name;
+    map.get(&page).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_use_anything() {
+        let _ = (HashMap::<u8, u8>::new(), Instant::now());
+    }
+}

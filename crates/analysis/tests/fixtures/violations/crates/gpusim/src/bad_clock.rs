@@ -1,0 +1,12 @@
+// Fixture: wall-clock time and entropy randomness in simulation logic.
+// Scanner input only; never compiled.
+use std::time::Instant;
+
+pub fn step() -> u128 {
+    // "Instant" in this comment and in the string below must NOT count.
+    let label = "Instant::now";
+    let t = Instant::now();
+    let _ = rand::thread_rng();
+    let _ = label;
+    t.elapsed().as_nanos()
+}

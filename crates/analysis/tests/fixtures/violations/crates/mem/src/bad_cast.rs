@@ -1,0 +1,9 @@
+// Fixture: lossy casts of address/cycle-typed values.
+// Scanner input only; never compiled.
+pub fn channel(addr: PhysAddr, now: Cycle) -> (u32, u32) {
+    let a = addr.raw() as u32; // truncates above 4 GiB
+    let c = now.as_u64() as u32;
+    let fine = addr.raw() as u64; // widening-as-written: allowed
+    let _ = fine;
+    (a, c)
+}

@@ -1,0 +1,15 @@
+// Fixture: nondeterministic containers in a cycle-level crate.
+// This file is scanner input only; it is never compiled.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct Tracker {
+    pages: HashMap<u64, u64>,
+    dirty: HashSet<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: HashMap in tests is fine.
+    use std::collections::HashMap;
+}

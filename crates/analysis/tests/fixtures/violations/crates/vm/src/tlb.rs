@@ -1,0 +1,10 @@
+// Fixture: panics on the per-cycle hot path (this path IS in the
+// hot-path list). Scanner input only; never compiled.
+pub fn lookup(&mut self, page: u64) -> u64 {
+    let slot = self.sets.get(&page).unwrap();
+    let entry = slot.newest().expect("slot occupied");
+    if entry.page != page {
+        panic!("tag mismatch");
+    }
+    entry.frame
+}

@@ -1,0 +1,11 @@
+// Fixture: the workloads crate is NOT cycle-level, so containers and
+// panics here are fine — but entropy-seeded randomness never is.
+// Scanner input only; never compiled.
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u64, u64> {
+    let mut rng = rand::thread_rng();
+    let m = HashMap::new();
+    m.get(&0).unwrap();
+    m
+}

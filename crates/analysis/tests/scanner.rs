@@ -1,0 +1,95 @@
+//! End-to-end tests for `mosaic-audit check`: the violation fixtures must
+//! be flagged (and fail the binary with a nonzero exit), the clean fixture
+//! must pass, and — the gate that matters — the real repository must scan
+//! clean under its checked-in allowlist.
+
+use mosaic_audit::{check, Allowlist};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+#[test]
+fn violation_fixtures_are_all_flagged() {
+    let report = check(&fixture("violations"), &Allowlist::default()).unwrap();
+    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &report.findings {
+        *by_rule.entry(f.rule).or_default() += 1;
+    }
+    assert_eq!(by_rule.get("hashmap-in-sim"), Some(&4), "{:#?}", report.findings);
+    assert_eq!(by_rule.get("wall-clock"), Some(&2), "{:#?}", report.findings);
+    assert_eq!(by_rule.get("thread-rng"), Some(&2), "{:#?}", report.findings);
+    assert_eq!(by_rule.get("panic-in-hotpath"), Some(&3), "{:#?}", report.findings);
+    assert_eq!(by_rule.get("lossy-cast"), Some(&2), "{:#?}", report.findings);
+    assert_eq!(report.findings.len(), 13);
+}
+
+#[test]
+fn non_cycle_crates_may_use_containers_and_panics() {
+    let report = check(&fixture("violations"), &Allowlist::default()).unwrap();
+    let outside: Vec<_> = report.findings.iter().filter(|f| f.path.contains("workloads")).collect();
+    assert_eq!(outside.len(), 1, "{outside:#?}");
+    assert_eq!(outside[0].rule, "thread-rng");
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let report = check(&fixture("clean"), &Allowlist::default()).unwrap();
+    assert!(report.is_clean(), "{:#?}", report.findings);
+    assert_eq!(report.files, 1);
+}
+
+#[test]
+fn allowlist_exempts_fixture_findings() {
+    let allow = Allowlist::parse(
+        "hashmap-in-sim crates/vm/src/bad_hashmap.rs fixture exercise\n\
+         panic-in-hotpath crates/vm/src/tlb.rs fixture exercise\n",
+    )
+    .unwrap();
+    let report = check(&fixture("violations"), &allow).unwrap();
+    assert_eq!(report.exempted.len(), 7);
+    assert_eq!(report.findings.len(), 6);
+    assert!(report.stale_allows.is_empty());
+}
+
+#[test]
+fn the_repository_scans_clean() {
+    let root = repo_root();
+    let allow_text = std::fs::read_to_string(root.join("crates/analysis/allow.list")).unwrap();
+    let allow = Allowlist::parse(&allow_text).unwrap();
+    let report = check(&root, &allow).unwrap();
+    assert!(
+        report.is_clean(),
+        "the tree violates the determinism/invariant policy:\n{}",
+        report.findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+    assert!(
+        report.stale_allows.is_empty(),
+        "stale allowlist entries (prune them): {:#?}",
+        report.stale_allows
+    );
+    assert!(report.files > 50, "walked only {} files — tree layout changed?", report.files);
+}
+
+#[test]
+fn binary_exits_nonzero_on_violations_and_zero_on_clean() {
+    let bin = env!("CARGO_BIN_EXE_mosaic-audit");
+    let bad = Command::new(bin)
+        .args(["check", fixture("violations").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(1), "{bad:?}");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("hashmap-in-sim"), "{stdout}");
+
+    let good =
+        Command::new(bin).args(["check", fixture("clean").to_str().unwrap()]).output().unwrap();
+    assert_eq!(good.status.code(), Some(0), "{good:?}");
+}

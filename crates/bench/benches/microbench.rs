@@ -1,12 +1,16 @@
-//! Criterion microbenchmarks of the hot data structures: the memory
-//! manager's allocation/coalescing path, TLB lookups, page-table
-//! operations, and the timing-model primitives.
+//! Microbenchmarks of the hot data structures: the memory manager's
+//! allocation/coalescing path, TLB lookups, page-table operations, and
+//! the timing-model primitives.
 //!
 //! These guard the *simulator's* throughput (a full-suite sweep performs
 //! hundreds of millions of these operations) and document the relative
 //! cost of Mosaic's metadata-only coalescing.
+//!
+//! The harness is hand-rolled (the workspace builds offline, so no
+//! criterion): each benchmark is warmed up, then timed over enough
+//! iterations to smooth scheduler noise, reporting ns/op over the best
+//! of several samples.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mosaic_core::{MemoryManager, MosaicConfig, MosaicManager};
 use mosaic_mem::{Cache, CacheConfig, Dram, DramConfig};
 use mosaic_sim_core::Cycle;
@@ -14,105 +18,112 @@ use mosaic_vm::{
     AppId, LargeFrameNum, LargePageNum, PageSize, PageTable, PhysFrameNum, Tlb, TlbConfig,
     VirtAddr, VirtPageNum,
 };
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_tlb(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tlb");
-    g.bench_function("l1_lookup_hit", |b| {
-        let mut tlb = Tlb::new(TlbConfig::paper_l1());
-        tlb.fill(AppId(0), VirtAddr(0x1000), PageSize::Base);
-        b.iter(|| black_box(tlb.lookup(AppId(0), VirtAddr(0x1000))));
-    });
-    g.bench_function("l2_lookup_miss", |b| {
-        let mut tlb = Tlb::new(TlbConfig::paper_l2());
-        b.iter(|| black_box(tlb.lookup(AppId(0), VirtAddr(0xdead_0000))));
-    });
-    g.bench_function("fill_evict_cycle", |b| {
-        let mut tlb = Tlb::new(TlbConfig::paper_l1());
-        let mut page = 0u64;
-        b.iter(|| {
-            page += 1;
-            black_box(tlb.fill(AppId(0), VirtPageNum(page).addr(), PageSize::Base))
-        });
-    });
-    g.finish();
-}
+const SAMPLES: u32 = 5;
+const WARMUP_ITERS: u64 = 10_000;
+const TIMED_ITERS: u64 = 200_000;
 
-fn bench_page_table(c: &mut Criterion) {
-    let mut g = c.benchmark_group("page_table");
-    g.bench_function("map_base", |b| {
-        let mut pt = PageTable::new(AppId(0));
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(pt.map_base(VirtPageNum(i), PhysFrameNum(i)).ok())
-        });
-    });
-    g.bench_function("translate_base", |b| {
-        let mut pt = PageTable::new(AppId(0));
-        pt.map_base(VirtPageNum(7), PhysFrameNum(9)).unwrap();
-        b.iter(|| black_box(pt.translate(VirtPageNum(7).addr())));
-    });
-    g.bench_function("coalesce_splinter_2mb", |b| {
-        let mut pt = PageTable::new(AppId(0));
-        let lpn = LargePageNum(1);
-        let lf = LargeFrameNum(2);
-        for i in 0..512 {
-            pt.map_base(lpn.base_page(i), lf.base_frame(i)).unwrap();
+/// Times `op` (called once per iteration) and prints the best ns/op
+/// across samples.
+fn bench(group: &str, name: &str, iters: u64, mut op: impl FnMut()) {
+    for _ in 0..WARMUP_ITERS.min(iters) {
+        op();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            op();
         }
-        b.iter(|| {
-            pt.coalesce(lpn).unwrap();
-            pt.splinter(lpn);
-        });
-    });
-    g.finish();
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(ns);
+    }
+    println!("{group:<16} {name:<28} {best:>12.1} ns/op");
 }
 
-fn bench_manager(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mosaic_manager");
+fn bench_tlb() {
+    let mut tlb = Tlb::new(TlbConfig::paper_l1());
+    tlb.fill(AppId(0), VirtAddr(0x1000), PageSize::Base);
+    bench("tlb", "l1_lookup_hit", TIMED_ITERS, || {
+        black_box(tlb.lookup(AppId(0), VirtAddr(0x1000)));
+    });
+
+    let mut tlb = Tlb::new(TlbConfig::paper_l2());
+    bench("tlb", "l2_lookup_miss", TIMED_ITERS, || {
+        black_box(tlb.lookup(AppId(0), VirtAddr(0xdead_0000)));
+    });
+
+    let mut tlb = Tlb::new(TlbConfig::paper_l1());
+    let mut page = 0u64;
+    bench("tlb", "fill_evict_cycle", TIMED_ITERS, || {
+        page += 1;
+        black_box(tlb.fill(AppId(0), VirtPageNum(page).addr(), PageSize::Base));
+    });
+}
+
+fn bench_page_table() {
+    let mut pt = PageTable::new(AppId(0));
+    let mut i = 0u64;
+    bench("page_table", "map_base", TIMED_ITERS, || {
+        i += 1;
+        black_box(pt.map_base(VirtPageNum(i), PhysFrameNum(i)).ok());
+    });
+
+    let mut pt = PageTable::new(AppId(0));
+    pt.map_base(VirtPageNum(7), PhysFrameNum(9)).unwrap();
+    bench("page_table", "translate_base", TIMED_ITERS, || {
+        black_box(pt.translate(VirtPageNum(7).addr()).ok());
+    });
+
+    let mut pt = PageTable::new(AppId(0));
+    let lpn = LargePageNum(1);
+    let lf = LargeFrameNum(2);
+    for i in 0..512 {
+        pt.map_base(lpn.base_page(i), lf.base_frame(i)).unwrap();
+    }
+    bench("page_table", "coalesce_splinter_2mb", 50_000, || {
+        pt.coalesce(lpn).unwrap();
+        pt.splinter(lpn);
+    });
+}
+
+fn bench_manager() {
     // The demand-paging hot path: touch one page (allocation + mapping),
     // amortized over a whole chunk including its in-place coalesce.
-    g.bench_function("touch_chunk_of_512_pages", |b| {
-        b.iter_with_setup(
-            || {
-                let mut m =
-                    MosaicManager::new(MosaicConfig::with_memory(256 * 2 * 1024 * 1024));
-                m.register_app(AppId(0));
-                m.reserve(AppId(0), VirtPageNum(0), 512);
-                m
-            },
-            |mut m| {
-                for i in 0..512 {
-                    black_box(m.touch(AppId(0), VirtPageNum(i)).unwrap());
-                }
-                m
-            },
-        );
+    bench("mosaic_manager", "touch_chunk_of_512_pages", 200, || {
+        let mut m = MosaicManager::new(MosaicConfig::with_memory(256 * 2 * 1024 * 1024));
+        m.register_app(AppId(0));
+        m.reserve(AppId(0), VirtPageNum(0), 512);
+        for i in 0..512 {
+            black_box(m.touch(AppId(0), VirtPageNum(i)).unwrap());
+        }
     });
-    g.finish();
 }
 
-fn bench_timing_models(c: &mut Criterion) {
-    let mut g = c.benchmark_group("timing_models");
-    g.bench_function("dram_access", |b| {
-        let mut dram = Dram::new(DramConfig::paper());
-        let mut t = Cycle::ZERO;
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr = addr.wrapping_add(4096);
-            t = dram.access(t, addr);
-            black_box(t)
-        });
+fn bench_timing_models() {
+    let mut dram = Dram::new(DramConfig::paper());
+    let mut t = Cycle::ZERO;
+    let mut addr = 0u64;
+    bench("timing_models", "dram_access", TIMED_ITERS, || {
+        addr = addr.wrapping_add(4096);
+        t = dram.access(t, addr);
+        black_box(t);
     });
-    g.bench_function("cache_access", |b| {
-        let mut cache = Cache::new(CacheConfig::paper_l2_slice());
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr = addr.wrapping_add(128);
-            black_box(cache.access(addr, false))
-        });
+
+    let mut cache = Cache::new(CacheConfig::paper_l2_slice());
+    let mut addr = 0u64;
+    bench("timing_models", "cache_access", TIMED_ITERS, || {
+        addr = addr.wrapping_add(128);
+        black_box(cache.access(addr, false));
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_tlb, bench_page_table, bench_manager, bench_timing_models);
-criterion_main!(benches);
+fn main() {
+    println!("{:<16} {:<28} {:>12}", "group", "benchmark", "best");
+    bench_tlb();
+    bench_page_table();
+    bench_manager();
+    bench_timing_models();
+}

@@ -25,12 +25,11 @@
 use crate::cocoa::CoCoA;
 use crate::frames::{FramePool, FRAG_OWNER};
 use crate::MgmtEvent;
-use mosaic_sim_core::Counter;
+use mosaic_sim_core::{AuditInvariants, AuditReport, Counter};
 use mosaic_vm::{AppId, LargeFrameNum, LargePageNum, PageTable, BASE_PAGES_PER_LARGE_PAGE};
-use serde::{Deserialize, Serialize};
 
 /// CAC policy knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacConfig {
     /// Master switch (the "no CAC" configuration of Figure 16).
     pub enabled: bool,
@@ -151,7 +150,8 @@ impl Cac {
             None => return events,
         };
         let channel = pool.channel_of(lf);
-        let survivors: Vec<_> = table.region_mappings(lpn).map(|(vpn, pfn, _)| (vpn, pfn)).collect();
+        let survivors: Vec<_> =
+            table.region_mappings(lpn).map(|(vpn, pfn, _)| (vpn, pfn)).collect();
         let mut stuck = Vec::new();
         for (vpn, old) in survivors {
             // Destination: a spare base frame of the same app in the same
@@ -238,8 +238,7 @@ impl Cac {
                     events.push(MgmtEvent::Splintered { asid: owner, lpn });
                 }
                 if let Some(lf) = cocoa.unbind_chunk(owner, lpn) {
-                    let holes: Vec<_> =
-                        pool.state(lf).holes().map(|i| lf.base_frame(i)).collect();
+                    let holes: Vec<_> = pool.state(lf).holes().map(|i| lf.base_frame(i)).collect();
                     if owner != requester && !holes.is_empty() {
                         self.soft_guarantee_breaks.inc();
                     }
@@ -356,6 +355,26 @@ impl Cac {
     }
 }
 
+impl AuditInvariants for Cac {
+    fn audit_component(&self) -> &'static str {
+        "cac"
+    }
+
+    /// Policy sanity: the splinter threshold must stay a valid occupancy
+    /// fraction, and the counters must be mutually consistent (every
+    /// soft-guarantee break came from a reclaim, which splinters or
+    /// scavenges).
+    fn audit(&self, report: &mut AuditReport) {
+        let c = self.audit_component();
+        let t = self.config.occupancy_threshold;
+        report.check(c, t.is_finite() && (0.0..=1.0).contains(&t), || {
+            format!("occupancy threshold {t} is not a fraction in [0, 1]")
+        });
+        report.check(c, !self.config.ideal || self.config.enabled, || {
+            "ideal CAC requires CAC to be enabled".to_string()
+        });
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -500,9 +519,7 @@ mod tests {
         dealloc_pages(&mut tables, &mut pool, asid, lpn, 511);
         let mut cac = Cac::new(CacConfig::with_bulk_copy());
         let events = cac.on_dealloc(tables.table_mut(asid), &mut pool, &mut cocoa, asid, lpn);
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, MgmtEvent::PageMigrated { bulk: true, .. })));
+        assert!(events.iter().any(|e| matches!(e, MgmtEvent::PageMigrated { bulk: true, .. })));
     }
 
     #[test]

@@ -16,9 +16,9 @@
 use crate::MgmtEvent;
 use mosaic_sim_core::Counter;
 use mosaic_vm::page_table::CoalesceError;
-use mosaic_vm::{LargePageNum, PageTable};
 #[cfg(test)]
 use mosaic_vm::AppId;
+use mosaic_vm::{LargePageNum, PageTable};
 
 /// The In-Place Coalescer.
 ///

@@ -20,9 +20,9 @@
 
 use crate::frames::FramePool;
 use crate::MemError;
-use mosaic_sim_core::Counter;
+use mosaic_sim_core::{AuditInvariants, AuditReport, Counter};
 use mosaic_vm::{AppId, LargeFrameNum, LargePageNum, PhysFrameNum, VirtPageNum};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The CoCoA allocator state.
 ///
@@ -42,9 +42,9 @@ use std::collections::HashMap;
 #[derive(Debug, Default)]
 pub struct CoCoA {
     /// Large frame assigned to each (app, virtual large page) chunk.
-    chunk_frames: HashMap<(AppId, LargePageNum), LargeFrameNum>,
+    chunk_frames: BTreeMap<(AppId, LargePageNum), LargeFrameNum>,
     /// Per-application free base page lists (Section 4.2).
-    free_base: HashMap<AppId, Vec<PhysFrameNum>>,
+    free_base: BTreeMap<AppId, Vec<PhysFrameNum>>,
     /// Coalesced-but-fragmented frames parked for the failsafe
     /// (Section 4.4's emergency frame list), with their owner.
     emergency: Vec<(AppId, LargePageNum)>,
@@ -191,6 +191,54 @@ impl CoCoA {
     /// within the large frame as it has within its virtual large page.
     pub fn chunk_slot(lf: LargeFrameNum, vpn: VirtPageNum) -> PhysFrameNum {
         lf.base_frame(vpn.index_in_large())
+    }
+}
+
+impl AuditInvariants for CoCoA {
+    fn audit_component(&self) -> &'static str {
+        "cocoa"
+    }
+
+    /// Large-frame exclusivity at the allocator level: a large frame
+    /// backs at most one chunk, a spare base frame sits on at most one
+    /// free base page list, and spare frames never live inside a frame
+    /// that is bound to a chunk (that frame's slots are reserved for the
+    /// chunk's own pages).
+    fn audit(&self, report: &mut AuditReport) {
+        let c = self.audit_component();
+        let mut chunk_of: BTreeMap<LargeFrameNum, (AppId, LargePageNum)> = BTreeMap::new();
+        for (&(asid, lpn), &lf) in &self.chunk_frames {
+            if let Some(&(other_asid, other_lpn)) = chunk_of.get(&lf) {
+                report.check(c, false, || {
+                    format!("{lf} backs two chunks: {other_asid}/{other_lpn} and {asid}/{lpn}")
+                });
+            } else {
+                chunk_of.insert(lf, (asid, lpn));
+            }
+        }
+        let mut seen_base: BTreeMap<PhysFrameNum, AppId> = BTreeMap::new();
+        for (&asid, list) in &self.free_base {
+            for &pfn in list {
+                if let Some(&other) = seen_base.get(&pfn) {
+                    report.check(c, false, || {
+                        format!("{pfn} sits on two free base page lists ({other} and {asid})")
+                    });
+                } else {
+                    seen_base.insert(pfn, asid);
+                }
+                report.check(c, !chunk_of.contains_key(&pfn.large_frame()), || {
+                    format!(
+                        "{pfn} is on {asid}'s free base page list but its large frame is \
+                         bound to chunk {:?}",
+                        chunk_of.get(&pfn.large_frame())
+                    )
+                });
+            }
+        }
+        let distinct: BTreeSet<&(AppId, LargePageNum)> = self.emergency.iter().collect();
+        report.check(c, distinct.len() == self.emergency.len(), || {
+            "the emergency frame list holds a duplicate entry".to_string()
+        });
     }
 }
 

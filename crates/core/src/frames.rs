@@ -9,9 +9,9 @@
 //! uses to honor the paper's constraint that compaction migrates base pages
 //! only between large page frames in the same memory channel.
 
+use mosaic_sim_core::{AuditInvariants, AuditReport};
 use mosaic_vm::{AppId, LargeFrameNum, PhysFrameNum, BASE_PAGES_PER_LARGE_PAGE, LARGE_PAGE_SIZE};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The special owner recorded for data injected by fragmentation
 /// stress tests (Section 6.4): it belongs to no real address space and
@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 pub const FRAG_OWNER: AppId = AppId(u16::MAX);
 
 /// Allocation state of one large page frame.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrameState {
     /// Owner of each of the 512 base frames (`None` = unallocated).
     owners: Vec<Option<AppId>>,
@@ -32,11 +32,7 @@ pub struct FrameState {
 
 impl Default for FrameState {
     fn default() -> Self {
-        FrameState {
-            owners: vec![None; BASE_PAGES_PER_LARGE_PAGE as usize],
-            used: 0,
-            app_used: 0,
-        }
+        FrameState { owners: vec![None; BASE_PAGES_PER_LARGE_PAGE as usize], used: 0, app_used: 0 }
     }
 }
 
@@ -119,7 +115,10 @@ impl FramePool {
     /// Panics if `bytes` is not a positive multiple of 2 MB or `channels`
     /// is zero.
     pub fn new(bytes: u64, channels: usize) -> Self {
-        assert!(bytes > 0 && bytes.is_multiple_of(LARGE_PAGE_SIZE), "memory must be a multiple of 2MB");
+        assert!(
+            bytes > 0 && bytes.is_multiple_of(LARGE_PAGE_SIZE),
+            "memory must be a multiple of 2MB"
+        );
         assert!(channels > 0, "need at least one channel");
         let total = bytes / LARGE_PAGE_SIZE;
         FramePool {
@@ -280,6 +279,80 @@ impl FramePool {
     }
 }
 
+impl AuditInvariants for FramePool {
+    fn audit_component(&self) -> &'static str {
+        "frame-pool"
+    }
+
+    /// Frame-count conservation and per-frame accounting: every large
+    /// frame is exactly once either free or tracked, and every cached
+    /// counter matches a recount from the ground truth (`owners`).
+    fn audit(&self, report: &mut AuditReport) {
+        let c = self.audit_component();
+        let free: BTreeSet<LargeFrameNum> = self.free.iter().copied().collect();
+        report.check(c, free.len() == self.free.len(), || {
+            format!(
+                "free list holds {} entries but only {} distinct frames",
+                self.free.len(),
+                free.len()
+            )
+        });
+        report.check(c, free.len() as u64 + self.states.len() as u64 == self.total, || {
+            format!(
+                "frame conservation broken: {} free + {} tracked != {} total",
+                free.len(),
+                self.states.len(),
+                self.total
+            )
+        });
+        report.check(c, !self.states.keys().any(|lf| free.contains(lf)), || {
+            "a large frame is simultaneously free and tracked".to_string()
+        });
+        report.check(
+            c,
+            free.iter().chain(self.states.keys()).all(|lf| lf.raw() < self.total),
+            || format!("a frame number exceeds the pool size ({} frames)", self.total),
+        );
+        let mut app_frames = 0;
+        for (&lf, state) in &self.states {
+            let used = state.owners.iter().filter(|o| o.is_some()).count() as u16;
+            let app_used =
+                state.owners.iter().filter(|o| o.is_some_and(|a| a != FRAG_OWNER)).count() as u16;
+            report.check(c, state.owners.len() as u64 == BASE_PAGES_PER_LARGE_PAGE, || {
+                format!(
+                    "{lf} tracks {} base frames, expected {}",
+                    state.owners.len(),
+                    BASE_PAGES_PER_LARGE_PAGE
+                )
+            });
+            report.check(c, state.used == used, || {
+                format!("{lf} caches used={} but {} owners are set", state.used, used)
+            });
+            report.check(c, state.app_used == app_used, || {
+                format!(
+                    "{lf} caches app_used={} but {} app owners are set",
+                    state.app_used, app_used
+                )
+            });
+            if app_used > 0 {
+                app_frames += 1;
+            }
+        }
+        report.check(c, self.app_frames == app_frames, || {
+            format!(
+                "pool caches app_frames={} but {} frames hold app data",
+                self.app_frames, app_frames
+            )
+        });
+        report.check(c, self.peak_app_frames >= self.app_frames, || {
+            format!("peak app frames {} below current {}", self.peak_app_frames, self.app_frames)
+        });
+        report.check(c, self.peak_tracked >= self.states.len() as u64, || {
+            format!("peak tracked {} below current {}", self.peak_tracked, self.states.len())
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,10 +442,8 @@ mod tests {
         // Fragmented frames left the free list.
         assert_eq!(p.free_frames(), 50);
         // All injected pages belong to the pseudo-owner.
-        let frag_frames = p
-            .tracked()
-            .filter(|(_, s)| s.allocated().any(|(_, o)| o == FRAG_OWNER))
-            .count();
+        let frag_frames =
+            p.tracked().filter(|(_, s)| s.allocated().any(|(_, o)| o == FRAG_OWNER)).count();
         assert_eq!(frag_frames, 50);
     }
 

@@ -19,7 +19,7 @@ use mosaic_vm::{
     AppId, LargeFrameNum, PageSize, PageTableSet, VirtPageNum, BASE_PAGES_PER_LARGE_PAGE,
     BASE_PAGE_SIZE, LARGE_PAGE_SIZE,
 };
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The baseline manager.
 ///
@@ -44,7 +44,7 @@ pub struct GpuMmuManager {
     /// the source of Figure 1a's inter-application interleaving.
     open: Option<(LargeFrameNum, u64)>,
     reservations: Vec<(AppId, VirtPageNum, u64)>,
-    touched: HashSet<(AppId, VirtPageNum)>,
+    touched: BTreeSet<(AppId, VirtPageNum)>,
     stats: ManagerStats,
 }
 
@@ -58,7 +58,7 @@ impl GpuMmuManager {
             pool: FramePool::new(memory_bytes, channels),
             open: None,
             reservations: Vec::new(),
-            touched: HashSet::new(),
+            touched: BTreeSet::new(),
             stats: ManagerStats::default(),
         }
     }
@@ -75,9 +75,9 @@ impl GpuMmuManager {
     }
 
     fn is_reserved(&self, asid: AppId, vpn: VirtPageNum) -> bool {
-        self.reservations
-            .iter()
-            .any(|&(a, start, n)| a == asid && vpn.raw() >= start.raw() && vpn.raw() < start.raw() + n)
+        self.reservations.iter().any(|&(a, start, n)| {
+            a == asid && vpn.raw() >= start.raw() && vpn.raw() < start.raw() + n
+        })
     }
 
     fn alloc_base_interleaved(&mut self, asid: AppId) -> Result<mosaic_vm::PhysFrameNum, MemError> {
@@ -98,10 +98,7 @@ impl GpuMmuManager {
             return Ok(TouchOutcome::default());
         }
         let pfn = self.alloc_base_interleaved(asid)?;
-        self.tables
-            .table_mut(asid)
-            .map_base(vpn, pfn)
-            .expect("checked unmapped above");
+        self.tables.table_mut(asid).map_base(vpn, pfn).expect("checked unmapped above");
         self.stats.far_faults += 1;
         self.stats.transferred_bytes += BASE_PAGE_SIZE;
         Ok(TouchOutcome { transfer_bytes: BASE_PAGE_SIZE, events: Vec::new() })
@@ -111,6 +108,24 @@ impl GpuMmuManager {
         let lpn = vpn.large_page();
         if self.tables.table_mut(asid).is_mapped(vpn) {
             return Ok(TouchOutcome::default());
+        }
+        if self.tables.table_mut(asid).is_coalesced(lpn) {
+            // A hole drilled by a partial deallocation inside a still-live
+            // large page. The backing frame cannot have been handed out
+            // again (only fully-drained frames return to the pool), so the
+            // page is restored into its original slot; contiguity and the
+            // large mapping are untouched.
+            let table = self.tables.table_mut(asid);
+            let (_, neighbor, _) = table
+                .region_mappings(lpn)
+                .next()
+                .expect("a coalesced region with a hole retains a mapping");
+            let slot = neighbor.large_frame().base_frame(vpn.index_in_large());
+            table.map_base(vpn, slot).expect("hole checked unmapped above");
+            self.pool.set_owner(slot, Some(asid));
+            self.stats.far_faults += 1;
+            self.stats.transferred_bytes += BASE_PAGE_SIZE;
+            return Ok(TouchOutcome { transfer_bytes: BASE_PAGE_SIZE, events: Vec::new() });
         }
         // Materialize the whole large page: one frame, 512 contiguous
         // mappings, coalesced so the TLB can use a single large entry.
@@ -161,7 +176,7 @@ impl MemoryManager for GpuMmuManager {
 
     fn deallocate(&mut self, asid: AppId, start: VirtPageNum, pages: u64) -> Vec<MgmtEvent> {
         let mut events = Vec::new();
-        let mut lpns = HashSet::new();
+        let mut lpns = BTreeSet::new();
         for i in 0..pages {
             let vpn = VirtPageNum(start.raw() + i);
             lpns.insert(vpn.large_page());
@@ -178,12 +193,8 @@ impl MemoryManager for GpuMmuManager {
             }
         }
         // Return wholly-freed frames to the pool.
-        let empty: Vec<_> = self
-            .pool
-            .tracked()
-            .filter(|(_, s)| s.is_empty())
-            .map(|(lf, _)| lf)
-            .collect();
+        let empty: Vec<_> =
+            self.pool.tracked().filter(|(_, s)| s.is_empty()).map(|(lf, _)| lf).collect();
         for lf in empty {
             if self.open.is_none_or(|(open, _)| open != lf) {
                 self.pool.release_frame(lf);
@@ -210,6 +221,23 @@ impl MemoryManager for GpuMmuManager {
 
     fn stats(&self) -> ManagerStats {
         self.stats
+    }
+
+    /// Audits the page tables and frame pool, their ownership agreement,
+    /// and the bump allocator's open-frame bookkeeping.
+    fn audit(&self, report: &mut mosaic_sim_core::AuditReport) {
+        use mosaic_sim_core::AuditInvariants;
+        self.tables.audit(report);
+        self.pool.audit(report);
+        crate::audit_mapping_ownership("gpu-mmu", &self.tables, &self.pool, report);
+        if let Some((lf, next)) = self.open {
+            report.check("gpu-mmu", next < BASE_PAGES_PER_LARGE_PAGE, || {
+                format!("open frame {lf} has out-of-range bump index {next}")
+            });
+            report.check("gpu-mmu", self.pool.tracked().any(|(t, _)| t == lf), || {
+                format!("open frame {lf} is not tracked by the pool")
+            });
+        }
     }
 }
 

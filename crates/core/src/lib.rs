@@ -54,8 +54,35 @@ pub use gpu_mmu::GpuMmuManager;
 pub use migrating::{MigratingConfig, MigratingManager};
 pub use mosaic_mgr::{MosaicConfig, MosaicManager};
 
+use mosaic_sim_core::AuditReport;
 use mosaic_vm::{AppId, LargePageNum, PageTableSet, VirtPageNum};
-use serde::{Deserialize, Serialize};
+
+/// Cross-structure audit shared by every manager: each page-table
+/// mapping's physical frame must be owned *by that mapping's address
+/// space* in the frame pool. This ties the allocator's bookkeeping to the
+/// translation structures — a frame freed while still mapped (use after
+/// free) or mapped while owned by someone else shows up here even when
+/// both structures are internally consistent.
+pub(crate) fn audit_mapping_ownership(
+    component: &'static str,
+    tables: &PageTableSet,
+    pool: &FramePool,
+    report: &mut AuditReport,
+) {
+    for (asid, table) in tables.iter() {
+        for lpn in table.mapped_regions() {
+            for (vpn, pfn, _) in table.region_mappings(lpn) {
+                let owner = pool.owner(pfn);
+                report.check(component, owner == Some(asid), || match owner {
+                    Some(other) => {
+                        format!("{asid}/{vpn} maps {pfn}, but the pool says {other} owns it")
+                    }
+                    None => format!("{asid}/{vpn} maps {pfn}, but the pool says it is unowned"),
+                });
+            }
+        }
+    }
+}
 
 /// A hardware side effect of a memory-management operation, to be charged
 /// to the timing model by the simulator.
@@ -161,7 +188,7 @@ impl std::fmt::Display for MemError {
 impl std::error::Error for MemError {}
 
 /// Aggregate counters every manager reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ManagerStats {
     /// Far-faults serviced (pages transferred over the I/O bus).
     pub far_faults: u64,
@@ -239,4 +266,13 @@ pub trait MemoryManager: std::fmt::Debug {
             self.footprint_bytes() as f64 / touched as f64 - 1.0
         }
     }
+
+    /// Sweeps the manager's invariants (frame conservation, large-frame
+    /// exclusivity, allocator/page-table agreement) into `report`.
+    ///
+    /// Must be side-effect free: audited and unaudited runs of the same
+    /// seed produce bit-identical results. The full-system runner calls
+    /// this every N cycles (always in debug builds, on demand via
+    /// `--audit` in release).
+    fn audit(&self, report: &mut mosaic_sim_core::AuditReport);
 }

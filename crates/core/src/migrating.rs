@@ -28,11 +28,10 @@ use mosaic_vm::{
     AppId, LargeFrameNum, LargePageNum, PageTableSet, PhysFrameNum, VirtPageNum,
     BASE_PAGES_PER_LARGE_PAGE, BASE_PAGE_SIZE,
 };
-use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Policy knobs for the migrating coalescer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MigratingConfig {
     /// Promote a region once this fraction of its base pages is mapped
     /// (Ingens uses utilization thresholds of this order).
@@ -74,9 +73,9 @@ pub struct MigratingManager {
     /// Fault-order bump allocation, as in the GPU-MMU baseline.
     open: Option<(LargeFrameNum, u64)>,
     reservations: Vec<(AppId, VirtPageNum, u64)>,
-    touched: HashSet<(AppId, VirtPageNum)>,
+    touched: BTreeSet<(AppId, VirtPageNum)>,
     /// Regions already promoted (never re-promoted).
-    promoted: HashSet<(AppId, LargePageNum)>,
+    promoted: BTreeSet<(AppId, LargePageNum)>,
     stats: ManagerStats,
 }
 
@@ -89,8 +88,8 @@ impl MigratingManager {
             pool: FramePool::new(memory_bytes, channels),
             open: None,
             reservations: Vec::new(),
-            touched: HashSet::new(),
-            promoted: HashSet::new(),
+            touched: BTreeSet::new(),
+            promoted: BTreeSet::new(),
             stats: ManagerStats::default(),
         }
     }
@@ -163,10 +162,8 @@ impl MigratingManager {
         // promotion transfers it now (this prefetch of never-requested
         // data is the demand-paging waste — and the memory bloat — that
         // large-page promotion is known for).
-        let holes: Vec<VirtPageNum> = lpn
-            .base_pages()
-            .filter(|vpn| !self.tables.table_mut(asid).is_mapped(*vpn))
-            .collect();
+        let holes: Vec<VirtPageNum> =
+            lpn.base_pages().filter(|vpn| !self.tables.table_mut(asid).is_mapped(*vpn)).collect();
         let extra_bytes = holes.len() as u64 * BASE_PAGE_SIZE;
         for vpn in holes {
             let slot = dest.base_frame(vpn.index_in_large());
@@ -212,7 +209,9 @@ impl MemoryManager for MigratingManager {
         let mut events = Vec::new();
         let mut transfer_bytes = BASE_PAGE_SIZE;
         let lpn = vpn.large_page();
-        if self.config.promote && !self.promoted.contains(&(asid, lpn)) && self.region_reserved(asid, lpn)
+        if self.config.promote
+            && !self.promoted.contains(&(asid, lpn))
+            && self.region_reserved(asid, lpn)
         {
             let mapped = self.tables.table_mut(asid).mapped_in_large(lpn) as f64;
             if mapped / BASE_PAGES_PER_LARGE_PAGE as f64 >= self.config.promote_threshold {
@@ -232,7 +231,7 @@ impl MemoryManager for MigratingManager {
 
     fn deallocate(&mut self, asid: AppId, start: VirtPageNum, pages: u64) -> Vec<MgmtEvent> {
         let mut events = Vec::new();
-        let mut lpns = HashSet::new();
+        let mut lpns = BTreeSet::new();
         for i in 0..pages {
             let vpn = VirtPageNum(start.raw() + i);
             lpns.insert(vpn.large_page());
@@ -277,6 +276,36 @@ impl MemoryManager for MigratingManager {
     fn stats(&self) -> ManagerStats {
         self.stats
     }
+
+    /// Audits the page tables and frame pool, their ownership agreement,
+    /// and the promotion bookkeeping: every region recorded as promoted
+    /// must still exist and belong to a registered address space, and
+    /// every coalesced region must have come from a promotion.
+    fn audit(&self, report: &mut mosaic_sim_core::AuditReport) {
+        use mosaic_sim_core::AuditInvariants;
+        self.tables.audit(report);
+        self.pool.audit(report);
+        crate::audit_mapping_ownership("migrating", &self.tables, &self.pool, report);
+        for &(asid, lpn) in &self.promoted {
+            report.check("migrating", self.tables.table(asid).is_some(), || {
+                format!("{lpn} recorded as promoted for unregistered {asid}")
+            });
+        }
+        for (asid, table) in self.tables.iter() {
+            for lpn in table.mapped_regions() {
+                report.check(
+                    "migrating",
+                    !table.is_coalesced(lpn) || self.promoted.contains(&(asid, lpn)),
+                    || format!("{asid}/{lpn} is coalesced but was never promoted"),
+                );
+            }
+        }
+        if let Some((lf, next)) = self.open {
+            report.check("migrating", next < BASE_PAGES_PER_LARGE_PAGE, || {
+                format!("open frame {lf} has out-of-range bump index {next}")
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -285,8 +314,7 @@ mod tests {
     use mosaic_vm::{PageSize, LARGE_PAGE_SIZE};
 
     fn mgr(frames: u64) -> MigratingManager {
-        let mut m =
-            MigratingManager::new(frames * LARGE_PAGE_SIZE, 6, MigratingConfig::default());
+        let mut m = MigratingManager::new(frames * LARGE_PAGE_SIZE, 6, MigratingConfig::default());
         m.register_app(AppId(0));
         m.register_app(AppId(1));
         m.reserve(AppId(0), VirtPageNum(0), 4096);
@@ -399,11 +427,7 @@ mod tests {
 
     #[test]
     fn unreserved_region_tail_blocks_promotion() {
-        let mut m = MigratingManager::new(
-            16 * LARGE_PAGE_SIZE,
-            6,
-            MigratingConfig::default(),
-        );
+        let mut m = MigratingManager::new(16 * LARGE_PAGE_SIZE, 6, MigratingConfig::default());
         m.register_app(AppId(0));
         // Reserve only 400 pages of the first region: promotion would
         // have to map pages the app never reserved, so it must not fire.

@@ -23,11 +23,10 @@ use mosaic_vm::{
     AppId, LargePageNum, PageTableSet, PhysFrameNum, VirtPageNum, BASE_PAGES_PER_LARGE_PAGE,
     BASE_PAGE_SIZE,
 };
-use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Mosaic configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MosaicConfig {
     /// GPU physical memory in bytes (Table 1: 3 GB).
     pub memory_bytes: u64,
@@ -40,7 +39,11 @@ pub struct MosaicConfig {
 impl MosaicConfig {
     /// The paper's configuration.
     pub fn paper() -> Self {
-        MosaicConfig { memory_bytes: 3 * 1024 * 1024 * 1024, channels: 6, cac: CacConfig::default() }
+        MosaicConfig {
+            memory_bytes: 3 * 1024 * 1024 * 1024,
+            channels: 6,
+            cac: CacConfig::default(),
+        }
     }
 
     /// Same, but scaled to `bytes` of physical memory (experiments scale
@@ -80,7 +83,7 @@ pub struct MosaicManager {
     coalescer: InPlaceCoalescer,
     cac: Cac,
     reservations: Vec<(AppId, VirtPageNum, u64)>,
-    touched: HashSet<(AppId, VirtPageNum)>,
+    touched: BTreeSet<(AppId, VirtPageNum)>,
     stats: ManagerStats,
 }
 
@@ -95,7 +98,7 @@ impl MosaicManager {
             coalescer: InPlaceCoalescer::new(),
             cac: Cac::new(config.cac),
             reservations: Vec::new(),
-            touched: HashSet::new(),
+            touched: BTreeSet::new(),
             stats: ManagerStats::default(),
         }
     }
@@ -237,10 +240,8 @@ impl MemoryManager for MosaicManager {
         // In-place coalescing: fires exactly when the frame fills up.
         if self.tables.table_mut(asid).mapped_in_large(lpn) == BASE_PAGES_PER_LARGE_PAGE {
             let ev = self.coalescer.try_coalesce(self.tables.table_mut(asid), lpn);
-            self.stats.coalesces += ev
-                .iter()
-                .filter(|e| matches!(e, MgmtEvent::Coalesced { .. }))
-                .count() as u64;
+            self.stats.coalesces +=
+                ev.iter().filter(|e| matches!(e, MgmtEvent::Coalesced { .. })).count() as u64;
             events.extend(ev);
         }
         Ok(TouchOutcome { transfer_bytes: BASE_PAGE_SIZE, events })
@@ -299,6 +300,29 @@ impl MemoryManager for MosaicManager {
         let mut s = self.stats;
         s.migrations = self.cac.migrations();
         s
+    }
+
+    /// Sweeps every component's invariants plus the cross-structure
+    /// checks that tie them together: allocator/page-table ownership
+    /// agreement and frame-count conservation.
+    fn audit(&self, report: &mut mosaic_sim_core::AuditReport) {
+        use mosaic_sim_core::AuditInvariants;
+        self.tables.audit(report);
+        self.pool.audit(report);
+        self.cocoa.audit(report);
+        self.cac.audit(report);
+        crate::audit_mapping_ownership("mosaic", &self.tables, &self.pool, report);
+        // Every page the tables map must be accounted for by the pool's
+        // used counters: mapped pages can never outnumber owned frames.
+        let mapped: u64 = self.tables.iter().map(|(_, t)| t.mapped_base_pages()).sum();
+        let owned: u64 = self
+            .pool
+            .tracked()
+            .map(|(_, s)| s.allocated().filter(|&(_, a)| a != crate::FRAG_OWNER).count() as u64)
+            .sum();
+        report.check("mosaic", mapped <= owned, || {
+            format!("{mapped} base pages mapped but only {owned} frames owned by apps")
+        });
     }
 }
 

@@ -14,11 +14,10 @@ use crate::common::{fmt_row, mean, AloneCache, Scope};
 use mosaic_core::cac::CacConfig;
 use mosaic_gpusim::{run_workload, ManagerKind};
 use mosaic_workloads::Workload;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Result of the page-walk-cache ablation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PwcAblation {
     /// Per-application speedup of the shared-L2-TLB design over the
     /// page-walk-cache design.
@@ -67,7 +66,7 @@ impl fmt::Display for PwcAblation {
 }
 
 /// Result of the walker-concurrency sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WalkerSweep {
     /// Walker thread counts.
     pub threads: Vec<usize>,
@@ -77,10 +76,10 @@ pub struct WalkerSweep {
 
 /// Sweeps the shared walker's concurrency on a TLB-hostile workload.
 pub fn walker_threads(scope: Scope) -> WalkerSweep {
-    let threads: &[usize] =
-        if scope == Scope::Smoke { &[8, 64] } else { &[8, 16, 32, 64, 128] };
+    let threads: &[usize] = if scope == Scope::Smoke { &[8, 64] } else { &[8, 16, 32, 64, 128] };
     let w = Workload::from_names(&["GUPS"]);
-    let base = run_workload(&w, scope.config(ManagerKind::GpuMmu4K).preloaded()).total_cycles as f64;
+    let base =
+        run_workload(&w, scope.config(ManagerKind::GpuMmu4K).preloaded()).total_cycles as f64;
     let normalized = threads
         .iter()
         .map(|&t| {
@@ -101,7 +100,7 @@ impl fmt::Display for WalkerSweep {
 }
 
 /// Result of the CAC splinter-threshold sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThresholdSweep {
     /// Occupancy thresholds.
     pub thresholds: Vec<f64>,
@@ -137,7 +136,7 @@ impl fmt::Display for ThresholdSweep {
 }
 
 /// Result of the multi-kernel sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiKernel {
     /// Kernel phases per application.
     pub phases: Vec<u32>,
@@ -186,7 +185,7 @@ impl fmt::Display for MultiKernel {
 }
 
 /// Result of the coalescing-design comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoalescerComparison {
     /// Per-workload weighted speedups: `(name, gpu_mmu, migrating, mosaic)`.
     pub rows: Vec<(String, f64, f64, f64)>,
@@ -257,7 +256,11 @@ impl fmt::Display for CoalescerComparison {
         for (name, g, mig, mos) in &self.rows {
             writeln!(f, "{name:<24} {g:>8.2} {mig:>10.2} {mos:>8.2}")?;
         }
-        writeln!(f, "{:<24} {:>8.2} {:>10.2} {:>8.2}", "AVERAGE", self.avg.0, self.avg.1, self.avg.2)?;
+        writeln!(
+            f,
+            "{:<24} {:>8.2} {:>10.2} {:>8.2}",
+            "AVERAGE", self.avg.0, self.avg.1, self.avg.2
+        )?;
         writeln!(
             f,
             "migrating design paid {} page migrations + {} region shootdowns and bloats \

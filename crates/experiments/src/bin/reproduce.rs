@@ -10,17 +10,58 @@
 
 use mosaic_experiments as exp;
 use mosaic_experiments::Scope;
-use serde::Serialize;
 
 const ALL: [&str; 15] = [
-    "fig03", "fig04", "bloat", "fig06", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "table2", "ablations",
+    "fig03",
+    "fig04",
+    "bloat",
+    "fig06",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "table2",
+    "ablations",
 ];
 
-fn emit<T: Serialize + std::fmt::Display>(name: &str, value: T, sink: &mut Vec<(String, serde_json::Value)>) {
+fn emit<T: std::fmt::Display>(name: &str, value: T, sink: &mut Vec<(String, String)>) {
     println!("==================================================================");
     println!("{value}");
-    sink.push((name.to_string(), serde_json::to_value(&value).expect("serializable result")));
+    sink.push((name.to_string(), value.to_string()));
+}
+
+/// Escapes `s` for use inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the collected results as a JSON object mapping each
+/// experiment name to its rendered report text.
+fn to_json(results: &[(String, String)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, text)) in results.iter().enumerate() {
+        out.push_str(&format!("  \"{}\": \"{}\"", json_escape(name), json_escape(text)));
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push('}');
+    out
 }
 
 fn main() {
@@ -55,7 +96,11 @@ fn main() {
                 emit("ablation_pwc", exp::ablations::pwc_vs_l2tlb(scope), &mut results);
                 emit("ablation_walker", exp::ablations::walker_threads(scope), &mut results);
                 emit("ablation_cac_threshold", exp::ablations::cac_threshold(scope), &mut results);
-                emit("ablation_coalescers", exp::ablations::migrating_coalescer(scope), &mut results);
+                emit(
+                    "ablation_coalescers",
+                    exp::ablations::migrating_coalescer(scope),
+                    &mut results,
+                );
                 emit("ablation_multikernel", exp::ablations::multi_kernel(scope), &mut results);
             }
             other => {
@@ -67,8 +112,7 @@ fn main() {
     }
 
     if let Ok(path) = std::env::var("MOSAIC_JSON") {
-        let map: serde_json::Map<String, serde_json::Value> = results.into_iter().collect();
-        std::fs::write(&path, serde_json::to_string_pretty(&map).expect("valid json"))
+        std::fs::write(&path, to_json(&results))
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote machine-readable results to {path}");
     }

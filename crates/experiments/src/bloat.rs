@@ -9,11 +9,10 @@
 use crate::common::{fmt_row, mean, Scope};
 use mosaic_gpusim::{run_workload, ManagerKind};
 use mosaic_workloads::Workload;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One application's footprints.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppBloat {
     /// Application name.
     pub name: String,
@@ -26,7 +25,7 @@ pub struct AppBloat {
 }
 
 /// The Section 3.2 measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BloatReport {
     /// Per-application rows.
     pub rows: Vec<AppBloat>,

@@ -3,7 +3,6 @@
 
 use mosaic_gpusim::{run_workload, sm_share, ManagerKind, RunConfig, RunResult};
 use mosaic_workloads::{heterogeneous_suite, homogeneous_suite, AppProfile, ScaleConfig, Workload};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// How much of the paper's evaluation a driver sweeps.
@@ -11,7 +10,7 @@ use std::collections::HashMap;
 /// The paper simulates 235 workloads; a full sweep takes a while, so
 /// drivers default to representative subsets and can be widened via the
 /// `MOSAIC_SCOPE` environment variable (`smoke`, `default`, `full`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scope {
     /// Tiny: a few workloads at reduced scale — for tests and CI.
     Smoke,
@@ -34,7 +33,9 @@ impl Scope {
     /// The workload scale this scope runs at.
     pub fn scale(self) -> ScaleConfig {
         match self {
-            Scope::Smoke => ScaleConfig { ws_divisor: 16, mem_ops_per_warp: 120, warps_per_sm: 6, phases: 1 },
+            Scope::Smoke => {
+                ScaleConfig { ws_divisor: 16, mem_ops_per_warp: 120, warps_per_sm: 6, phases: 1 }
+            }
             _ => ScaleConfig::default(),
         }
     }
@@ -114,7 +115,12 @@ impl AloneCache {
     }
 
     /// Weighted speedup of `shared` using cached alone baselines.
-    pub fn weighted_speedup(&mut self, workload: &Workload, shared: &RunResult, cfg: RunConfig) -> f64 {
+    pub fn weighted_speedup(
+        &mut self,
+        workload: &Workload,
+        shared: &RunResult,
+        cfg: RunConfig,
+    ) -> f64 {
         let n = workload.app_count();
         workload
             .apps

@@ -9,11 +9,10 @@
 use crate::common::{fmt_row, mean, Scope};
 use mosaic_gpusim::{run_workload, ManagerKind};
 use mosaic_workloads::Workload;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One application's normalized performance under the two page sizes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppRow {
     /// Application name.
     pub name: String,
@@ -24,7 +23,7 @@ pub struct AppRow {
 }
 
 /// The Figure 3 series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig03 {
     /// Per-application rows.
     pub rows: Vec<AppRow>,
@@ -40,8 +39,7 @@ pub fn run(scope: Scope) -> Fig03 {
     for profile in scope.apps() {
         let w = Workload { name: profile.name.to_string(), apps: vec![profile] };
         // "No demand paging overhead": everything resident up front.
-        let ideal =
-            run_workload(&w, scope.config(ManagerKind::GpuMmu4K).preloaded().ideal_tlb());
+        let ideal = run_workload(&w, scope.config(ManagerKind::GpuMmu4K).preloaded().ideal_tlb());
         let base = run_workload(&w, scope.config(ManagerKind::GpuMmu4K).preloaded());
         let large = run_workload(&w, scope.config(ManagerKind::GpuMmu2M).preloaded());
         rows.push(AppRow {

@@ -10,11 +10,10 @@
 
 use crate::common::{fmt_row, mean, Scope};
 use mosaic_gpusim::{run_workload, ManagerKind};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One concurrency level's bars.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LevelRow {
     /// Number of concurrently-executing applications.
     pub apps: usize,
@@ -25,7 +24,7 @@ pub struct LevelRow {
 }
 
 /// The Figure 4 series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig04 {
     /// One row per concurrency level (1–5).
     pub levels: Vec<LevelRow>,
@@ -56,7 +55,11 @@ impl fmt::Display for Fig04 {
         writeln!(f, "Figure 4: demand-paging impact (normalized to 4KB, no paging overhead)")?;
         writeln!(f, "{:<24} {:>8} {:>8}", "apps", "4KB+pg", "2MB+pg")?;
         for l in &self.levels {
-            writeln!(f, "{}", fmt_row(&format!("{} app(s)", l.apps), &[l.norm_4k_paging, l.norm_2m_paging]))?;
+            writeln!(
+                f,
+                "{}",
+                fmt_row(&format!("{} app(s)", l.apps), &[l.norm_4k_paging, l.norm_2m_paging])
+            )?;
         }
         writeln!(
             f,

@@ -14,7 +14,6 @@ use crate::common::Scope;
 use mosaic_mem::{Dram, DramConfig};
 use mosaic_sim_core::Cycle;
 use mosaic_vm::BASE_PAGES_PER_LARGE_PAGE;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Cycles a full-TLB shootdown stalls the GPU in the baseline timeline
@@ -22,7 +21,7 @@ use std::fmt;
 pub const TLB_FLUSH_STALL: u64 = 1_000;
 
 /// Cost of one coalescing operation under one design.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoalesceCost {
     /// Cycles the DRAM channel is kept busy.
     pub dram_busy_cycles: u64,
@@ -33,7 +32,7 @@ pub struct CoalesceCost {
 }
 
 /// The Figure 6 comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Fig06 {
     /// The migrating baseline (Figure 6a).
     pub baseline: CoalesceCost,
@@ -77,16 +76,26 @@ pub fn run(_scope: Scope) -> Fig06 {
 impl fmt::Display for Fig06 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Figure 6: cost of coalescing one 2MB region (512 base pages)")?;
-        writeln!(f, "{:<12} {:>14} {:>14} {:>12}", "design", "DRAM busy cy", "SM stall cy", "PTE writes")?;
         writeln!(
             f,
             "{:<12} {:>14} {:>14} {:>12}",
-            "baseline", self.baseline.dram_busy_cycles, self.baseline.sm_stall_cycles, self.baseline.pte_updates
+            "design", "DRAM busy cy", "SM stall cy", "PTE writes"
         )?;
         writeln!(
             f,
             "{:<12} {:>14} {:>14} {:>12}",
-            "Mosaic", self.mosaic.dram_busy_cycles, self.mosaic.sm_stall_cycles, self.mosaic.pte_updates
+            "baseline",
+            self.baseline.dram_busy_cycles,
+            self.baseline.sm_stall_cycles,
+            self.baseline.pte_updates
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>14} {:>14} {:>12}",
+            "Mosaic",
+            self.mosaic.dram_busy_cycles,
+            self.mosaic.sm_stall_cycles,
+            self.mosaic.pte_updates
         )?;
         writeln!(
             f,

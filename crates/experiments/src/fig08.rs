@@ -6,11 +6,10 @@
 
 use crate::common::{fmt_row, mean, AloneCache, Scope};
 use mosaic_gpusim::{run_workload, ManagerKind};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Weighted speedups at one concurrency level.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LevelRow {
     /// Concurrently-executing application count.
     pub apps: usize,
@@ -35,7 +34,7 @@ impl LevelRow {
 }
 
 /// The Figure 8 (or 9) series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpeedupFigure {
     /// Figure label.
     pub title: String,
@@ -96,7 +95,11 @@ pub fn run(scope: Scope) -> SpeedupFigure {
 impl fmt::Display for SpeedupFigure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{} (weighted speedup)", self.title)?;
-        writeln!(f, "{:<24} {:>8} {:>8} {:>8} {:>9} {:>9}", "apps", "GPU-MMU", "Mosaic", "Ideal", "mosaic+%", "gap%")?;
+        writeln!(
+            f,
+            "{:<24} {:>8} {:>8} {:>8} {:>9} {:>9}",
+            "apps", "GPU-MMU", "Mosaic", "Ideal", "mosaic+%", "gap%"
+        )?;
         for l in &self.levels {
             writeln!(
                 f,

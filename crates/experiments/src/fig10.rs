@@ -11,7 +11,6 @@
 use crate::common::{AloneCache, Scope};
 use mosaic_gpusim::{run_workload, ManagerKind};
 use mosaic_workloads::Workload;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The 15 pairs, mixing friendly and sensitive classes (HS–CONS and
@@ -35,7 +34,7 @@ pub const PAIRS: [[&str; 2]; 15] = [
 ];
 
 /// One pair's weighted speedups.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PairRow {
     /// Workload name, e.g. `"HS-CONS"`.
     pub name: String,
@@ -50,7 +49,7 @@ pub struct PairRow {
 }
 
 /// The Figure 10 rows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig10 {
     /// One row per selected pair.
     pub rows: Vec<PairRow>,
@@ -101,7 +100,11 @@ pub fn run(scope: Scope) -> Fig10 {
 impl fmt::Display for Fig10 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Figure 10: selected two-application workloads (weighted speedup)")?;
-        writeln!(f, "{:<16} {:>10} {:>8} {:>8} {:>8}", "workload", "class", "GPU-MMU", "Mosaic", "Ideal")?;
+        writeln!(
+            f,
+            "{:<16} {:>10} {:>8} {:>8} {:>8}",
+            "workload", "class", "GPU-MMU", "Mosaic", "Ideal"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -132,8 +135,10 @@ mod tests {
         assert!(fig.rows.iter().any(|r| r.tlb_sensitive));
         assert!(fig.rows.iter().any(|r| !r.tlb_sensitive));
         // Mosaic improves the average pair.
-        let avg_m: f64 = crate::common::mean(&fig.rows.iter().map(|r| r.mosaic).collect::<Vec<_>>());
-        let avg_g: f64 = crate::common::mean(&fig.rows.iter().map(|r| r.gpu_mmu).collect::<Vec<_>>());
+        let avg_m: f64 =
+            crate::common::mean(&fig.rows.iter().map(|r| r.mosaic).collect::<Vec<_>>());
+        let avg_g: f64 =
+            crate::common::mean(&fig.rows.iter().map(|r| r.gpu_mmu).collect::<Vec<_>>());
         assert!(avg_m > avg_g);
     }
 }

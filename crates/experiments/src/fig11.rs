@@ -7,11 +7,10 @@
 
 use crate::common::{mean, Scope};
 use mosaic_gpusim::{run_workload, ManagerKind};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One concurrency level's sorted curves.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LevelCurves {
     /// Applications per workload.
     pub apps: usize,
@@ -22,7 +21,7 @@ pub struct LevelCurves {
 }
 
 /// The Figure 11 data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig11 {
     /// One curve set per concurrency level (2–5 in the paper).
     pub levels: Vec<LevelCurves>,
@@ -31,8 +30,7 @@ pub struct Fig11 {
 impl Fig11 {
     /// Fraction of all applications that Mosaic improves (ratio > 1).
     pub fn fraction_improved(&self) -> f64 {
-        let all: Vec<f64> =
-            self.levels.iter().flat_map(|l| l.mosaic.iter().copied()).collect();
+        let all: Vec<f64> = self.levels.iter().flat_map(|l| l.mosaic.iter().copied()).collect();
         if all.is_empty() {
             return 0.0;
         }
@@ -41,8 +39,7 @@ impl Fig11 {
 
     /// Mean per-application Mosaic ratio.
     pub fn mean_ratio(&self) -> f64 {
-        let all: Vec<f64> =
-            self.levels.iter().flat_map(|l| l.mosaic.iter().copied()).collect();
+        let all: Vec<f64> = self.levels.iter().flat_map(|l| l.mosaic.iter().copied()).collect();
         mean(&all)
     }
 }

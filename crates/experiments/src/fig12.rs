@@ -10,11 +10,10 @@
 use crate::common::{fmt_row, mean, AloneCache, Scope};
 use mosaic_gpusim::{run_workload, ManagerKind, RunConfig};
 use mosaic_workloads::Workload;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One workload group's bars.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupRow {
     /// Group label ("homogeneous" / "heterogeneous").
     pub group: String,
@@ -25,7 +24,7 @@ pub struct GroupRow {
 }
 
 /// The Figure 12 bars.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig12 {
     /// Homogeneous and heterogeneous rows.
     pub groups: Vec<GroupRow>,
@@ -47,24 +46,22 @@ fn group(scope: Scope, label: &str, workloads: Vec<(Workload, RunConfig)>) -> Gr
         g_ratio.push(ws_paging / ws_no_paging);
         m_ratio.push(ws_mosaic / ws_no_paging);
     }
-    GroupRow { group: label.to_string(), gpu_mmu_paging: mean(&g_ratio), mosaic_paging: mean(&m_ratio) }
+    GroupRow {
+        group: label.to_string(),
+        gpu_mmu_paging: mean(&g_ratio),
+        mosaic_paging: mean(&m_ratio),
+    }
 }
 
 /// Runs the experiment.
 pub fn run(scope: Scope) -> Fig12 {
     let levels = if scope == Scope::Smoke { 2 } else { 4 };
     let base = scope.config(ManagerKind::GpuMmu4K);
-    let homog: Vec<_> = (2..=levels)
-        .flat_map(|n| scope.homogeneous(n))
-        .map(|w| (w, base))
-        .collect();
-    let heter: Vec<_> = (2..=levels)
-        .flat_map(|n| scope.heterogeneous(n))
-        .map(|w| (w, base))
-        .collect();
-    Fig12 {
-        groups: vec![group(scope, "homogeneous", homog), group(scope, "heterogeneous", heter)],
-    }
+    let homog: Vec<_> =
+        (2..=levels).flat_map(|n| scope.homogeneous(n)).map(|w| (w, base)).collect();
+    let heter: Vec<_> =
+        (2..=levels).flat_map(|n| scope.heterogeneous(n)).map(|w| (w, base)).collect();
+    Fig12 { groups: vec![group(scope, "homogeneous", homog), group(scope, "heterogeneous", heter)] }
 }
 
 impl fmt::Display for Fig12 {

@@ -10,11 +10,10 @@
 
 use crate::common::{mean, Scope};
 use mosaic_gpusim::{run_workload, ManagerKind};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Hit rates at one concurrency level.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LevelRow {
     /// Concurrently-executing application count.
     pub apps: usize,
@@ -31,7 +30,7 @@ pub struct LevelRow {
 }
 
 /// The Figure 13 series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig13 {
     /// One row per concurrency level.
     pub levels: Vec<LevelRow>,

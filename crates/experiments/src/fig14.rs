@@ -8,11 +8,10 @@
 
 use crate::common::{fmt_row, mean, Scope};
 use mosaic_gpusim::{run_workload, ManagerKind, RunConfig};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which TLB parameter a sweep varies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SweepParam {
     /// Per-SM L1 base-page entries.
     L1Base,
@@ -32,7 +31,9 @@ impl SweepParam {
                 cfg.system.l2_tlb.base_entries = value;
                 // Keep the geometry legal: associativity at most the entry
                 // count and dividing it evenly.
-                if cfg.system.l2_tlb.base_assoc > value || !value.is_multiple_of(cfg.system.l2_tlb.base_assoc.max(1)) {
+                if cfg.system.l2_tlb.base_assoc > value
+                    || !value.is_multiple_of(cfg.system.l2_tlb.base_assoc.max(1))
+                {
                     cfg.system.l2_tlb.base_assoc = 0;
                 }
             }
@@ -44,7 +45,7 @@ impl SweepParam {
 
 /// One sweep: performance of both managers across the parameter range,
 /// normalized to GPU-MMU at the paper's default value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TlbSweep {
     /// The varied parameter.
     pub param: SweepParam,
@@ -70,7 +71,7 @@ impl TlbSweep {
 }
 
 /// The Figure 14 (or 15) sweeps.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TlbSensitivity {
     /// Figure label.
     pub title: String,
@@ -84,7 +85,11 @@ fn sweep_workloads(scope: Scope) -> Vec<mosaic_workloads::Workload> {
     scope.heterogeneous(3).into_iter().take(take).collect()
 }
 
-pub(crate) fn sweep_tlb(scope: Scope, title: &str, sweeps: &[(SweepParam, &[usize])]) -> TlbSensitivity {
+pub(crate) fn sweep_tlb(
+    scope: Scope,
+    title: &str,
+    sweeps: &[(SweepParam, &[usize])],
+) -> TlbSensitivity {
     let workloads = sweep_workloads(scope);
     // Normalization baseline: GPU-MMU at paper defaults.
     let base_cycles: Vec<f64> = workloads

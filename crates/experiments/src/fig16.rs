@@ -19,19 +19,27 @@ use crate::common::{fmt_row, Scope};
 use mosaic_core::cac::CacConfig;
 use mosaic_gpusim::{run_workload, ManagerKind, RunConfig};
 use mosaic_workloads::Workload;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The four compared designs, in report order.
 pub const DESIGNS: [(&str, CacConfig); 4] = [
-    ("no CAC", CacConfig { enabled: false, occupancy_threshold: 0.5, bulk_copy: false, ideal: false }),
+    (
+        "no CAC",
+        CacConfig { enabled: false, occupancy_threshold: 0.5, bulk_copy: false, ideal: false },
+    ),
     ("CAC", CacConfig { enabled: true, occupancy_threshold: 0.5, bulk_copy: false, ideal: false }),
-    ("CAC-BC", CacConfig { enabled: true, occupancy_threshold: 0.5, bulk_copy: true, ideal: false }),
-    ("Ideal CAC", CacConfig { enabled: true, occupancy_threshold: 0.5, bulk_copy: false, ideal: true }),
+    (
+        "CAC-BC",
+        CacConfig { enabled: true, occupancy_threshold: 0.5, bulk_copy: true, ideal: false },
+    ),
+    (
+        "Ideal CAC",
+        CacConfig { enabled: true, occupancy_threshold: 0.5, bulk_copy: false, ideal: true },
+    ),
 ];
 
 /// One sweep (over fragmentation index or over occupancy).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FragSweep {
     /// The swept parameter's values.
     pub points: Vec<f64>,
@@ -41,7 +49,7 @@ pub struct FragSweep {
 }
 
 /// The Figure 16 pair of sweeps.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig16 {
     /// (a) fragmentation-index sweep at 50% occupancy.
     pub index_sweep: FragSweep,
@@ -62,11 +70,7 @@ fn stress_setup(scope: Scope) -> (Workload, RunConfig) {
     (w, cfg)
 }
 
-fn sweep(
-    scope: Scope,
-    points: &[f64],
-    fragment: impl Fn(f64) -> (f64, f64),
-) -> FragSweep {
+fn sweep(scope: Scope, points: &[f64], fragment: impl Fn(f64) -> (f64, f64)) -> FragSweep {
     let (w, base_cfg) = stress_setup(scope);
     // Normalization: default CAC, no fragmentation.
     let baseline = run_workload(&w, base_cfg).total_cycles as f64;

@@ -11,11 +11,10 @@ use crate::common::Scope;
 use mosaic_core::cac::CacConfig;
 use mosaic_gpusim::{run_workload, ManagerKind};
 use mosaic_workloads::Workload;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One occupancy point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BloatPoint {
     /// Large-frame occupancy of the pre-fragmented data.
     pub occupancy: f64,
@@ -25,7 +24,7 @@ pub struct BloatPoint {
 }
 
 /// The Table 2 row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table2 {
     /// One point per occupancy level.
     pub points: Vec<BloatPoint>,
@@ -33,11 +32,8 @@ pub struct Table2 {
 
 /// Runs the experiment.
 pub fn run(scope: Scope) -> Table2 {
-    let occupancies: &[f64] = if scope == Scope::Smoke {
-        &[0.10, 0.50]
-    } else {
-        &[0.01, 0.10, 0.25, 0.35, 0.50, 0.75]
-    };
+    let occupancies: &[f64] =
+        if scope == Scope::Smoke { &[0.10, 0.50] } else { &[0.01, 0.10, 0.25, 0.35, 0.50, 0.75] };
     let w = Workload::from_names(&["HS", "CONS"]);
     let mut points = Vec::new();
     for &occ in occupancies {

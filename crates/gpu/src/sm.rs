@@ -11,10 +11,9 @@
 use crate::warp::{MemoryInterface, WarpOp, WarpStream};
 use mosaic_sim_core::Cycle;
 use mosaic_vm::AppId;
-use serde::{Deserialize, Serialize};
 
 /// SM parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SmConfig {
     /// Resident warps per SM (warp slots across its thread blocks).
     pub warps: usize,
@@ -31,7 +30,7 @@ impl Default for SmConfig {
 }
 
 /// Per-SM statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SmStats {
     /// Warp instructions retired.
     pub instructions: u64,
@@ -82,7 +81,16 @@ impl Sm {
             .into_iter()
             .map(|stream| WarpCtx { stream, ready_at: Cycle::ZERO, finished: false })
             .collect();
-        Sm { id, asid, config, warps, current: 0, now: Cycle::ZERO, fence: Cycle::ZERO, stats: SmStats::default() }
+        Sm {
+            id,
+            asid,
+            config,
+            warps,
+            current: 0,
+            now: Cycle::ZERO,
+            fence: Cycle::ZERO,
+            stats: SmStats::default(),
+        }
     }
 
     /// This SM's index.
@@ -290,10 +298,8 @@ mod tests {
             }
         }
         let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
-        let streams: Vec<Box<dyn WarpStream>> = vec![
-            Box::new(Tagged("a", 3, log.clone())),
-            Box::new(Tagged("b", 3, log.clone())),
-        ];
+        let streams: Vec<Box<dyn WarpStream>> =
+            vec![Box::new(Tagged("a", 3, log.clone())), Box::new(Tagged("b", 3, log.clone()))];
         let mut sm = sm_with(streams);
         let mut mem = FixedLatencyMemory { latency: 0 };
         sm.run_to_completion(&mut mem);

@@ -49,8 +49,7 @@ pub trait MemoryInterface {
     /// behalf of address space `asid`, with one virtual address per
     /// coalesced transaction. Returns the cycle at which the *slowest*
     /// transaction completes — the warp resumes then (SIMT lockstep).
-    fn warp_access(&mut self, now: Cycle, sm: usize, asid: AppId, addresses: &[VirtAddr])
-        -> Cycle;
+    fn warp_access(&mut self, now: Cycle, sm: usize, asid: AppId, addresses: &[VirtAddr]) -> Cycle;
 }
 
 /// A fixed-latency memory, useful as a baseline and in tests.

@@ -6,10 +6,9 @@ use mosaic_iobus::IoBusConfig;
 use mosaic_mem::{CacheConfig, CrossbarConfig, DramConfig};
 use mosaic_vm::TlbConfig;
 use mosaic_workloads::ScaleConfig;
-use serde::{Deserialize, Serialize};
 
 /// Which memory manager the system runs (the paper's comparison points).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ManagerKind {
     /// The GPU-MMU baseline with 4 KB pages (Section 3.1).
     GpuMmu4K,
@@ -49,7 +48,7 @@ impl ManagerKind {
 }
 
 /// How pages reach GPU memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DemandPagingMode {
     /// Pages fault in on first touch; far-faults cross the I/O bus at the
     /// manager's transfer granularity.
@@ -61,7 +60,7 @@ pub enum DemandPagingMode {
 }
 
 /// The simulated system (Table 1) plus experiment knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
     /// Number of SMs (Table 1: 30).
     pub sm_count: usize,
@@ -134,7 +133,7 @@ impl SystemConfig {
 }
 
 /// Everything one simulation run needs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunConfig {
     /// The simulated system.
     pub system: SystemConfig,
@@ -149,9 +148,20 @@ pub struct RunConfig {
     /// Optional pre-fragmentation `(fragmentation_index, occupancy)` for
     /// the Section 6.4 stress tests (Mosaic only).
     pub fragmentation: Option<(f64, f64)>,
+    /// Runtime invariant auditing: sweep every component's invariants
+    /// (frame conservation, ownership agreement, TLB coherence — see
+    /// `GpuSystem::audit`) each time the simulation crosses this many
+    /// cycles, panicking on the first violation. `None` applies the
+    /// default: every [`RunConfig::DEFAULT_AUDIT_EVERY`] cycles in builds
+    /// with debug assertions, never in release builds (enable there with
+    /// the runner's `--audit` flag). `Some(0)` disables auditing outright.
+    pub audit_every: Option<u64>,
 }
 
 impl RunConfig {
+    /// Default audit cadence (in cycles) for builds with debug assertions.
+    pub const DEFAULT_AUDIT_EVERY: u64 = 100_000;
+
     /// A default on-demand run of `manager` at the default scale.
     pub fn new(manager: ManagerKind) -> Self {
         let scale = ScaleConfig::default();
@@ -162,6 +172,25 @@ impl RunConfig {
             paging: DemandPagingMode::OnDemand,
             seed: 42,
             fragmentation: None,
+            audit_every: None,
+        }
+    }
+
+    /// Same run with invariant audits every `cycles` cycles (`0` disables
+    /// auditing even in debug builds).
+    pub fn audited(mut self, cycles: u64) -> Self {
+        self.audit_every = Some(cycles);
+        self
+    }
+
+    /// The audit cadence in effect for this build: the explicit setting if
+    /// present, else the debug-build default.
+    pub fn effective_audit_every(&self) -> Option<u64> {
+        match self.audit_every {
+            Some(0) => None,
+            Some(n) => Some(n),
+            None if cfg!(debug_assertions) => Some(Self::DEFAULT_AUDIT_EVERY),
+            None => None,
         }
     }
 

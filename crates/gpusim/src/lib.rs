@@ -35,5 +35,7 @@ pub mod runner;
 pub mod system;
 
 pub use config::{DemandPagingMode, ManagerKind, RunConfig, SystemConfig};
-pub use runner::{run_alone_baselines, run_workload, sm_share, weighted_speedup, AppResult, RunResult};
+pub use runner::{
+    run_alone_baselines, run_workload, sm_share, weighted_speedup, AppResult, RunResult,
+};
 pub use system::{GpuSystem, SystemStats};

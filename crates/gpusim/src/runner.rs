@@ -15,12 +15,11 @@ use mosaic_gpu::{Sm, SmConfig, WarpStream};
 use mosaic_sim_core::{Cycle, SimRng};
 use mosaic_vm::AppId;
 use mosaic_workloads::{AppLayout, AppWarpStream, Workload};
-use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Per-application outcome of one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppResult {
     /// Application name (profile abbreviation).
     pub name: String,
@@ -35,7 +34,7 @@ pub struct AppResult {
 }
 
 /// Outcome of one workload run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Workload display name.
     pub workload: String,
@@ -96,6 +95,15 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
     let mut cycles_per_app = vec![0u64; n];
     let mut total_cycles = 0u64;
 
+    // Runtime invariant auditing (side-effect free, so audited and
+    // unaudited runs of the same seed stay bit-identical). On by default
+    // in debug builds; opt-in per run (`--audit`) in release.
+    let audit_every = cfg.effective_audit_every();
+    let mut next_audit = audit_every.unwrap_or(0);
+    if audit_every.is_some() {
+        system.audit().assert_clean("after launch");
+    }
+
     for phase in 0..phases {
         // Partition SMs and build their warps for this phase's grid.
         let mut sms: Vec<Sm> = Vec::with_capacity(cfg.system.sm_count);
@@ -109,8 +117,7 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
             let sm_ordinal = per_app_sm_seen[app];
             per_app_sm_seen[app] += 1;
             let mem_ops = cfg.scale.mem_ops_for(profile, total_warps);
-            let app_rng =
-                root.fork("app-instance", app as u64).fork("phase", u64::from(phase));
+            let app_rng = root.fork("app-instance", app as u64).fork("phase", u64::from(phase));
             let streams: Vec<Box<dyn WarpStream>> = (0..cfg.scale.warps_per_sm as u64)
                 .map(|w| {
                     let warp_idx = sm_ordinal * cfg.scale.warps_per_sm as u64 + w;
@@ -124,12 +131,8 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
                     )) as Box<dyn WarpStream>
                 })
                 .collect();
-            let mut sm = Sm::new(
-                sm_id,
-                asid,
-                SmConfig { warps: cfg.scale.warps_per_sm, batch: 8 },
-                streams,
-            );
+            let mut sm =
+                Sm::new(sm_id, asid, SmConfig { warps: cfg.scale.warps_per_sm, batch: 8 }, streams);
             // Later phases start where the previous grid left off.
             sm.stall_until(phase_start);
             sms.push(sm);
@@ -147,6 +150,13 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
                 // stall every SM (Section 5).
                 for sm in &mut sms {
                     sm.stall_until(stall);
+                }
+            }
+            if let Some(every) = audit_every {
+                let now = sms[idx].now().as_u64();
+                if now >= next_audit {
+                    system.audit().assert_clean(&format!("cycle {now}"));
+                    next_audit = (now / every + 1) * every;
                 }
             }
             if still_active {
@@ -167,8 +177,9 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
                         // Intermediate kernel: drop the scratch half of
                         // the main buffer; the next kernel re-touches it.
                         let pages = layouts[app].main_bytes / mosaic_vm::BASE_PAGE_SIZE;
-                        let start =
-                            mosaic_vm::VirtPageNum(layouts[app].main_base.base_page().raw() + pages / 2);
+                        let start = mosaic_vm::VirtPageNum(
+                            layouts[app].main_base.base_page().raw() + pages / 2,
+                        );
                         system.deallocate(now, asid, start, pages - pages / 2);
                     }
                 }
@@ -188,6 +199,9 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
         let phase_end = sms.iter().map(|s| s.now()).max().unwrap_or(phase_start);
         total_cycles = phase_end.as_u64();
         phase_start = phase_end;
+        if audit_every.is_some() {
+            system.audit().assert_clean(&format!("end of phase {phase}"));
+        }
     }
 
     // Collect per-application results.

@@ -20,7 +20,6 @@ use mosaic_sim_core::{Counter, Cycle, SimRng, ThroughputPort};
 use mosaic_vm::{
     AppId, PageSize, PageTableWalker, PhysAddr, Tlb, VirtAddr, VirtPageNum, WalkCache,
 };
-use serde::{Deserialize, Serialize};
 
 /// Cycles the baseline's full-TLB shootdown stalls the GPU (Figure 6a's
 /// "TLB flush" segment). Only the baseline-coalescing ablation emits it.
@@ -37,7 +36,7 @@ const TLB_FLUSH_STALL: u64 = 1_000;
 const LOOKAHEAD_WINDOW: u64 = 10_000;
 
 /// Aggregated end-of-run statistics.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SystemStats {
     /// L1 TLB hit rate over all SMs (hits, total).
     pub l1_tlb_hits: u64,
@@ -129,21 +128,15 @@ impl GpuSystem {
     pub fn new(cfg: RunConfig) -> Self {
         let sys = cfg.system;
         let mut manager: Box<dyn MemoryManager> = match cfg.manager {
-            ManagerKind::GpuMmu4K => Box::new(GpuMmuManager::new(
-                sys.memory_bytes,
-                sys.dram.channels,
-                PageSize::Base,
-            )),
-            ManagerKind::GpuMmu2M => Box::new(GpuMmuManager::new(
-                sys.memory_bytes,
-                sys.dram.channels,
-                PageSize::Large,
-            )),
-            ManagerKind::Migrating(policy) => Box::new(MigratingManager::new(
-                sys.memory_bytes,
-                sys.dram.channels,
-                policy,
-            )),
+            ManagerKind::GpuMmu4K => {
+                Box::new(GpuMmuManager::new(sys.memory_bytes, sys.dram.channels, PageSize::Base))
+            }
+            ManagerKind::GpuMmu2M => {
+                Box::new(GpuMmuManager::new(sys.memory_bytes, sys.dram.channels, PageSize::Large))
+            }
+            ManagerKind::Migrating(policy) => {
+                Box::new(MigratingManager::new(sys.memory_bytes, sys.dram.channels, policy))
+            }
             ManagerKind::Mosaic(cac) => {
                 let mut m = MosaicManager::new(MosaicConfig {
                     memory_bytes: sys.memory_bytes,
@@ -367,11 +360,8 @@ impl GpuSystem {
         let contended = start.since(issue_now) <= LOOKAHEAD_WINDOW;
         let slice = dram.channel_of(addr.raw());
         let l2 = &mut l2_slices[slice];
-        let l2_done = if contended {
-            l2_ports[slice].acquire(start).done
-        } else {
-            start + l2.latency()
-        };
+        let l2_done =
+            if contended { l2_ports[slice].acquire(start).done } else { start + l2.latency() };
         if l2.access(addr.raw(), false) {
             l2_done
         } else if contended {
@@ -424,7 +414,8 @@ impl GpuSystem {
         // Shared L2 TLB, behind its port. A zero-capacity L2 TLB (the
         // page-walk-cache ablation's configuration) is skipped entirely:
         // misses go straight to the walker.
-        let has_l2_tlb = self.cfg.system.l2_tlb.base_entries + self.cfg.system.l2_tlb.large_entries > 0;
+        let has_l2_tlb =
+            self.cfg.system.l2_tlb.base_entries + self.cfg.system.l2_tlb.large_entries > 0;
         let l2_done = if has_l2_tlb { self.l2_tlb_port.acquire(l1_done).done } else { l1_done };
         if has_l2_tlb && self.l2_tlb.lookup(asid, addr).is_hit() {
             let t = self
@@ -450,11 +441,7 @@ impl GpuSystem {
         let mut ready = out.done;
 
         // The walk may discover a not-present page: far-fault.
-        let mapped = self
-            .manager
-            .tables()
-            .table(asid)
-            .is_some_and(|t| t.translate(addr).is_ok());
+        let mapped = self.manager.tables().table(asid).is_some_and(|t| t.translate(addr).is_ok());
         let faulted = !mapped;
         if faulted {
             ready = self.handle_fault(ready, asid, vpn);
@@ -509,6 +496,51 @@ impl GpuSystem {
         }
     }
 
+    /// Sweeps the whole system's invariants into a fresh report: the
+    /// manager's own audit (frame conservation, ownership agreement,
+    /// coalesced-region geometry) plus TLB coherence — every cached
+    /// translation, in every per-SM L1 TLB and the shared L2 TLB, must be
+    /// backed by a live page-table entry of the matching page size.
+    ///
+    /// Side-effect free: audited and unaudited runs of the same seed are
+    /// bit-identical. The runner calls this every `audit_every` cycles and
+    /// panics on the first violation (see [`mosaic_sim_core::AuditReport`]).
+    pub fn audit(&self) -> mosaic_sim_core::AuditReport {
+        let mut report = mosaic_sim_core::AuditReport::new();
+        self.manager.audit(&mut report);
+        let tables = self.manager.tables();
+        let l1s = self.l1_tlbs.iter().enumerate().map(|(sm, t)| (format!("l1-tlb[{sm}]"), t));
+        for (name, tlb) in l1s.chain(std::iter::once(("l2-tlb".to_string(), &self.l2_tlb))) {
+            for (asid, page, size) in tlb.entries() {
+                match size {
+                    PageSize::Base => report.check(
+                        &name,
+                        tables.table(asid).is_some_and(|t| t.is_mapped(VirtPageNum(page))),
+                        || {
+                            format!(
+                                "caches a base translation for {asid} page {page:#x} \
+                                 with no live page-table entry"
+                            )
+                        },
+                    ),
+                    PageSize::Large => report.check(
+                        &name,
+                        tables
+                            .table(asid)
+                            .is_some_and(|t| t.is_coalesced(mosaic_vm::LargePageNum(page))),
+                        || {
+                            format!(
+                                "caches a large translation for {asid} region {page:#x} \
+                                 that is not coalesced in the page table"
+                            )
+                        },
+                    ),
+                }
+            }
+        }
+        report
+    }
+
     /// Collects the end-of-run statistics.
     pub fn stats(&self) -> SystemStats {
         let mut l1_hits = 0;
@@ -536,8 +568,16 @@ impl GpuSystem {
             l2_tlb_total: self.l2_tlb.hit_rate().total(),
             walks: self.walker.walks(),
             walk_latency_mean: self.walker.latency().mean(),
-            l1_cache_hit_rate: if l1c_total == 0 { 1.0 } else { l1c_hits as f64 / l1c_total as f64 },
-            l2_cache_hit_rate: if l2c_total == 0 { 1.0 } else { l2c_hits as f64 / l2c_total as f64 },
+            l1_cache_hit_rate: if l1c_total == 0 {
+                1.0
+            } else {
+                l1c_hits as f64 / l1c_total as f64
+            },
+            l2_cache_hit_rate: if l2c_total == 0 {
+                1.0
+            } else {
+                l2c_hits as f64 / l2c_total as f64
+            },
             dram_row_hit_rate: self.dram.row_hit_rate().rate(),
             iobus_transfers: self.iobus.transfers(),
             iobus_bytes: self.iobus.bytes(),
@@ -553,13 +593,7 @@ impl GpuSystem {
 }
 
 impl MemoryInterface for GpuSystem {
-    fn warp_access(
-        &mut self,
-        now: Cycle,
-        sm: usize,
-        asid: AppId,
-        addresses: &[VirtAddr],
-    ) -> Cycle {
+    fn warp_access(&mut self, now: Cycle, sm: usize, asid: AppId, addresses: &[VirtAddr]) -> Cycle {
         let mut worst = now + 1;
         for &addr in addresses {
             let (translated, phys, faulted) = self.translate(now, sm, asid, addr);
@@ -638,9 +672,9 @@ mod tests {
     fn mosaic_coalesced_page_fills_large_tlb_entry() {
         let mut sys = GpuSystem::new(small_cfg(ManagerKind::mosaic()).preloaded());
         sys.launch_app(AppId(0), VirtPageNum(0), 512); // exactly one chunk
-        // Preload coalesced it; the first access walks, then fills a LARGE
-        // entry, so a *different* base page of the same 2MB region hits in
-        // the L1 TLB immediately.
+                                                       // Preload coalesced it; the first access walks, then fills a LARGE
+                                                       // entry, so a *different* base page of the same 2MB region hits in
+                                                       // the L1 TLB immediately.
         let t0 = sys.warp_access(Cycle::new(0), 0, AppId(0), &[VirtAddr(0)]);
         let far = VirtAddr(511 * 4096);
         let t1 = sys.warp_access(t0, 0, AppId(0), &[far]);
@@ -653,7 +687,7 @@ mod tests {
         let mut sys = GpuSystem::new(small_cfg(ManagerKind::mosaic()).preloaded());
         sys.launch_app(AppId(0), VirtPageNum(0), 512);
         sys.warp_access(Cycle::new(0), 0, AppId(0), &[VirtAddr(0)]); // fill large entry
-        // Deallocate most of the chunk: splinter + compaction.
+                                                                     // Deallocate most of the chunk: splinter + compaction.
         sys.deallocate(Cycle::new(10_000), AppId(0), VirtPageNum(0), 500);
         assert!(sys.splinter_events.get() >= 1);
         // The next access must walk again (large entry was flushed).
@@ -678,8 +712,7 @@ mod tests {
     #[test]
     fn gpu_mmu_2mb_transfers_whole_large_pages() {
         let mut sys = launched(ManagerKind::GpuMmu2M);
-        let large_us =
-            sys.config().system.iobus.uncontended_latency(2 * 1024 * 1024).as_micros();
+        let large_us = sys.config().system.iobus.uncontended_latency(2 * 1024 * 1024).as_micros();
         let small_us = sys.config().system.iobus.uncontended_latency(4096).as_micros();
         // The paper's six-fold base-vs-large fault gap survives scaling
         // (bandwidth scales slower than latency, so the gap can widen but

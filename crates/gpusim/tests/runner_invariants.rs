@@ -1,13 +1,17 @@
 //! Runner-level invariants across SM counts, managers, and seeds.
 
 use mosaic_gpusim::{
-    run_workload, sm_share, weighted_speedup, run_alone_baselines, ManagerKind, RunConfig,
+    run_alone_baselines, run_workload, sm_share, weighted_speedup, ManagerKind, RunConfig,
 };
 use mosaic_workloads::{ScaleConfig, Workload};
 
 fn tiny(manager: ManagerKind, sms: usize) -> RunConfig {
-    let mut cfg = RunConfig::new(manager)
-        .with_scale(ScaleConfig { ws_divisor: 64, mem_ops_per_warp: 30, warps_per_sm: 4, phases: 1 });
+    let mut cfg = RunConfig::new(manager).with_scale(ScaleConfig {
+        ws_divisor: 64,
+        mem_ops_per_warp: 30,
+        warps_per_sm: 4,
+        phases: 1,
+    });
     cfg.system.sm_count = sms;
     cfg
 }

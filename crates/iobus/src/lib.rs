@@ -18,10 +18,9 @@
 #![warn(missing_debug_implementations)]
 
 use mosaic_sim_core::{ClockDomain, Counter, Cycle, Histogram, Nanos, ThroughputPort};
-use serde::{Deserialize, Serialize};
 
 /// I/O bus parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IoBusConfig {
     /// Fixed per-fault latency (fault handling, round trip), in ns.
     pub base_latency: Nanos,
@@ -150,12 +149,11 @@ impl IoBus {
             return now;
         }
         let wire_ns = bytes as f64 / self.config.bytes_per_ns;
-        let occupy = self
-            .clock
-            .cycles_for(Nanos(wire_ns.max(self.config.issue_overhead.0)))
-            .max(1);
+        let occupy = self.clock.cycles_for(Nanos(wire_ns.max(self.config.issue_overhead.0))).max(1);
         let grant = self.port.acquire_for(now, occupy);
-        let done = grant.start + self.clock.cycles_for(Nanos(wire_ns)) + self.clock.cycles_for(self.config.base_latency);
+        let done = grant.start
+            + self.clock.cycles_for(Nanos(wire_ns))
+            + self.clock.cycles_for(self.config.base_latency);
         self.latency.record(done.since(now));
         done
     }

@@ -7,10 +7,9 @@
 //! TLB misses sit on the critical path the paper measures.
 
 use mosaic_sim_core::Ratio;
-use serde::{Deserialize, Serialize};
 
 /// Geometry and timing of one cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity: u64,
@@ -33,7 +32,12 @@ impl CacheConfig {
     /// (≈341 KB per slice, rounded to 384 KB to keep power-of-two sets),
     /// 16-way, 128 B lines, 10-cycle latency.
     pub fn paper_l2_slice() -> Self {
-        CacheConfig { capacity: 2 * 1024 * 1024 / 6 / 128 * 128, line_size: 128, assoc: 16, latency: 10 }
+        CacheConfig {
+            capacity: 2 * 1024 * 1024 / 6 / 128 * 128,
+            line_size: 128,
+            assoc: 16,
+            latency: 10,
+        }
     }
 
     /// Number of lines in the cache.
@@ -132,10 +136,7 @@ impl Cache {
         if set.len() < assoc {
             set.push(Line { tag, last_used: tick, dirty: write });
         } else {
-            let victim = set
-                .iter_mut()
-                .min_by_key(|l| l.last_used)
-                .expect("full set is non-empty");
+            let victim = set.iter_mut().min_by_key(|l| l.last_used).expect("full set is non-empty");
             if victim.dirty {
                 self.writebacks += 1;
             }

@@ -14,10 +14,9 @@
 //!   ~80 ns that never occupies the channel data bus.
 
 use mosaic_sim_core::{ClockDomain, Counter, Cycle, Nanos, OccupancyPool, Ratio, ThroughputPort};
-use serde::{Deserialize, Serialize};
 
 /// DRAM geometry and timing.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
     /// Number of independent channels (each with its own data bus).
     pub channels: usize,
@@ -314,8 +313,8 @@ mod tests {
         let line = d.config().line_size;
         let a = d.access(Cycle::new(0), 0);
         let b = d.access(Cycle::new(0), line); // different channel
-        // Both are cold conflicts; with independent channels they finish
-        // at the same time.
+                                               // Both are cold conflicts; with independent channels they finish
+                                               // at the same time.
         assert_eq!(a, b);
     }
 

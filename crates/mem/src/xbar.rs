@@ -7,10 +7,9 @@
 //! partition camping and many-to-one bursts queue at the destination.
 
 use mosaic_sim_core::{Counter, Cycle, Histogram, ThroughputPort};
-use serde::{Deserialize, Serialize};
 
 /// Crossbar parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrossbarConfig {
     /// Number of destination memory partitions.
     pub partitions: usize,
@@ -59,7 +58,9 @@ impl Crossbar {
         Crossbar {
             config,
             ports: (0..config.partitions)
-                .map(|_| ThroughputPort::pipelined(config.latency.max(1), config.cycles_per_flit.max(1)))
+                .map(|_| {
+                    ThroughputPort::pipelined(config.latency.max(1), config.cycles_per_flit.max(1))
+                })
                 .collect(),
             flits: Counter::new(),
             queueing: Histogram::default(),

@@ -1,0 +1,214 @@
+//! Runtime invariant auditing.
+//!
+//! The simulator's results are deltas of a few percent; a silent
+//! frame-accounting leak or a stale TLB entry would drown them out long
+//! before it crashed anything. Every structural component therefore
+//! implements [`AuditInvariants`] — a side-effect-free, exhaustive
+//! consistency sweep — and the full-system runner invokes the audit
+//! every N cycles (always in debug builds, and on demand via the
+//! runner's `--audit` flag in release builds).
+//!
+//! An audit is *not* an assertion sprinkled on a hot path: it walks
+//! whole structures (frame pools, page tables, TLB arrays) from the
+//! outside, so the checked invariants are global ones — frame-count
+//! conservation, large-frame exclusivity, TLB/page-table coherence —
+//! that no local `debug_assert!` can see.
+
+use std::fmt;
+
+/// One invariant violation observed during an audit sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// The component that failed (e.g. `"frame-pool"`, `"page-table"`).
+    pub component: String,
+    /// Human-readable description of the violated invariant.
+    pub message: String,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.component, self.message)
+    }
+}
+
+/// Collects the outcome of one audit sweep: how many invariants were
+/// checked and which ones failed.
+///
+/// # Examples
+///
+/// ```
+/// use mosaic_sim_core::audit::{AuditInvariants, AuditReport};
+///
+/// struct Counter { count: u64, cap: u64 }
+/// impl AuditInvariants for Counter {
+///     fn audit_component(&self) -> &'static str { "counter" }
+///     fn audit(&self, report: &mut AuditReport) {
+///         report.check("counter", self.count <= self.cap, || {
+///             format!("count {} exceeds cap {}", self.count, self.cap)
+///         });
+///     }
+/// }
+///
+/// let mut report = AuditReport::new();
+/// Counter { count: 3, cap: 10 }.audit(&mut report);
+/// assert!(report.is_clean());
+/// Counter { count: 11, cap: 10 }.audit(&mut report);
+/// assert_eq!(report.violations().len(), 1);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    checks: u64,
+    violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one invariant check; `message` is only rendered when the
+    /// invariant failed.
+    pub fn check(&mut self, component: &str, holds: bool, message: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !holds {
+            self.violations
+                .push(AuditViolation { component: component.to_string(), message: message() });
+        }
+    }
+
+    /// Number of invariants checked so far.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// The violations found so far.
+    pub fn violations(&self) -> &[AuditViolation] {
+        &self.violations
+    }
+
+    /// Whether no invariant has been violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with a full listing if any invariant was violated.
+    ///
+    /// Simulation state is append-only evidence: by the time a violation
+    /// is observable the run's statistics are already unsound, so the
+    /// only honest reaction is to stop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report holds at least one violation.
+    pub fn assert_clean(&self, context: &str) {
+        assert!(
+            self.is_clean(),
+            "invariant audit failed ({context}): {} violation(s) in {} checks\n{self}",
+            self.violations.len(),
+            self.checks,
+        );
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "audit clean ({} checks)", self.checks);
+        }
+        writeln!(
+            f,
+            "audit found {} violation(s) in {} checks:",
+            self.violations.len(),
+            self.checks
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A structural component whose global invariants can be swept.
+///
+/// Implementations must be side-effect free (no statistics, no
+/// mutation): an audited run and an unaudited run of the same seed must
+/// produce bit-identical results.
+pub trait AuditInvariants {
+    /// Short, stable component name used in violation reports.
+    fn audit_component(&self) -> &'static str;
+
+    /// Checks every invariant, recording each into `report`.
+    fn audit(&self, report: &mut AuditReport);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysClean;
+    impl AuditInvariants for AlwaysClean {
+        fn audit_component(&self) -> &'static str {
+            "clean"
+        }
+        fn audit(&self, report: &mut AuditReport) {
+            report.check(self.audit_component(), true, || unreachable!());
+        }
+    }
+
+    struct AlwaysBroken;
+    impl AuditInvariants for AlwaysBroken {
+        fn audit_component(&self) -> &'static str {
+            "broken"
+        }
+        fn audit(&self, report: &mut AuditReport) {
+            report.check(self.audit_component(), false, || "it broke".to_string());
+        }
+    }
+
+    #[test]
+    fn clean_component_reports_clean() {
+        let mut r = AuditReport::new();
+        AlwaysClean.audit(&mut r);
+        assert!(r.is_clean());
+        assert_eq!(r.checks(), 1);
+        r.assert_clean("test");
+    }
+
+    #[test]
+    fn violations_accumulate_across_components() {
+        let mut r = AuditReport::new();
+        AlwaysClean.audit(&mut r);
+        AlwaysBroken.audit(&mut r);
+        AlwaysBroken.audit(&mut r);
+        assert_eq!(r.checks(), 3);
+        assert_eq!(r.violations().len(), 2);
+        assert_eq!(r.violations()[0].component, "broken");
+        assert_eq!(r.violations()[0].message, "it broke");
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant audit failed")]
+    fn assert_clean_panics_on_violation() {
+        let mut r = AuditReport::new();
+        AlwaysBroken.audit(&mut r);
+        r.assert_clean("cycle 42");
+    }
+
+    #[test]
+    fn report_renders_violations() {
+        let mut r = AuditReport::new();
+        AlwaysBroken.audit(&mut r);
+        let text = r.to_string();
+        assert!(text.contains("[broken] it broke"));
+    }
+
+    #[test]
+    fn message_closure_not_called_when_clean() {
+        let mut r = AuditReport::new();
+        // `check` must not render the message for passing checks — the
+        // closure here would panic if called.
+        r.check("lazy", true, || panic!("must not render"));
+        assert!(r.is_clean());
+    }
+}

@@ -5,8 +5,6 @@
 //! — GDDR5 command timing, PCIe transfer latencies in nanoseconds — convert
 //! through a [`ClockDomain`].
 
-use serde::{Deserialize, Serialize};
-
 /// A point in simulated time, measured in cycles of some clock domain.
 ///
 /// `Cycle` is an ordered, copyable newtype over `u64`. Arithmetic saturates
@@ -23,8 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(end.as_u64(), 155);
 /// assert_eq!(end - start, 55);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cycle(u64);
 
 impl Cycle {
@@ -99,8 +96,7 @@ impl core::fmt::Display for Cycle {
 ///
 /// Used at the boundary between the cycle-driven GPU model and components
 /// specified in real time (the PCIe bus, in-DRAM bulk copy latency).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Nanos(pub f64);
 
 impl Nanos {
@@ -139,7 +135,7 @@ impl core::ops::Add for Nanos {
 /// let cycles = core.cycles_for(Nanos::from_micros(55.0));
 /// assert!((56_000f64 - cycles as f64).abs() < 200.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClockDomain {
     freq_mhz: f64,
 }

@@ -15,15 +15,20 @@
 //! * [`queue`] — occupancy trackers and throughput ports used to model
 //!   contended resources (TLB ports, page-walker slots, DRAM banks, the
 //!   system I/O bus) without per-cycle queue simulation.
+//! * [`audit`] — the runtime invariant auditor: every structural
+//!   component implements [`AuditInvariants`] and the runner sweeps the
+//!   whole system every N cycles.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod clock;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 
+pub use audit::{AuditInvariants, AuditReport, AuditViolation};
 pub use clock::{ClockDomain, Cycle, Nanos};
 pub use queue::{OccupancyPool, ThroughputPort};
 pub use rng::SimRng;

@@ -10,8 +10,8 @@
 //! workloads tractable.
 
 use crate::clock::Cycle;
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A pool of `n` identical slots, each serving one request at a time.
 ///

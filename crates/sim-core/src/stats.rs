@@ -4,7 +4,6 @@
 //! through these types, and the experiment drivers aggregate them into the
 //! rows and series the paper reports.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -20,8 +19,7 @@ use std::fmt;
 /// hits.add(4);
 /// assert_eq!(hits.get(), 5);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -68,7 +66,7 @@ impl fmt::Display for Counter {
 /// hit_rate.record(false);
 /// assert!((hit_rate.rate() - 2.0 / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Ratio {
     hits: u64,
     total: u64,
@@ -144,7 +142,7 @@ impl fmt::Display for Ratio {
 /// assert_eq!(h.min(), Some(10));
 /// assert_eq!(h.max(), Some(20));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
     count: u64,
     sum: u128,
@@ -236,7 +234,7 @@ impl Histogram {
 /// s.set("misses", 10.0);
 /// assert_eq!(s.get("hits"), Some(90.0));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatSet {
     name: String,
     values: BTreeMap<String, f64>,

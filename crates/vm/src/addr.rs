@@ -6,7 +6,6 @@
 //! workspace goes through the newtypes in this module; raw `u64`s never
 //! cross crate boundaries.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Size of a base page in bytes (4 KB).
@@ -21,7 +20,7 @@ const LARGE_SHIFT: u32 = 21;
 
 /// The page size used to translate an address — the fundamental trade-off
 /// the paper is about.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PageSize {
     /// 4 KB base page.
     Base,
@@ -52,7 +51,7 @@ impl fmt::Display for PageSize {
 /// An address-space identifier — one per application (memory protection
 /// domain). The paper extends shared TLB entries with ASIDs so multiple
 /// applications can share the GPU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AppId(pub u16);
 
 impl fmt::Display for AppId {
@@ -66,9 +65,7 @@ macro_rules! addr_newtype {
         $(#[$doc])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
-            Serialize, Deserialize,
         )]
-        #[serde(transparent)]
         pub struct $name(pub u64);
 
         impl $name {

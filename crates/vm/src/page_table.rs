@@ -25,9 +25,9 @@ use crate::addr::{
     AppId, LargeFrameNum, LargePageNum, PageSize, PhysAddr, PhysFrameNum, VirtAddr, VirtPageNum,
     BASE_PAGES_PER_LARGE_PAGE,
 };
-use serde::{Deserialize, Serialize};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use mosaic_sim_core::{AuditInvariants, AuditReport};
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 
 /// Outcome of a successful address translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,14 +92,14 @@ impl std::error::Error for CoalesceError {}
 
 /// One L4 (leaf) page-table entry: a base-page mapping plus Mosaic's
 /// disabled bit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct L4Pte {
     frame: PhysFrameNum,
     disabled: bool,
 }
 
 /// The L3 PTE state and child L4 table covering one 2 MB virtual region.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct L3Region {
     /// Mosaic's large-page bit.
     large: bool,
@@ -111,7 +111,7 @@ struct L3Region {
     /// Physical address of the child L4 table node (for walk modelling).
     l4_node: PhysAddr,
     /// Sparse L4 table: index within the large page -> PTE.
-    entries: HashMap<u64, L4Pte>,
+    entries: BTreeMap<u64, L4Pte>,
 }
 
 /// A single application's four-level page table.
@@ -127,17 +127,17 @@ struct L3Region {
 /// assert_eq!(t.frame, PhysFrameNum(512));
 /// assert_eq!(t.size, PageSize::Base);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PageTable {
     asid: AppId,
     /// Physical address of the root (L1) node; the per-SM PTBR points here.
     root: PhysAddr,
     /// L2 node addresses, keyed by L1 index.
-    l2_nodes: HashMap<u64, PhysAddr>,
+    l2_nodes: BTreeMap<u64, PhysAddr>,
     /// L3 node addresses, keyed by (L1 index, L2 index).
-    l3_nodes: HashMap<(u64, u64), PhysAddr>,
+    l3_nodes: BTreeMap<(u64, u64), PhysAddr>,
     /// Leaf regions, keyed by large page number.
-    regions: HashMap<LargePageNum, L3Region>,
+    regions: BTreeMap<LargePageNum, L3Region>,
     /// Bump allocator for page-table node addresses.
     next_node: u64,
     mapped_base_pages: u64,
@@ -162,9 +162,9 @@ impl PageTable {
         let mut pt = PageTable {
             asid,
             root: PhysAddr(0),
-            l2_nodes: HashMap::new(),
-            l3_nodes: HashMap::new(),
-            regions: HashMap::new(),
+            l2_nodes: BTreeMap::new(),
+            l3_nodes: BTreeMap::new(),
+            regions: BTreeMap::new(),
             next_node: region,
             mapped_base_pages: 0,
         };
@@ -199,11 +199,7 @@ impl PageTable {
     ///
     /// Returns `Err(frame)` with the existing mapping if the page is
     /// already mapped.
-    pub fn map_base(
-        &mut self,
-        vpn: VirtPageNum,
-        frame: PhysFrameNum,
-    ) -> Result<(), PhysFrameNum> {
+    pub fn map_base(&mut self, vpn: VirtPageNum, frame: PhysFrameNum) -> Result<(), PhysFrameNum> {
         let addr = vpn.addr();
         let [i1, i2, _, _] = level_indices(addr);
         if !self.l2_nodes.contains_key(&i1) {
@@ -219,7 +215,12 @@ impl PageTable {
             let node = self.alloc_node();
             self.regions.insert(
                 lpn,
-                L3Region { large: false, large_frame: None, l4_node: node, entries: HashMap::new() },
+                L3Region {
+                    large: false,
+                    large_frame: None,
+                    l4_node: node,
+                    entries: BTreeMap::new(),
+                },
             );
         }
         let region = self.regions.get_mut(&lpn).expect("just inserted");
@@ -260,12 +261,9 @@ impl PageTable {
         vpn: VirtPageNum,
         new_frame: PhysFrameNum,
     ) -> Result<PhysFrameNum, TranslationError> {
-        let region =
-            self.regions.get_mut(&vpn.large_page()).ok_or(TranslationError::NotMapped)?;
-        let pte = region
-            .entries
-            .get_mut(&vpn.index_in_large())
-            .ok_or(TranslationError::NotMapped)?;
+        let region = self.regions.get_mut(&vpn.large_page()).ok_or(TranslationError::NotMapped)?;
+        let pte =
+            region.entries.get_mut(&vpn.index_in_large()).ok_or(TranslationError::NotMapped)?;
         let old = pte.frame;
         pte.frame = new_frame;
         Ok(old)
@@ -409,10 +407,13 @@ impl PageTable {
         lpn: LargePageNum,
     ) -> impl Iterator<Item = (VirtPageNum, PhysFrameNum, bool)> + '_ {
         let region = self.regions.get(&lpn);
-        let mut idx: Vec<u64> = region.map(|r| r.entries.keys().copied().collect()).unwrap_or_default();
+        let mut idx: Vec<u64> =
+            region.map(|r| r.entries.keys().copied().collect()).unwrap_or_default();
         idx.sort_unstable();
         idx.into_iter().filter_map(move |i| {
-            region.and_then(|r| r.entries.get(&i)).map(|pte| (lpn.base_page(i), pte.frame, pte.disabled))
+            region
+                .and_then(|r| r.entries.get(&i))
+                .map(|pte| (lpn.base_page(i), pte.frame, pte.disabled))
         })
     }
 
@@ -428,7 +429,7 @@ impl PageTable {
 /// convenience accessors used by the memory managers.
 #[derive(Debug, Default)]
 pub struct PageTableSet {
-    tables: HashMap<AppId, PageTable>,
+    tables: BTreeMap<AppId, PageTable>,
 }
 
 impl PageTableSet {
@@ -455,6 +456,101 @@ impl PageTableSet {
     /// Total base pages mapped across all address spaces.
     pub fn total_mapped(&self) -> u64 {
         self.tables.values().map(|t| t.mapped_base_pages()).sum()
+    }
+}
+
+impl AuditInvariants for PageTable {
+    fn audit_component(&self) -> &'static str {
+        "page-table"
+    }
+
+    /// Structural coherence of one address space's radix table:
+    /// cached mapping counts, region geometry, and the coalesced-region
+    /// contract (complete, contiguous, aligned, disabled bits set).
+    fn audit(&self, report: &mut AuditReport) {
+        let c = self.audit_component();
+        let asid = self.asid;
+        let counted: u64 = self.regions.values().map(|r| r.entries.len() as u64).sum();
+        report.check(c, counted == self.mapped_base_pages, || {
+            format!(
+                "{asid}: cached mapped_base_pages {} != {} entries present",
+                self.mapped_base_pages, counted
+            )
+        });
+        for (&lpn, region) in &self.regions {
+            report.check(c, region.entries.keys().all(|&i| i < BASE_PAGES_PER_LARGE_PAGE), || {
+                format!("{asid}: {lpn} has an L4 index out of range")
+            });
+            if region.large {
+                let lf = region.large_frame;
+                report.check(c, lf.is_some(), || {
+                    format!("{asid}: {lpn} is coalesced but records no large frame")
+                });
+                // No completeness check: deallocation inside a coalesced
+                // region is legal until CAC splinters it (Section 4.4), and
+                // with CAC disabled a drained region stays coalesced — so a
+                // coalesced region may hold anywhere from 0 to 512 entries.
+                if let Some(lf) = lf {
+                    report.check(
+                        c,
+                        region.entries.iter().all(|(&i, pte)| pte.frame == lf.base_frame(i)),
+                        || {
+                            format!(
+                                "{asid}: {lpn} is coalesced into {lf} but some PTE is not \
+                                 contiguous/aligned within it"
+                            )
+                        },
+                    );
+                }
+                report.check(c, region.entries.values().all(|pte| pte.disabled), || {
+                    format!("{asid}: {lpn} is coalesced but has an enabled L4 PTE")
+                });
+            } else {
+                report.check(c, region.large_frame.is_none(), || {
+                    format!("{asid}: {lpn} is not coalesced yet records a large frame")
+                });
+                report.check(c, region.entries.values().all(|pte| !pte.disabled), || {
+                    format!("{asid}: {lpn} is not coalesced but has a disabled L4 PTE")
+                });
+            }
+        }
+    }
+}
+
+impl AuditInvariants for PageTableSet {
+    fn audit_component(&self) -> &'static str {
+        "page-table-set"
+    }
+
+    /// Audits every table, then checks the cross-address-space exclusivity
+    /// invariant: no physical base frame is mapped twice (by two virtual
+    /// pages of any address spaces) — the property that makes in-place
+    /// coalescing safe.
+    fn audit(&self, report: &mut AuditReport) {
+        let c = self.audit_component();
+        for (&asid, table) in &self.tables {
+            report.check(c, table.asid() == asid, || {
+                format!("table stored under {asid} believes it is {}", table.asid())
+            });
+            table.audit(report);
+        }
+        let mut seen: BTreeMap<PhysFrameNum, (AppId, VirtPageNum)> = BTreeMap::new();
+        for (asid, table) in self.iter() {
+            for lpn in table.mapped_regions() {
+                for (vpn, pfn, _) in table.region_mappings(lpn) {
+                    if let Some(&(other_asid, other_vpn)) = seen.get(&pfn) {
+                        report.check(c, false, || {
+                            format!(
+                                "{pfn} is mapped twice: by {other_asid}/{other_vpn} \
+                                 and by {asid}/{vpn}"
+                            )
+                        });
+                    } else {
+                        seen.insert(pfn, (asid, vpn));
+                    }
+                }
+            }
+        }
     }
 }
 

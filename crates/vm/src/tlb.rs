@@ -13,7 +13,6 @@
 //! full-system simulator that instantiates them.
 
 use crate::addr::{AppId, PageSize, VirtAddr};
-use serde::{Deserialize, Serialize};
 
 use mosaic_sim_core::Ratio;
 
@@ -21,7 +20,7 @@ use mosaic_sim_core::Ratio;
 ///
 /// An associativity of `0` (or one at least as large as the entry count)
 /// means fully associative.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbConfig {
     /// Number of base-page (4 KB) entries.
     pub base_entries: usize,
@@ -39,7 +38,13 @@ impl TlbConfig {
     /// The paper's per-SM L1 TLB: 128 base + 16 large entries, fully
     /// associative, 1-cycle latency (Table 1).
     pub fn paper_l1() -> Self {
-        TlbConfig { base_entries: 128, base_assoc: 0, large_entries: 16, large_assoc: 0, latency: 1 }
+        TlbConfig {
+            base_entries: 128,
+            base_assoc: 0,
+            large_entries: 16,
+            large_assoc: 0,
+            latency: 1,
+        }
     }
 
     /// The paper's shared L2 TLB: 512 base entries 16-way + 256 large
@@ -149,10 +154,8 @@ impl TranslationArray {
             set.push(Slot { asid, page, last_used: tick });
             return None;
         }
-        let victim = set
-            .iter_mut()
-            .min_by_key(|s| s.last_used)
-            .expect("set is full, hence non-empty");
+        let victim =
+            set.iter_mut().min_by_key(|s| s.last_used).expect("set is full, hence non-empty");
         let evicted = (victim.asid, victim.page);
         *victim = Slot { asid, page, last_used: tick };
         Some(evicted)
@@ -335,6 +338,16 @@ impl Tlb {
     /// Number of valid entries across both arrays.
     pub fn occupancy(&self) -> usize {
         self.base.occupancy() + self.large.occupancy()
+    }
+
+    /// Iterates every valid entry as `(asid, page-number, size)` — base
+    /// entries carry a virtual base page number, large entries a large
+    /// page number. Set-major, deterministic order; used by the runtime
+    /// invariant auditor to check TLB/page-table coherence.
+    pub fn entries(&self) -> impl Iterator<Item = (AppId, u64, PageSize)> + '_ {
+        let base = self.base.sets.iter().flatten().map(|s| (s.asid, s.page, PageSize::Base));
+        let large = self.large.sets.iter().flatten().map(|s| (s.asid, s.page, PageSize::Large));
+        base.chain(large)
     }
 
     /// Clears hit/miss statistics without touching contents (used to

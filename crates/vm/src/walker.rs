@@ -18,10 +18,10 @@
 
 use crate::addr::{AppId, PhysAddr, VirtPageNum};
 use mosaic_sim_core::{Counter, Cycle, Histogram, OccupancyPool};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A request to translate one base page for one address space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct WalkRequest {
     /// Requesting address space.
     pub asid: AppId,
@@ -62,7 +62,7 @@ pub struct WalkOutcome {
 #[derive(Debug)]
 pub struct PageTableWalker {
     slots: OccupancyPool,
-    in_flight: HashMap<WalkRequest, Cycle>,
+    in_flight: BTreeMap<WalkRequest, Cycle>,
     walks: Counter,
     coalesced: Counter,
     latency: Histogram,
@@ -78,7 +78,7 @@ impl PageTableWalker {
     pub fn new(threads: usize) -> Self {
         PageTableWalker {
             slots: OccupancyPool::new(threads),
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
             walks: Counter::new(),
             coalesced: Counter::new(),
             latency: Histogram::default(),

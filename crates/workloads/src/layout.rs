@@ -14,7 +14,6 @@
 use crate::profile::AppProfile;
 use crate::suite::ScaleConfig;
 use mosaic_vm::{VirtAddr, VirtPageNum, BASE_PAGE_SIZE, LARGE_PAGE_SIZE};
-use serde::{Deserialize, Serialize};
 
 /// Virtual base of the main en-masse buffer.
 pub const MAIN_BASE: VirtAddr = VirtAddr(0x1000_0000);
@@ -23,7 +22,7 @@ pub const MAIN_BASE: VirtAddr = VirtAddr(0x1000_0000);
 pub const SMALL_BASE: VirtAddr = VirtAddr(0x8000_0000);
 
 /// One application's virtual allocations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AppLayout {
     /// Base of the main buffer.
     pub main_base: VirtAddr,
@@ -119,9 +118,8 @@ mod tests {
     fn small_allocations_each_get_their_own_2mb_region() {
         let l = layout("NN");
         assert_eq!(l.small_count, 8);
-        let mut regions: Vec<u64> = (0..l.small_count)
-            .map(|i| l.small_base(i).large_page().raw())
-            .collect();
+        let mut regions: Vec<u64> =
+            (0..l.small_count).map(|i| l.small_base(i).large_page().raw()).collect();
         regions.dedup();
         assert_eq!(regions.len(), 8, "one distinct 2MB region per allocation");
         assert!(l.small_bytes < LARGE_PAGE_SIZE);

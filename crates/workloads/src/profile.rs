@@ -17,10 +17,8 @@
 //! * **compute intensity** — non-memory cycles between memory
 //!   instructions, which sets how much latency TLP can hide.
 
-use serde::{Deserialize, Serialize};
-
 /// Benchmark suite of origin.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// Parboil (UIUC).
     Parboil,
@@ -35,7 +33,7 @@ pub enum Suite {
 }
 
 /// Page-level access pattern of an application's dominant kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AccessPattern {
     /// Warps sweep disjoint contiguous partitions of the working set
     /// line by line (dense linear algebra, image kernels). One
@@ -81,7 +79,7 @@ impl AccessPattern {
 }
 
 /// One application model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AppProfile {
     /// MAFIA-style abbreviation (e.g. "HS" for Rodinia hotspot).
     pub name: &'static str,
@@ -129,33 +127,276 @@ impl AppProfile {
 /// 10–362 MB range with an average near its 81.5 MB figure; patterns are
 /// assigned from the applications' published kernel structure.
 pub const ALL_PROFILES: [AppProfile; 27] = [
-    AppProfile { name: "3DS", suite: Suite::CudaSdk, working_set_mb: 64, pattern: AccessPattern::Stencil { touches: 3, row_pages: 8 }, reuse: 0.55, compute_per_mem: 6, small_allocs: 3, small_alloc_kb: 256 },
-    AppProfile { name: "BFS2", suite: Suite::Rodinia, working_set_mb: 96, pattern: AccessPattern::RandomGather { fanout: 6 }, reuse: 0.20, compute_per_mem: 3, small_allocs: 4, small_alloc_kb: 192 },
-    AppProfile { name: "BLK", suite: Suite::CudaSdk, working_set_mb: 48, pattern: AccessPattern::Streaming, reuse: 0.30, compute_per_mem: 18, small_allocs: 3, small_alloc_kb: 128 },
-    AppProfile { name: "CONS", suite: Suite::CudaSdk, working_set_mb: 112, pattern: AccessPattern::Streaming, reuse: 0.45, compute_per_mem: 4, small_allocs: 2, small_alloc_kb: 256 },
-    AppProfile { name: "FFT", suite: Suite::Shoc, working_set_mb: 80, pattern: AccessPattern::Strided { stride_pages: 8 }, reuse: 0.35, compute_per_mem: 7, small_allocs: 4, small_alloc_kb: 256 },
-    AppProfile { name: "FWT", suite: Suite::CudaSdk, working_set_mb: 64, pattern: AccessPattern::Strided { stride_pages: 4 }, reuse: 0.35, compute_per_mem: 5, small_allocs: 3, small_alloc_kb: 192 },
-    AppProfile { name: "GUPS", suite: Suite::Shoc, working_set_mb: 256, pattern: AccessPattern::RandomGather { fanout: 16 }, reuse: 0.02, compute_per_mem: 2, small_allocs: 1, small_alloc_kb: 64 },
-    AppProfile { name: "HISTO", suite: Suite::Parboil, working_set_mb: 72, pattern: AccessPattern::RandomGather { fanout: 4 }, reuse: 0.40, compute_per_mem: 4, small_allocs: 5, small_alloc_kb: 128 },
-    AppProfile { name: "HS", suite: Suite::Rodinia, working_set_mb: 40, pattern: AccessPattern::Stencil { touches: 3, row_pages: 4 }, reuse: 0.60, compute_per_mem: 8, small_allocs: 2, small_alloc_kb: 128 },
-    AppProfile { name: "JPEG", suite: Suite::CudaSdk, working_set_mb: 56, pattern: AccessPattern::Streaming, reuse: 0.50, compute_per_mem: 10, small_allocs: 6, small_alloc_kb: 192 },
-    AppProfile { name: "LPS", suite: Suite::CudaSdk, working_set_mb: 32, pattern: AccessPattern::Stencil { touches: 3, row_pages: 2 }, reuse: 0.55, compute_per_mem: 7, small_allocs: 3, small_alloc_kb: 96 },
-    AppProfile { name: "LUD", suite: Suite::Rodinia, working_set_mb: 24, pattern: AccessPattern::Strided { stride_pages: 2 }, reuse: 0.55, compute_per_mem: 9, small_allocs: 4, small_alloc_kb: 64 },
-    AppProfile { name: "LUH", suite: Suite::Lulesh, working_set_mb: 160, pattern: AccessPattern::Stencil { touches: 4, row_pages: 16 }, reuse: 0.35, compute_per_mem: 12, small_allocs: 6, small_alloc_kb: 512 },
-    AppProfile { name: "MM", suite: Suite::CudaSdk, working_set_mb: 36, pattern: AccessPattern::Streaming, reuse: 0.70, compute_per_mem: 14, small_allocs: 2, small_alloc_kb: 128 },
-    AppProfile { name: "MUM", suite: Suite::Rodinia, working_set_mb: 144, pattern: AccessPattern::Chase, reuse: 0.10, compute_per_mem: 3, small_allocs: 4, small_alloc_kb: 256 },
-    AppProfile { name: "NN", suite: Suite::Rodinia, working_set_mb: 10, pattern: AccessPattern::Streaming, reuse: 0.65, compute_per_mem: 5, small_allocs: 8, small_alloc_kb: 128 },
-    AppProfile { name: "NW", suite: Suite::Rodinia, working_set_mb: 88, pattern: AccessPattern::Strided { stride_pages: 6 }, reuse: 0.25, compute_per_mem: 4, small_allocs: 3, small_alloc_kb: 192 },
-    AppProfile { name: "QTC", suite: Suite::Shoc, working_set_mb: 120, pattern: AccessPattern::RandomGather { fanout: 8 }, reuse: 0.15, compute_per_mem: 5, small_allocs: 4, small_alloc_kb: 256 },
-    AppProfile { name: "RAY", suite: Suite::CudaSdk, working_set_mb: 52, pattern: AccessPattern::Chase, reuse: 0.30, compute_per_mem: 11, small_allocs: 5, small_alloc_kb: 256 },
-    AppProfile { name: "RED", suite: Suite::Shoc, working_set_mb: 128, pattern: AccessPattern::Streaming, reuse: 0.15, compute_per_mem: 3, small_allocs: 1, small_alloc_kb: 128 },
-    AppProfile { name: "SAD", suite: Suite::Parboil, working_set_mb: 76, pattern: AccessPattern::Stencil { touches: 2, row_pages: 6 }, reuse: 0.45, compute_per_mem: 6, small_allocs: 4, small_alloc_kb: 192 },
-    AppProfile { name: "SC", suite: Suite::Rodinia, working_set_mb: 104, pattern: AccessPattern::RandomGather { fanout: 5 }, reuse: 0.25, compute_per_mem: 4, small_allocs: 3, small_alloc_kb: 256 },
-    AppProfile { name: "SCAN", suite: Suite::Shoc, working_set_mb: 192, pattern: AccessPattern::Streaming, reuse: 0.10, compute_per_mem: 3, small_allocs: 2, small_alloc_kb: 128 },
-    AppProfile { name: "SCP", suite: Suite::CudaSdk, working_set_mb: 44, pattern: AccessPattern::Streaming, reuse: 0.35, compute_per_mem: 5, small_allocs: 2, small_alloc_kb: 96 },
-    AppProfile { name: "SPMV", suite: Suite::Parboil, working_set_mb: 168, pattern: AccessPattern::RandomGather { fanout: 7 }, reuse: 0.20, compute_per_mem: 4, small_allocs: 5, small_alloc_kb: 192 },
-    AppProfile { name: "SRAD", suite: Suite::Rodinia, working_set_mb: 60, pattern: AccessPattern::Stencil { touches: 3, row_pages: 5 }, reuse: 0.50, compute_per_mem: 7, small_allocs: 3, small_alloc_kb: 128 },
-    AppProfile { name: "TRD", suite: Suite::Shoc, working_set_mb: 362, pattern: AccessPattern::Streaming, reuse: 0.05, compute_per_mem: 3, small_allocs: 1, small_alloc_kb: 256 },
+    AppProfile {
+        name: "3DS",
+        suite: Suite::CudaSdk,
+        working_set_mb: 64,
+        pattern: AccessPattern::Stencil { touches: 3, row_pages: 8 },
+        reuse: 0.55,
+        compute_per_mem: 6,
+        small_allocs: 3,
+        small_alloc_kb: 256,
+    },
+    AppProfile {
+        name: "BFS2",
+        suite: Suite::Rodinia,
+        working_set_mb: 96,
+        pattern: AccessPattern::RandomGather { fanout: 6 },
+        reuse: 0.20,
+        compute_per_mem: 3,
+        small_allocs: 4,
+        small_alloc_kb: 192,
+    },
+    AppProfile {
+        name: "BLK",
+        suite: Suite::CudaSdk,
+        working_set_mb: 48,
+        pattern: AccessPattern::Streaming,
+        reuse: 0.30,
+        compute_per_mem: 18,
+        small_allocs: 3,
+        small_alloc_kb: 128,
+    },
+    AppProfile {
+        name: "CONS",
+        suite: Suite::CudaSdk,
+        working_set_mb: 112,
+        pattern: AccessPattern::Streaming,
+        reuse: 0.45,
+        compute_per_mem: 4,
+        small_allocs: 2,
+        small_alloc_kb: 256,
+    },
+    AppProfile {
+        name: "FFT",
+        suite: Suite::Shoc,
+        working_set_mb: 80,
+        pattern: AccessPattern::Strided { stride_pages: 8 },
+        reuse: 0.35,
+        compute_per_mem: 7,
+        small_allocs: 4,
+        small_alloc_kb: 256,
+    },
+    AppProfile {
+        name: "FWT",
+        suite: Suite::CudaSdk,
+        working_set_mb: 64,
+        pattern: AccessPattern::Strided { stride_pages: 4 },
+        reuse: 0.35,
+        compute_per_mem: 5,
+        small_allocs: 3,
+        small_alloc_kb: 192,
+    },
+    AppProfile {
+        name: "GUPS",
+        suite: Suite::Shoc,
+        working_set_mb: 256,
+        pattern: AccessPattern::RandomGather { fanout: 16 },
+        reuse: 0.02,
+        compute_per_mem: 2,
+        small_allocs: 1,
+        small_alloc_kb: 64,
+    },
+    AppProfile {
+        name: "HISTO",
+        suite: Suite::Parboil,
+        working_set_mb: 72,
+        pattern: AccessPattern::RandomGather { fanout: 4 },
+        reuse: 0.40,
+        compute_per_mem: 4,
+        small_allocs: 5,
+        small_alloc_kb: 128,
+    },
+    AppProfile {
+        name: "HS",
+        suite: Suite::Rodinia,
+        working_set_mb: 40,
+        pattern: AccessPattern::Stencil { touches: 3, row_pages: 4 },
+        reuse: 0.60,
+        compute_per_mem: 8,
+        small_allocs: 2,
+        small_alloc_kb: 128,
+    },
+    AppProfile {
+        name: "JPEG",
+        suite: Suite::CudaSdk,
+        working_set_mb: 56,
+        pattern: AccessPattern::Streaming,
+        reuse: 0.50,
+        compute_per_mem: 10,
+        small_allocs: 6,
+        small_alloc_kb: 192,
+    },
+    AppProfile {
+        name: "LPS",
+        suite: Suite::CudaSdk,
+        working_set_mb: 32,
+        pattern: AccessPattern::Stencil { touches: 3, row_pages: 2 },
+        reuse: 0.55,
+        compute_per_mem: 7,
+        small_allocs: 3,
+        small_alloc_kb: 96,
+    },
+    AppProfile {
+        name: "LUD",
+        suite: Suite::Rodinia,
+        working_set_mb: 24,
+        pattern: AccessPattern::Strided { stride_pages: 2 },
+        reuse: 0.55,
+        compute_per_mem: 9,
+        small_allocs: 4,
+        small_alloc_kb: 64,
+    },
+    AppProfile {
+        name: "LUH",
+        suite: Suite::Lulesh,
+        working_set_mb: 160,
+        pattern: AccessPattern::Stencil { touches: 4, row_pages: 16 },
+        reuse: 0.35,
+        compute_per_mem: 12,
+        small_allocs: 6,
+        small_alloc_kb: 512,
+    },
+    AppProfile {
+        name: "MM",
+        suite: Suite::CudaSdk,
+        working_set_mb: 36,
+        pattern: AccessPattern::Streaming,
+        reuse: 0.70,
+        compute_per_mem: 14,
+        small_allocs: 2,
+        small_alloc_kb: 128,
+    },
+    AppProfile {
+        name: "MUM",
+        suite: Suite::Rodinia,
+        working_set_mb: 144,
+        pattern: AccessPattern::Chase,
+        reuse: 0.10,
+        compute_per_mem: 3,
+        small_allocs: 4,
+        small_alloc_kb: 256,
+    },
+    AppProfile {
+        name: "NN",
+        suite: Suite::Rodinia,
+        working_set_mb: 10,
+        pattern: AccessPattern::Streaming,
+        reuse: 0.65,
+        compute_per_mem: 5,
+        small_allocs: 8,
+        small_alloc_kb: 128,
+    },
+    AppProfile {
+        name: "NW",
+        suite: Suite::Rodinia,
+        working_set_mb: 88,
+        pattern: AccessPattern::Strided { stride_pages: 6 },
+        reuse: 0.25,
+        compute_per_mem: 4,
+        small_allocs: 3,
+        small_alloc_kb: 192,
+    },
+    AppProfile {
+        name: "QTC",
+        suite: Suite::Shoc,
+        working_set_mb: 120,
+        pattern: AccessPattern::RandomGather { fanout: 8 },
+        reuse: 0.15,
+        compute_per_mem: 5,
+        small_allocs: 4,
+        small_alloc_kb: 256,
+    },
+    AppProfile {
+        name: "RAY",
+        suite: Suite::CudaSdk,
+        working_set_mb: 52,
+        pattern: AccessPattern::Chase,
+        reuse: 0.30,
+        compute_per_mem: 11,
+        small_allocs: 5,
+        small_alloc_kb: 256,
+    },
+    AppProfile {
+        name: "RED",
+        suite: Suite::Shoc,
+        working_set_mb: 128,
+        pattern: AccessPattern::Streaming,
+        reuse: 0.15,
+        compute_per_mem: 3,
+        small_allocs: 1,
+        small_alloc_kb: 128,
+    },
+    AppProfile {
+        name: "SAD",
+        suite: Suite::Parboil,
+        working_set_mb: 76,
+        pattern: AccessPattern::Stencil { touches: 2, row_pages: 6 },
+        reuse: 0.45,
+        compute_per_mem: 6,
+        small_allocs: 4,
+        small_alloc_kb: 192,
+    },
+    AppProfile {
+        name: "SC",
+        suite: Suite::Rodinia,
+        working_set_mb: 104,
+        pattern: AccessPattern::RandomGather { fanout: 5 },
+        reuse: 0.25,
+        compute_per_mem: 4,
+        small_allocs: 3,
+        small_alloc_kb: 256,
+    },
+    AppProfile {
+        name: "SCAN",
+        suite: Suite::Shoc,
+        working_set_mb: 192,
+        pattern: AccessPattern::Streaming,
+        reuse: 0.10,
+        compute_per_mem: 3,
+        small_allocs: 2,
+        small_alloc_kb: 128,
+    },
+    AppProfile {
+        name: "SCP",
+        suite: Suite::CudaSdk,
+        working_set_mb: 44,
+        pattern: AccessPattern::Streaming,
+        reuse: 0.35,
+        compute_per_mem: 5,
+        small_allocs: 2,
+        small_alloc_kb: 96,
+    },
+    AppProfile {
+        name: "SPMV",
+        suite: Suite::Parboil,
+        working_set_mb: 168,
+        pattern: AccessPattern::RandomGather { fanout: 7 },
+        reuse: 0.20,
+        compute_per_mem: 4,
+        small_allocs: 5,
+        small_alloc_kb: 192,
+    },
+    AppProfile {
+        name: "SRAD",
+        suite: Suite::Rodinia,
+        working_set_mb: 60,
+        pattern: AccessPattern::Stencil { touches: 3, row_pages: 5 },
+        reuse: 0.50,
+        compute_per_mem: 7,
+        small_allocs: 3,
+        small_alloc_kb: 128,
+    },
+    AppProfile {
+        name: "TRD",
+        suite: Suite::Shoc,
+        working_set_mb: 362,
+        pattern: AccessPattern::Streaming,
+        reuse: 0.05,
+        compute_per_mem: 3,
+        small_allocs: 1,
+        small_alloc_kb: 256,
+    },
 ];
 
 #[cfg(test)]

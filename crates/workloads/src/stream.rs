@@ -311,8 +311,7 @@ mod tests {
             for _ in 0..300 {
                 if let WarpOp::Memory { addresses } = s.next_op() {
                     for a in addresses {
-                        let in_main =
-                            a.raw() >= 0x1000_0000 && a.raw() < 0x1000_0000 + ws;
+                        let in_main = a.raw() >= 0x1000_0000 && a.raw() < 0x1000_0000 + ws;
                         let in_small = (0..layout.small_count).any(|i| {
                             let b = layout.small_base(i).raw();
                             a.raw() >= b && a.raw() < b + layout.small_bytes

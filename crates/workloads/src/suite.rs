@@ -13,10 +13,9 @@
 use crate::profile::{AppProfile, ALL_PROFILES};
 use mosaic_sim_core::SimRng;
 use mosaic_vm::LARGE_PAGE_SIZE;
-use serde::{Deserialize, Serialize};
 
 /// Scaling knobs for simulation tractability.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScaleConfig {
     /// Working sets are divided by this factor (paper-scale 81.5 MB
     /// average becomes ~10 MB at the default 8).
@@ -52,7 +51,8 @@ impl ScaleConfig {
     /// Scaled working-set size for `profile`, rounded up to a whole number
     /// of 2 MB large pages (the en-masse reservation the app makes).
     pub fn ws_bytes(&self, profile: &AppProfile) -> u64 {
-        let raw = u64::from(profile.working_set_mb) * 1024 * 1024 / u64::from(self.ws_divisor.max(1));
+        let raw =
+            u64::from(profile.working_set_mb) * 1024 * 1024 / u64::from(self.ws_divisor.max(1));
         raw.max(LARGE_PAGE_SIZE).div_ceil(LARGE_PAGE_SIZE) * LARGE_PAGE_SIZE
     }
 
@@ -140,10 +140,7 @@ pub fn heterogeneous_suite(apps_per_workload: usize, seed: u64) -> Vec<Workload>
             rng.shuffle(&mut pool);
             let mut apps: Vec<_> = pool.into_iter().take(apps_per_workload).collect();
             apps.sort_by_key(|p| p.name);
-            Workload {
-                name: apps.iter().map(|p| p.name).collect::<Vec<_>>().join("-"),
-                apps,
-            }
+            Workload { name: apps.iter().map(|p| p.name).collect::<Vec<_>>().join("-"), apps }
         })
         .collect()
 }

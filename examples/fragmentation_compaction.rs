@@ -6,8 +6,8 @@
 //! cargo run --release --example fragmentation_compaction
 //! ```
 
-use mosaic::prelude::*;
 use mosaic::core::FRAG_OWNER;
+use mosaic::prelude::*;
 use mosaic::vm::{LargePageNum, BASE_PAGES_PER_LARGE_PAGE, LARGE_PAGE_SIZE};
 
 fn main() {

@@ -14,14 +14,17 @@ use mosaic::prelude::*;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "HS".to_string());
-    let profile = AppProfile::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown application {name}"));
+    let profile =
+        AppProfile::by_name(&name).unwrap_or_else(|| panic!("unknown application {name}"));
     println!(
         "sharing the GPU among 1-4 copies of {} ({})",
         profile.name,
         if profile.tlb_sensitive() { "TLB-sensitive" } else { "TLB-friendly" }
     );
-    println!("\n{:<8} {:>10} {:>10} {:>10} {:>14}", "copies", "GPU-MMU", "Mosaic", "Ideal", "Mosaic gain");
+    println!(
+        "\n{:<8} {:>10} {:>10} {:>10} {:>14}",
+        "copies", "GPU-MMU", "Mosaic", "Ideal", "Mosaic gain"
+    );
 
     for copies in 1..=4 {
         let names: Vec<&str> = vec![profile.name; copies];

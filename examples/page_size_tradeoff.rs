@@ -18,8 +18,9 @@ use mosaic::prelude::*;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "CONS".to_string());
-    let profile = AppProfile::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown application {name}; pick one of the 27 (e.g. CONS, HS, GUPS)"));
+    let profile = AppProfile::by_name(&name).unwrap_or_else(|| {
+        panic!("unknown application {name}; pick one of the 27 (e.g. CONS, HS, GUPS)")
+    });
     let workload = Workload { name: profile.name.to_string(), apps: vec![profile] };
     println!(
         "application {} ({:?}, {} MB working set at paper scale)\n",
@@ -36,7 +37,9 @@ fn main() {
         .iobus
         .uncontended_latency(PageSize::Large.bytes())
         .as_micros();
-    println!("far-fault load-to-use (this scale): 4KB = {fault_us:.1} us, 2MB = {fault_2m_us:.1} us\n");
+    println!(
+        "far-fault load-to-use (this scale): 4KB = {fault_us:.1} us, 2MB = {fault_2m_us:.1} us\n"
+    );
 
     let ideal =
         run_workload(&workload, RunConfig::new(ManagerKind::GpuMmu4K).preloaded().ideal_tlb());
@@ -58,8 +61,14 @@ fn main() {
         "2MB pages (no paging)",
         &run_workload(&workload, RunConfig::new(ManagerKind::GpuMmu2M).preloaded()),
     );
-    show("4KB pages + demand paging", &run_workload(&workload, RunConfig::new(ManagerKind::GpuMmu4K)));
-    show("2MB pages + demand paging", &run_workload(&workload, RunConfig::new(ManagerKind::GpuMmu2M)));
+    show(
+        "4KB pages + demand paging",
+        &run_workload(&workload, RunConfig::new(ManagerKind::GpuMmu4K)),
+    );
+    show(
+        "2MB pages + demand paging",
+        &run_workload(&workload, RunConfig::new(ManagerKind::GpuMmu2M)),
+    );
     show("Mosaic + demand paging", &run_workload(&workload, RunConfig::new(ManagerKind::mosaic())));
 
     println!("\n2MB pages win on translation and lose on transfer; Mosaic takes both wins.");

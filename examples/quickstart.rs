@@ -31,7 +31,10 @@ fn main() {
         println!("  alone: {:8} ipc = {:.3}", a.apps[0].name, a.apps[0].ipc);
     }
 
-    println!("\n{:<12} {:>16} {:>12} {:>12} {:>12}", "manager", "weighted speedup", "L1 TLB", "L2 TLB", "coalesces");
+    println!(
+        "\n{:<12} {:>16} {:>12} {:>12} {:>12}",
+        "manager", "weighted speedup", "L1 TLB", "L2 TLB", "coalesces"
+    );
     for (label, cfg) in [
         ("GPU-MMU", base),
         ("Mosaic", RunConfig::new(ManagerKind::mosaic())),

@@ -13,13 +13,18 @@
 //!   --preload            stage all data before cycle 0 (no demand paging)
 //!   --frag <index,occ>   pre-fragment memory (Mosaic only), e.g. --frag 1.0,0.5
 //!   --seed <n>           deterministic seed (default 42)
+//!   --audit [cycles]     sweep runtime invariants (frame conservation,
+//!                        ownership agreement, TLB coherence) every N cycles
+//!                        and abort on the first violation; N defaults to
+//!                        100000. Debug builds audit by default.
 //!   --list               list the application roster and exit
 
 use mosaic::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mosaic-sim [--manager NAME] [--preload] [--frag I,O] [--seed N] APP [APP...]\n\
+        "usage: mosaic-sim [--manager NAME] [--preload] [--frag I,O] [--seed N] [--audit [N]] \
+         APP [APP...]\n\
          managers: mosaic (default), gpu-mmu, gpu-mmu-2mb, migrating, ideal, all\n\
          run with --list to see the 27 applications"
     );
@@ -51,15 +56,24 @@ fn parse_args() -> Options {
     let mut preload = false;
     let mut frag: Option<(f64, f64)> = None;
     let mut seed = 42u64;
+    let mut audit_every: Option<u64> = None;
     let mut apps = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--list" => list_apps(),
             "--manager" => manager = args.next().unwrap_or_else(|| usage()),
             "--preload" => preload = true,
-            "--seed" => {
-                seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            "--seed" => seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--audit" => {
+                // Optional cadence operand: `--audit 50000` or bare `--audit`.
+                audit_every = match args.peek().and_then(|s| s.parse().ok()) {
+                    Some(n) => {
+                        args.next();
+                        Some(n)
+                    }
+                    None => Some(RunConfig::DEFAULT_AUDIT_EVERY),
+                };
             }
             "--frag" => {
                 let spec = args.next().unwrap_or_else(|| usage());
@@ -86,6 +100,7 @@ fn parse_args() -> Options {
             cfg = cfg.preloaded();
         }
         cfg.fragmentation = frag;
+        cfg.audit_every = audit_every;
         cfg
     };
     let named = |name: &str| -> (String, RunConfig) {

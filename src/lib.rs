@@ -58,8 +58,8 @@ pub use mosaic_workloads as workloads;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use mosaic_core::{
-        Cac, CacConfig, CoCoA, FramePool, GpuMmuManager, InPlaceCoalescer, ManagerStats,
-        MemError, MemoryManager, MgmtEvent, MosaicConfig, MosaicManager, TouchOutcome,
+        Cac, CacConfig, CoCoA, FramePool, GpuMmuManager, InPlaceCoalescer, ManagerStats, MemError,
+        MemoryManager, MgmtEvent, MosaicConfig, MosaicManager, TouchOutcome,
     };
     pub use mosaic_gpusim::{
         run_alone_baselines, run_workload, weighted_speedup, DemandPagingMode, GpuSystem,

@@ -5,8 +5,12 @@
 use mosaic::prelude::*;
 
 fn smoke_cfg(manager: ManagerKind) -> RunConfig {
-    let mut cfg = RunConfig::new(manager)
-        .with_scale(ScaleConfig { ws_divisor: 32, mem_ops_per_warp: 60, warps_per_sm: 4, phases: 1 });
+    let mut cfg = RunConfig::new(manager).with_scale(ScaleConfig {
+        ws_divisor: 32,
+        mem_ops_per_warp: 60,
+        warps_per_sm: 4,
+        phases: 1,
+    });
     cfg.system.sm_count = 8;
     cfg
 }
@@ -56,7 +60,12 @@ fn mosaic_transfers_base_pages_but_translates_large() {
     // Enough instructions that the warps cover whole 2MB chunks, so the
     // In-Place Coalescer actually fires during the demand-paged run.
     let mut cfg = smoke_cfg(ManagerKind::mosaic());
-    cfg = cfg.with_scale(ScaleConfig { ws_divisor: 32, mem_ops_per_warp: 600, warps_per_sm: 4, phases: 1 });
+    cfg = cfg.with_scale(ScaleConfig {
+        ws_divisor: 32,
+        mem_ops_per_warp: 600,
+        warps_per_sm: 4,
+        phases: 1,
+    });
     cfg.system.sm_count = 8;
     let r = run_workload(&w, cfg);
     // Demand paging moved only 4KB base pages...

@@ -33,9 +33,7 @@ fn assert_no_frame_sharing(m: &dyn MemoryManager, apps: u16) {
         for lpn in table.mapped_regions() {
             for (vpn, frame, _) in table.region_mappings(lpn) {
                 if let Some(prev) = owners.insert(frame.raw(), asid) {
-                    panic!(
-                        "frame {frame} mapped by both {prev} and {asid} (page {vpn})"
-                    );
+                    panic!("frame {frame} mapped by both {prev} and {asid} (page {vpn})");
                 }
             }
         }
