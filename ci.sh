@@ -17,4 +17,10 @@ cargo run -q -p mosaic-audit -- check
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo build --release"
+cargo build -q --release
+
+echo "==> smoke sweep (parallel reproduce run)"
+MOSAIC_SCOPE=smoke cargo run -q --release -p mosaic-experiments --bin reproduce -- fig03 fig08
+
 echo "CI green."

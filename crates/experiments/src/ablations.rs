@@ -11,8 +11,9 @@
 //!   coalescing costs when it has to move data and flush TLBs.
 
 use crate::common::{fmt_row, mean, AloneCache, Scope};
+use crate::sweep::{run_workloads, Executor};
 use mosaic_core::cac::CacConfig;
-use mosaic_gpusim::{run_workload, ManagerKind};
+use mosaic_gpusim::ManagerKind;
 use mosaic_workloads::Workload;
 use std::fmt;
 
@@ -28,24 +29,33 @@ pub struct PwcAblation {
 
 /// Runs the Section 3.1 ablation.
 pub fn pwc_vs_l2tlb(scope: Scope) -> PwcAblation {
-    let mut speedups = Vec::new();
     // The L2 TLB's advantage is hit filtering, so it shows on workloads
     // with page-level locality; gather/chase applications miss either
     // structure and only see the extra probe (they drag the paper-style
     // average below the locality-bearing majority's behaviour).
-    for profile in scope.apps().into_iter().filter(|p| !p.tlb_sensitive()) {
-        let w = Workload { name: profile.name.to_string(), apps: vec![profile] };
-        // A: Power et al.'s original — page-walk cache, no shared L2 TLB.
-        let mut pwc_cfg = scope.config(ManagerKind::GpuMmu4K).preloaded();
-        pwc_cfg.system.walk_cache_entries = 512;
-        pwc_cfg.system.l2_tlb.base_entries = 0;
-        pwc_cfg.system.l2_tlb.large_entries = 0;
-        // B: the paper's baseline — shared L2 TLB, no page-walk cache.
-        let l2_cfg = scope.config(ManagerKind::GpuMmu4K).preloaded();
-        let pwc = run_workload(&w, pwc_cfg).total_cycles as f64;
-        let l2 = run_workload(&w, l2_cfg).total_cycles as f64;
-        speedups.push((profile.name.to_string(), pwc / l2));
-    }
+    let profiles: Vec<_> = scope.apps().into_iter().filter(|p| !p.tlb_sensitive()).collect();
+    let jobs: Vec<_> = profiles
+        .iter()
+        .flat_map(|profile| {
+            let w = Workload { name: profile.name.to_string(), apps: vec![profile] };
+            // A: Power et al.'s original — page-walk cache, no shared L2 TLB.
+            let mut pwc_cfg = scope.config(ManagerKind::GpuMmu4K).preloaded();
+            pwc_cfg.system.walk_cache_entries = 512;
+            pwc_cfg.system.l2_tlb.base_entries = 0;
+            pwc_cfg.system.l2_tlb.large_entries = 0;
+            // B: the paper's baseline — shared L2 TLB, no page-walk cache.
+            let l2_cfg = scope.config(ManagerKind::GpuMmu4K).preloaded();
+            [(w.clone(), pwc_cfg), (w, l2_cfg)]
+        })
+        .collect();
+    let results = run_workloads(&Executor::from_env(), jobs);
+    let speedups: Vec<(String, f64)> = profiles
+        .iter()
+        .zip(results.chunks_exact(2))
+        .map(|(profile, pair)| {
+            (profile.name.to_string(), pair[0].total_cycles as f64 / pair[1].total_cycles as f64)
+        })
+        .collect();
     let avg_speedup = mean(&speedups.iter().map(|(_, s)| *s).collect::<Vec<_>>());
     PwcAblation { speedups, avg_speedup }
 }
@@ -78,16 +88,19 @@ pub struct WalkerSweep {
 pub fn walker_threads(scope: Scope) -> WalkerSweep {
     let threads: &[usize] = if scope == Scope::Smoke { &[8, 64] } else { &[8, 16, 32, 64, 128] };
     let w = Workload::from_names(&["GUPS"]);
-    let base =
-        run_workload(&w, scope.config(ManagerKind::GpuMmu4K).preloaded()).total_cycles as f64;
-    let normalized = threads
-        .iter()
-        .map(|&t| {
+    // First job: the 64-thread normalization baseline; then one job per
+    // swept thread count.
+    let jobs: Vec<_> = std::iter::once(scope.config(ManagerKind::GpuMmu4K).preloaded())
+        .chain(threads.iter().map(|&t| {
             let mut cfg = scope.config(ManagerKind::GpuMmu4K).preloaded();
             cfg.system.walker_threads = t;
-            base / run_workload(&w, cfg).total_cycles as f64
-        })
+            cfg
+        }))
+        .map(|cfg| (w.clone(), cfg))
         .collect();
+    let results = run_workloads(&Executor::from_env(), jobs);
+    let base = results[0].total_cycles as f64;
+    let normalized = results[1..].iter().map(|r| base / r.total_cycles as f64).collect();
     WalkerSweep { threads: threads.to_vec(), normalized }
 }
 
@@ -113,17 +126,23 @@ pub fn cac_threshold(scope: Scope) -> ThresholdSweep {
     let thresholds: &[f64] = if scope == Scope::Smoke { &[0.25, 0.5] } else { &[0.25, 0.5, 0.75] };
     let w = Workload::from_names(&["HS", "CONS"]);
     let ws_total: u64 = w.apps.iter().map(|p| scope.scale().ws_bytes(p)).sum();
-    let run_with = |threshold: f64| {
+    let cfg_with = |threshold: f64| {
         let mut cfg = scope.config(ManagerKind::Mosaic(CacConfig {
             occupancy_threshold: threshold,
             ..CacConfig::default()
         }));
         cfg.system.memory_bytes = (ws_total * 10).max(64 * 1024 * 1024);
         cfg.fragmentation = Some((1.0, 0.5));
-        run_workload(&w, cfg).total_cycles as f64
+        cfg
     };
-    let base = run_with(0.5);
-    let normalized = thresholds.iter().map(|&t| base / run_with(t)).collect();
+    // First job: the 0.5-threshold normalization baseline; then the sweep.
+    let jobs: Vec<_> = std::iter::once(cfg_with(0.5))
+        .chain(thresholds.iter().map(|&t| cfg_with(t)))
+        .map(|cfg| (w.clone(), cfg))
+        .collect();
+    let results = run_workloads(&Executor::from_env(), jobs);
+    let base = results[0].total_cycles as f64;
+    let normalized = results[1..].iter().map(|r| base / r.total_cycles as f64).collect();
     ThresholdSweep { thresholds: thresholds.to_vec(), normalized }
 }
 
@@ -155,20 +174,30 @@ pub struct MultiKernel {
 pub fn multi_kernel(scope: Scope) -> MultiKernel {
     let phases: &[u32] = if scope == Scope::Smoke { &[1, 2] } else { &[1, 2, 4] };
     let w = Workload::from_names(&["HS", "CONS"]);
+    let exec = Executor::from_env();
     let mut cache = AloneCache::new();
+    // Two jobs per phase count: Mosaic then GPU-MMU.
+    let jobs: Vec<_> = phases
+        .iter()
+        .flat_map(|&p| {
+            let mut mos_cfg = scope.config(ManagerKind::mosaic());
+            mos_cfg.scale.phases = p;
+            let mut mmu_cfg = scope.config(ManagerKind::GpuMmu4K);
+            mmu_cfg.scale.phases = p;
+            [(w.clone(), mos_cfg), (w.clone(), mmu_cfg)]
+        })
+        .collect();
+    let baseline_items: Vec<_> = jobs.iter().map(|(w, cfg)| (w, *cfg)).collect();
+    cache.prefetch(&exec, &baseline_items);
+    let results = run_workloads(&exec, jobs.clone());
+
     let mut mosaic = Vec::new();
     let mut gpu_mmu = Vec::new();
     let mut splinters = Vec::new();
-    for &p in phases {
-        let mut mos_cfg = scope.config(ManagerKind::mosaic());
-        mos_cfg.scale.phases = p;
-        let mut mmu_cfg = scope.config(ManagerKind::GpuMmu4K);
-        mmu_cfg.scale.phases = p;
-        let mos = run_workload(&w, mos_cfg);
-        splinters.push(mos.stats.manager.splinters);
-        mosaic.push(cache.weighted_speedup(&w, &mos, mos_cfg));
-        let mmu = run_workload(&w, mmu_cfg);
-        gpu_mmu.push(cache.weighted_speedup(&w, &mmu, mmu_cfg));
+    for (pair_jobs, pair) in jobs.chunks_exact(2).zip(results.chunks_exact(2)) {
+        splinters.push(pair[0].stats.manager.splinters);
+        mosaic.push(cache.weighted_speedup(&w, &pair[0], pair_jobs[0].1));
+        gpu_mmu.push(cache.weighted_speedup(&w, &pair[1], pair_jobs[1].1));
     }
     MultiKernel { phases: phases.to_vec(), mosaic, gpu_mmu, splinters }
 }
@@ -207,22 +236,32 @@ pub struct CoalescerComparison {
 /// design of Section 7.1), and Mosaic's in-place coalescing, on
 /// two-application workloads.
 pub fn migrating_coalescer(scope: Scope) -> CoalescerComparison {
+    let exec = Executor::from_env();
     let mut cache = AloneCache::new();
+    let workloads = scope.homogeneous(2);
+    let configs = |scope: Scope| {
+        [
+            scope.config(ManagerKind::GpuMmu4K),
+            scope.config(ManagerKind::migrating()),
+            scope.config(ManagerKind::mosaic()),
+        ]
+    };
+    // Three jobs per workload, in report-column order.
+    let jobs: Vec<_> =
+        workloads.iter().flat_map(|w| configs(scope).map(|cfg| (w.clone(), cfg))).collect();
+    let baseline_items: Vec<_> = jobs.iter().map(|(w, cfg)| (w, *cfg)).collect();
+    cache.prefetch(&exec, &baseline_items);
+    let results = run_workloads(&exec, jobs);
+
     let mut rows = Vec::new();
     let mut migrations = 0;
     let mut shootdowns = 0;
     let mut mig_bloat = Vec::new();
     let mut mos_bloat = Vec::new();
-    for w in scope.homogeneous(2) {
+    for (w, shared_runs) in workloads.iter().zip(results.chunks_exact(3)) {
         let mut ws = [0.0f64; 3];
-        let configs = [
-            scope.config(ManagerKind::GpuMmu4K),
-            scope.config(ManagerKind::migrating()),
-            scope.config(ManagerKind::mosaic()),
-        ];
-        for (i, cfg) in configs.into_iter().enumerate() {
-            let shared = run_workload(&w, cfg);
-            ws[i] = cache.weighted_speedup(&w, &shared, cfg);
+        for (i, (cfg, shared)) in configs(scope).iter().zip(shared_runs).enumerate() {
+            ws[i] = cache.weighted_speedup(w, shared, *cfg);
             if i == 1 {
                 migrations += shared.stats.manager.migrations;
                 shootdowns += shared.stats.manager.coalesces;

@@ -4,9 +4,14 @@
 //! ```text
 //! cargo run --release -p mosaic-experiments --bin reproduce -- all
 //! cargo run --release -p mosaic-experiments --bin reproduce -- fig08 fig13
+//! cargo run --release -p mosaic-experiments --bin reproduce -- --jobs 4 fig08
 //! MOSAIC_SCOPE=full cargo run --release -p mosaic-experiments --bin reproduce -- fig08
 //! MOSAIC_JSON=out.json cargo run ... -- fig03
 //! ```
+//!
+//! `--jobs N` (or `MOSAIC_JOBS=N`) sets the worker-thread count of the
+//! sweep executor; the default is the machine's available parallelism.
+//! Output is byte-identical for every job count.
 
 use mosaic_experiments as exp;
 use mosaic_experiments::Scope;
@@ -30,7 +35,7 @@ const ALL: [&str; 15] = [
 ];
 
 fn emit<T: std::fmt::Display>(name: &str, value: T, sink: &mut Vec<(String, String)>) {
-    println!("==================================================================");
+    println!("{:=<66}", format!("== {name} "));
     println!("{value}");
     sink.push((name.to_string(), value.to_string()));
 }
@@ -64,15 +69,53 @@ fn to_json(results: &[(String, String)]) -> String {
     out
 }
 
+/// Strips `--jobs N` / `--jobs=N` out of `args` and returns the parsed
+/// worker count, exiting with a usage error on a malformed value.
+fn take_jobs_flag(args: &mut Vec<String>) -> Option<usize> {
+    let mut jobs = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = if args[i] == "--jobs" {
+            if i + 1 >= args.len() {
+                eprintln!("--jobs requires a worker count");
+                std::process::exit(2);
+            }
+            let v = args.remove(i + 1);
+            args.remove(i);
+            v
+        } else if let Some(v) = args[i].strip_prefix("--jobs=") {
+            let v = v.to_string();
+            args.remove(i);
+            v
+        } else {
+            i += 1;
+            continue;
+        };
+        match value.parse::<usize>() {
+            Ok(n) if n >= 1 => jobs = Some(n),
+            _ => {
+                eprintln!("--jobs expects a positive integer, got {value:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    jobs
+}
+
 fn main() {
     let scope = Scope::from_env();
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    exp::sweep::set_jobs(take_jobs_flag(&mut args));
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         ALL.to_vec()
     } else {
         args.iter().map(String::as_str).collect()
     };
     eprintln!("scope: {scope:?} (set MOSAIC_SCOPE=smoke|default|full)");
+    eprintln!(
+        "jobs: {} (set with --jobs N or MOSAIC_JOBS=N; output is identical at any count)",
+        exp::Executor::from_env().jobs()
+    );
 
     let mut results = Vec::new();
     for name in wanted {

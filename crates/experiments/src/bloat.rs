@@ -7,7 +7,8 @@
 //! even when the application touches only part of it.
 
 use crate::common::{fmt_row, mean, Scope};
-use mosaic_gpusim::{run_workload, ManagerKind};
+use crate::sweep::{run_workloads, Executor};
+use mosaic_gpusim::ManagerKind;
 use mosaic_workloads::Workload;
 use std::fmt;
 
@@ -37,15 +38,25 @@ pub struct BloatReport {
 
 /// Runs the experiment.
 pub fn run(scope: Scope) -> BloatReport {
+    let profiles = scope.apps();
+    // Two jobs per application: 4KB-only then 2MB-only.
+    let jobs: Vec<_> = profiles
+        .iter()
+        .flat_map(|profile| {
+            let w = Workload { name: profile.name.to_string(), apps: vec![profile] };
+            [
+                (w.clone(), scope.config(ManagerKind::GpuMmu4K)),
+                (w, scope.config(ManagerKind::GpuMmu2M)),
+            ]
+        })
+        .collect();
+    let results = run_workloads(&Executor::from_env(), jobs);
     let mut rows = Vec::new();
-    for profile in scope.apps() {
-        let w = Workload { name: profile.name.to_string(), apps: vec![profile] };
-        let base = run_workload(&w, scope.config(ManagerKind::GpuMmu4K));
-        let large = run_workload(&w, scope.config(ManagerKind::GpuMmu2M));
+    for (profile, pair) in profiles.iter().zip(results.chunks_exact(2)) {
         // 4KB-only management commits exactly the touched pages; compare
         // the bytes each configuration actually committed.
-        let f4 = base.stats.touched_bytes.max(1);
-        let f2 = large.stats.footprint_bytes;
+        let f4 = pair[0].stats.touched_bytes.max(1);
+        let f2 = pair[1].stats.footprint_bytes;
         rows.push(AppBloat {
             name: profile.name.to_string(),
             footprint_4k: f4,

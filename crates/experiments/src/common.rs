@@ -52,11 +52,10 @@ impl Scope {
             Scope::Default => 12,
             Scope::Full => 27,
         };
-        // Spread across the TLB-friendly/TLB-sensitive spectrum by taking
-        // every k-th application of the (alphabetical) roster.
+        // Spread across the TLB-friendly/TLB-sensitive spectrum by
+        // sampling the (alphabetical) roster at evenly-spread indices.
         let all = mosaic_workloads::ALL_PROFILES.iter().collect::<Vec<_>>();
-        let stride = (all.len() / take).max(1);
-        all.into_iter().step_by(stride).take(take).collect()
+        spread_indices(all.len(), take).into_iter().map(|i| all[i]).collect()
     }
 
     /// The homogeneous suite (27 workloads in the paper) at this scope.
@@ -77,19 +76,48 @@ impl Scope {
             Scope::Default => 8,
             Scope::Full => suite.len(),
         };
-        let stride = (suite.len() / take).max(1);
-        suite.into_iter().step_by(stride).take(take).collect()
+        let indices = spread_indices(suite.len(), take);
+        let mut picked: Vec<Option<Workload>> = suite.into_iter().map(Some).collect();
+        indices
+            .into_iter()
+            .map(|i| picked[i].take().expect("spread indices are distinct"))
+            .collect()
     }
+}
+
+/// `take` indices spread evenly over `0..len` as `i * len / take`, so the
+/// tail of the roster stays reachable even when `len` is not a multiple of
+/// `take` (a plain stride of `len / take` truncates and never samples the
+/// last `len % take`-ish elements).
+fn spread_indices(len: usize, take: usize) -> Vec<usize> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let take = take.clamp(1, len);
+    (0..take).map(|i| i * len / take).collect()
 }
 
 /// Memoized per-application alone baselines.
 ///
 /// The weighted-speedup denominator (`IPC_alone`) depends only on the
-/// application and its SM share, so across a suite sweep most lookups are
-/// repeats; caching them is what makes full-suite sweeps affordable.
+/// application and the baseline-relevant parts of the run configuration
+/// (its SM share, the workload scale, the rest of the system config), so
+/// across a suite sweep most lookups are repeats; caching them is what
+/// makes full-suite sweeps affordable.
+///
+/// Entries key on a digest of the *full* baseline configuration — scale
+/// plus system minus the fields [`AloneCache::baseline_config`]
+/// overrides — not just `(app, sm_count)`: a cache reused across the
+/// points of a TLB-size sweep (Figures 14/15 style) must not return a
+/// baseline computed under the first point's TLB geometry.
+///
+/// For parallel sweeps, [`AloneCache::prefetch`] resolves the distinct
+/// baseline runs a set of workloads will need through a
+/// [`sweep::Executor`] up front; subsequent lookups then serve from the
+/// frozen cache.
 #[derive(Debug, Default)]
 pub struct AloneCache {
-    cache: HashMap<(String, usize), RunResult>,
+    cache: HashMap<(String, String), RunResult>,
 }
 
 impl AloneCache {
@@ -98,20 +126,73 @@ impl AloneCache {
         Self::default()
     }
 
+    /// The alone-baseline configuration derived from `cfg`: the GPU-MMU
+    /// manager on `sms` SMs, with no ideal-TLB idealization and no
+    /// pre-fragmentation. Everything else (scale, TLB geometry, paging
+    /// mode, seed, ...) is inherited from `cfg` and therefore part of the
+    /// cache key.
+    fn baseline_config(cfg: RunConfig, sms: usize) -> RunConfig {
+        let mut alone_cfg = cfg;
+        alone_cfg.manager = ManagerKind::GpuMmu4K;
+        alone_cfg.system.ideal_tlb = false;
+        alone_cfg.fragmentation = None;
+        alone_cfg.system.sm_count = sms;
+        alone_cfg
+    }
+
+    /// Cache key: application name plus a digest of its baseline config.
+    ///
+    /// The digest is the `Debug` rendering of the fully-derived
+    /// [`RunConfig`], which covers every field that can influence the
+    /// baseline run — deterministic, collision-free, and future-proof
+    /// against new config fields.
+    fn key(profile: &AppProfile, baseline_cfg: &RunConfig) -> (String, String) {
+        (profile.name.to_string(), format!("{baseline_cfg:?}"))
+    }
+
     /// IPC of `profile` running alone on `sms` SMs under the baseline
     /// GPU-MMU configuration derived from `cfg`.
     pub fn alone_ipc(&mut self, profile: &'static AppProfile, sms: usize, cfg: RunConfig) -> f64 {
-        let key = (profile.name.to_string(), sms);
+        let alone_cfg = Self::baseline_config(cfg, sms);
+        let key = Self::key(profile, &alone_cfg);
         let result = self.cache.entry(key).or_insert_with(|| {
-            let mut alone_cfg = cfg;
-            alone_cfg.manager = ManagerKind::GpuMmu4K;
-            alone_cfg.system.ideal_tlb = false;
-            alone_cfg.fragmentation = None;
-            alone_cfg.system.sm_count = sms;
             let solo = Workload { name: profile.name.to_string(), apps: vec![profile] };
             run_workload(&solo, alone_cfg)
         });
         result.apps[0].ipc
+    }
+
+    /// Resolves every alone baseline the given `(workload, config)` pairs
+    /// will need, running the missing ones through `exec` in parallel.
+    ///
+    /// After this returns, [`AloneCache::weighted_speedup`] for any of the
+    /// pairs serves purely from the frozen cache — the pattern parallel
+    /// drivers use: prefetch the distinct baseline keys, then fold rows
+    /// serially with no simulation left on the serial path.
+    pub fn prefetch(&mut self, exec: &crate::sweep::Executor, items: &[(&Workload, RunConfig)]) {
+        let mut missing: Vec<((String, String), &'static AppProfile, RunConfig)> = Vec::new();
+        for &(workload, cfg) in items {
+            let n = workload.app_count();
+            for (i, profile) in workload.apps.iter().enumerate() {
+                let sms = sm_share(cfg.system.sm_count, n, i);
+                let alone_cfg = Self::baseline_config(cfg, sms);
+                let key = Self::key(profile, &alone_cfg);
+                if !self.cache.contains_key(&key) && missing.iter().all(|(k, _, _)| *k != key) {
+                    missing.push((key, profile, alone_cfg));
+                }
+            }
+        }
+        let jobs = missing
+            .iter()
+            .map(|&(_, profile, alone_cfg)| {
+                let solo = Workload { name: profile.name.to_string(), apps: vec![profile] };
+                (solo, alone_cfg)
+            })
+            .collect();
+        let results = crate::sweep::run_workloads(exec, jobs);
+        for ((key, _, _), result) in missing.into_iter().zip(results) {
+            self.cache.insert(key, result);
+        }
     }
 
     /// Weighted speedup of `shared` using cached alone baselines.
@@ -196,6 +277,30 @@ mod tests {
     }
 
     #[test]
+    fn spread_indices_sample_the_tail() {
+        // 27 apps, take 12: the old `step_by(27 / 12)` stride stopped at
+        // index 22, leaving the roster's tail unreachable at every scope
+        // below Full. The spread must start at the first element and
+        // reach within one stride of the last.
+        for (len, take) in [(27, 12), (27, 6), (27, 3), (25, 8), (25, 3), (5, 2)] {
+            let idx = spread_indices(len, take);
+            assert_eq!(idx.len(), take);
+            assert_eq!(idx[0], 0, "({len},{take}): first element reachable");
+            assert!(
+                *idx.last().unwrap() >= len - len.div_ceil(take),
+                "({len},{take}): last pick {} leaves the tail unsampled",
+                idx.last().unwrap()
+            );
+            assert!(idx.windows(2).all(|w| w[0] < w[1]), "({len},{take}): strictly increasing");
+            assert!(idx.iter().all(|&i| i < len));
+        }
+        assert_eq!(spread_indices(27, 12), vec![0, 2, 4, 6, 9, 11, 13, 15, 18, 20, 22, 24]);
+        // take == len degenerates to the identity (Full scope).
+        assert_eq!(spread_indices(4, 4), vec![0, 1, 2, 3]);
+        assert!(spread_indices(0, 3).is_empty());
+    }
+
+    #[test]
     fn alone_cache_memoizes() {
         let mut cache = AloneCache::new();
         let cfg = Scope::Smoke.config(ManagerKind::GpuMmu4K);
@@ -206,6 +311,47 @@ mod tests {
         assert_eq!(cache.len(), 1);
         let _ = cache.alone_ipc(p, 4, cfg);
         assert_eq!(cache.len(), 2, "different SM share is a different baseline");
+    }
+
+    #[test]
+    fn alone_cache_distinguishes_baseline_relevant_configs() {
+        // Regression: keying on (app, sm_count) alone let a cache reused
+        // across the points of a TLB-size sweep serve every point the
+        // baseline computed under the first point's TLB geometry.
+        let mut cache = AloneCache::new();
+        let p = AppProfile::by_name("NN").unwrap();
+        let cfg_a = Scope::Smoke.config(ManagerKind::GpuMmu4K);
+        let mut cfg_b = cfg_a;
+        cfg_b.system.l1_tlb.base_entries = 8;
+        let a = cache.alone_ipc(p, 3, cfg_a);
+        let b = cache.alone_ipc(p, 3, cfg_b);
+        assert_eq!(cache.len(), 2, "two TLB geometries are two baselines");
+        assert_ne!(a, b, "a starved L1 TLB must change the alone baseline");
+        // Fields the baseline derivation overrides (manager, ideal TLB,
+        // fragmentation) must NOT split the cache.
+        let c = cache.alone_ipc(p, 3, cfg_a.ideal_tlb());
+        let d = cache.alone_ipc(p, 3, Scope::Smoke.config(ManagerKind::mosaic()));
+        assert_eq!(cache.len(), 2, "overridden fields are not part of the key");
+        assert_eq!(a, c);
+        assert_eq!(a, d);
+    }
+
+    #[test]
+    fn prefetch_freezes_the_cache() {
+        let exec = crate::sweep::Executor::new(4);
+        let cfg = Scope::Smoke.config(ManagerKind::GpuMmu4K);
+        let w = Workload::from_names(&["NN", "HS"]);
+        let mut prefetched = AloneCache::new();
+        prefetched.prefetch(&exec, &[(&w, cfg)]);
+        assert_eq!(prefetched.len(), 2, "one baseline per application");
+        let before = prefetched.len();
+        let shared = run_workload(&w, cfg);
+        let ws_par = prefetched.weighted_speedup(&w, &shared, cfg);
+        assert_eq!(prefetched.len(), before, "lookups served from the frozen cache");
+        // And the prefetched baselines match the serially-computed ones.
+        let mut serial = AloneCache::new();
+        let ws_ser = serial.weighted_speedup(&w, &shared, cfg);
+        assert_eq!(ws_par, ws_ser);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! translation.
 
 use crate::common::{fmt_row, mean, Scope};
-use mosaic_gpusim::{run_workload, ManagerKind};
+use crate::sweep::{run_workloads, Executor};
+use mosaic_gpusim::ManagerKind;
 use mosaic_workloads::Workload;
 use std::fmt;
 
@@ -35,19 +36,30 @@ pub struct Fig03 {
 
 /// Runs the experiment.
 pub fn run(scope: Scope) -> Fig03 {
-    let mut rows = Vec::new();
-    for profile in scope.apps() {
-        let w = Workload { name: profile.name.to_string(), apps: vec![profile] };
-        // "No demand paging overhead": everything resident up front.
-        let ideal = run_workload(&w, scope.config(ManagerKind::GpuMmu4K).preloaded().ideal_tlb());
-        let base = run_workload(&w, scope.config(ManagerKind::GpuMmu4K).preloaded());
-        let large = run_workload(&w, scope.config(ManagerKind::GpuMmu2M).preloaded());
-        rows.push(AppRow {
+    let apps = scope.apps();
+    // Three jobs per application: ideal-TLB, 4 KB, and 2 MB runs, all
+    // with "no demand paging overhead" (everything resident up front).
+    let jobs: Vec<_> = apps
+        .iter()
+        .flat_map(|profile| {
+            let w = Workload { name: profile.name.to_string(), apps: vec![profile] };
+            [
+                (w.clone(), scope.config(ManagerKind::GpuMmu4K).preloaded().ideal_tlb()),
+                (w.clone(), scope.config(ManagerKind::GpuMmu4K).preloaded()),
+                (w, scope.config(ManagerKind::GpuMmu2M).preloaded()),
+            ]
+        })
+        .collect();
+    let results = run_workloads(&Executor::from_env(), jobs);
+    let rows: Vec<AppRow> = apps
+        .iter()
+        .zip(results.chunks_exact(3))
+        .map(|(profile, runs)| AppRow {
             name: profile.name.to_string(),
-            norm_4k: ideal.total_cycles as f64 / base.total_cycles as f64,
-            norm_2m: ideal.total_cycles as f64 / large.total_cycles as f64,
-        });
-    }
+            norm_4k: runs[0].total_cycles as f64 / runs[1].total_cycles as f64,
+            norm_2m: runs[0].total_cycles as f64 / runs[2].total_cycles as f64,
+        })
+        .collect();
     let avg_4k = mean(&rows.iter().map(|r| r.norm_4k).collect::<Vec<_>>());
     let avg_2m = mean(&rows.iter().map(|r| r.norm_2m).collect::<Vec<_>>());
     Fig03 { rows, avg_4k, avg_2m }

@@ -9,7 +9,8 @@
 //! still (−92.5% vs 4 KB paging at one application, −99.8% at five).
 
 use crate::common::{fmt_row, mean, Scope};
-use mosaic_gpusim::{run_workload, ManagerKind};
+use crate::sweep::{run_workloads, Executor};
+use mosaic_gpusim::ManagerKind;
 use std::fmt;
 
 /// One concurrency level's bars.
@@ -33,19 +34,34 @@ pub struct Fig04 {
 /// Runs the experiment.
 pub fn run(scope: Scope) -> Fig04 {
     let max_apps = if scope == Scope::Smoke { 3 } else { 5 };
+    let level_workloads: Vec<(usize, Vec<mosaic_workloads::Workload>)> =
+        (1..=max_apps).map(|n| (n, scope.homogeneous(n))).collect();
+    // Three jobs per workload: no-paging reference, 4 KB paging, 2 MB
+    // paging.
+    let jobs: Vec<_> = level_workloads
+        .iter()
+        .flat_map(|(_, ws)| ws.iter())
+        .flat_map(|w| {
+            [
+                (w.clone(), scope.config(ManagerKind::GpuMmu4K).preloaded()),
+                (w.clone(), scope.config(ManagerKind::GpuMmu4K)),
+                (w.clone(), scope.config(ManagerKind::GpuMmu2M)),
+            ]
+        })
+        .collect();
+    let results = run_workloads(&Executor::from_env(), jobs);
+    let mut runs = results.chunks_exact(3);
     let mut levels = Vec::new();
-    for n in 1..=max_apps {
+    for (n, ws) in &level_workloads {
         let mut n4 = Vec::new();
         let mut n2 = Vec::new();
-        for w in scope.homogeneous(n) {
-            let no_paging =
-                run_workload(&w, scope.config(ManagerKind::GpuMmu4K).preloaded()).total_cycles;
-            let paging_4k = run_workload(&w, scope.config(ManagerKind::GpuMmu4K)).total_cycles;
-            let paging_2m = run_workload(&w, scope.config(ManagerKind::GpuMmu2M)).total_cycles;
-            n4.push(no_paging as f64 / paging_4k as f64);
-            n2.push(no_paging as f64 / paging_2m as f64);
+        for _ in ws {
+            let chunk = runs.next().expect("three runs per workload");
+            let no_paging = chunk[0].total_cycles;
+            n4.push(no_paging as f64 / chunk[1].total_cycles as f64);
+            n2.push(no_paging as f64 / chunk[2].total_cycles as f64);
         }
-        levels.push(LevelRow { apps: n, norm_4k_paging: mean(&n4), norm_2m_paging: mean(&n2) });
+        levels.push(LevelRow { apps: *n, norm_4k_paging: mean(&n4), norm_2m_paging: mean(&n2) });
     }
     Fig04 { levels }
 }

@@ -5,7 +5,8 @@
 //! on average over GPU-MMU and comes within 6.8% of the Ideal TLB.
 
 use crate::common::{fmt_row, mean, AloneCache, Scope};
-use mosaic_gpusim::{run_workload, ManagerKind};
+use crate::sweep::{run_workloads, Executor};
+use mosaic_gpusim::ManagerKind;
 use std::fmt;
 
 /// Weighted speedups at one concurrency level.
@@ -61,23 +62,42 @@ pub(crate) fn sweep(
     levels: impl Iterator<Item = usize>,
     workloads_for: impl Fn(usize) -> Vec<mosaic_workloads::Workload>,
 ) -> SpeedupFigure {
+    let exec = Executor::from_env();
+    // One job per (level, workload, manager): the whole figure is a flat
+    // list of independent simulations.
+    let per_level: Vec<(usize, Vec<mosaic_workloads::Workload>)> =
+        levels.map(|n| (n, workloads_for(n))).collect();
+    let configs = |scope: Scope| {
+        [
+            scope.config(ManagerKind::GpuMmu4K),
+            scope.config(ManagerKind::mosaic()),
+            scope.config(ManagerKind::GpuMmu4K).ideal_tlb(),
+        ]
+    };
+    let jobs: Vec<_> = per_level
+        .iter()
+        .flat_map(|(_, ws)| ws.iter())
+        .flat_map(|w| configs(scope).into_iter().map(move |cfg| (w.clone(), cfg)))
+        .collect();
+    // Pre-resolve every alone baseline through the pool, then serve the
+    // weighted-speedup folds below from the frozen cache.
     let mut cache = AloneCache::new();
+    let baseline_items: Vec<_> = jobs.iter().map(|(w, cfg)| (w, *cfg)).collect();
+    cache.prefetch(&exec, &baseline_items);
+    let results = run_workloads(&exec, jobs.clone());
+
     let mut rows = Vec::new();
-    for n in levels {
+    let mut shared = jobs.iter().zip(results.iter());
+    for (n, ws) in &per_level {
         let mut per_mgr = [Vec::new(), Vec::new(), Vec::new()];
-        for w in workloads_for(n) {
-            let configs = [
-                scope.config(ManagerKind::GpuMmu4K),
-                scope.config(ManagerKind::mosaic()),
-                scope.config(ManagerKind::GpuMmu4K).ideal_tlb(),
-            ];
-            for (i, cfg) in configs.into_iter().enumerate() {
-                let shared = run_workload(&w, cfg);
-                per_mgr[i].push(cache.weighted_speedup(&w, &shared, cfg));
+        for _ in ws {
+            for series in &mut per_mgr {
+                let ((w, cfg), result) = shared.next().expect("one result per job");
+                series.push(cache.weighted_speedup(w, result, *cfg));
             }
         }
         rows.push(LevelRow {
-            apps: n,
+            apps: *n,
             gpu_mmu: mean(&per_mgr[0]),
             mosaic: mean(&per_mgr[1]),
             ideal: mean(&per_mgr[2]),

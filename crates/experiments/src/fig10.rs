@@ -9,7 +9,8 @@
 //! inflicting.
 
 use crate::common::{AloneCache, Scope};
-use mosaic_gpusim::{run_workload, ManagerKind};
+use crate::sweep::{run_workloads, Executor};
+use mosaic_gpusim::ManagerKind;
 use mosaic_workloads::Workload;
 use std::fmt;
 
@@ -71,24 +72,33 @@ impl Fig10 {
 /// Runs the experiment.
 pub fn run(scope: Scope) -> Fig10 {
     let pairs: &[[&str; 2]] = if scope == Scope::Smoke { &PAIRS[..6] } else { &PAIRS };
+    let exec = Executor::from_env();
+    let workloads: Vec<Workload> = pairs.iter().map(|pair| Workload::from_names(pair)).collect();
+    let jobs: Vec<_> = workloads
+        .iter()
+        .flat_map(|w| {
+            [
+                (w.clone(), scope.config(ManagerKind::GpuMmu4K)),
+                (w.clone(), scope.config(ManagerKind::mosaic())),
+                (w.clone(), scope.config(ManagerKind::GpuMmu4K).ideal_tlb()),
+            ]
+        })
+        .collect();
     let mut cache = AloneCache::new();
+    let baseline_items: Vec<_> = jobs.iter().map(|(w, cfg)| (w, *cfg)).collect();
+    cache.prefetch(&exec, &baseline_items);
+    let results = run_workloads(&exec, jobs.clone());
+
     let mut rows = Vec::new();
-    for pair in pairs {
-        let w = Workload::from_names(pair);
-        let sensitive = w.apps.iter().any(|p| p.tlb_sensitive());
+    for (w, chunk) in workloads.iter().zip(jobs.chunks_exact(3).zip(results.chunks_exact(3))) {
+        let (job_chunk, result_chunk) = chunk;
         let mut ws = [0.0f64; 3];
-        let configs = [
-            scope.config(ManagerKind::GpuMmu4K),
-            scope.config(ManagerKind::mosaic()),
-            scope.config(ManagerKind::GpuMmu4K).ideal_tlb(),
-        ];
-        for (i, cfg) in configs.into_iter().enumerate() {
-            let shared = run_workload(&w, cfg);
-            ws[i] = cache.weighted_speedup(&w, &shared, cfg);
+        for (i, ((_, cfg), shared)) in job_chunk.iter().zip(result_chunk).enumerate() {
+            ws[i] = cache.weighted_speedup(w, shared, *cfg);
         }
         rows.push(PairRow {
-            name: w.name,
-            tlb_sensitive: sensitive,
+            name: w.name.clone(),
+            tlb_sensitive: w.apps.iter().any(|p| p.tlb_sensitive()),
             gpu_mmu: ws[0],
             mosaic: ws[1],
             ideal: ws[2],

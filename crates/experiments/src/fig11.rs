@@ -6,7 +6,8 @@
 //! with per-application outcomes ranging from 0.66x to 8.6x.
 
 use crate::common::{mean, Scope};
-use mosaic_gpusim::{run_workload, ManagerKind};
+use crate::sweep::{run_workloads, Executor};
+use mosaic_gpusim::ManagerKind;
 use std::fmt;
 
 /// One concurrency level's sorted curves.
@@ -47,14 +48,28 @@ impl Fig11 {
 /// Runs the experiment.
 pub fn run(scope: Scope) -> Fig11 {
     let max = if scope == Scope::Smoke { 3 } else { 5 };
+    let level_workloads: Vec<(usize, Vec<mosaic_workloads::Workload>)> =
+        (2..=max).map(|n| (n, scope.heterogeneous(n))).collect();
+    let jobs: Vec<_> = level_workloads
+        .iter()
+        .flat_map(|(_, ws)| ws.iter())
+        .flat_map(|w| {
+            [
+                (w.clone(), scope.config(ManagerKind::GpuMmu4K)),
+                (w.clone(), scope.config(ManagerKind::mosaic())),
+                (w.clone(), scope.config(ManagerKind::GpuMmu4K).ideal_tlb()),
+            ]
+        })
+        .collect();
+    let results = run_workloads(&Executor::from_env(), jobs);
+    let mut runs = results.chunks_exact(3);
     let mut levels = Vec::new();
-    for n in 2..=max {
+    for (n, ws) in &level_workloads {
         let mut mosaic = Vec::new();
         let mut ideal = Vec::new();
-        for w in scope.heterogeneous(n) {
-            let base = run_workload(&w, scope.config(ManagerKind::GpuMmu4K));
-            let mos = run_workload(&w, scope.config(ManagerKind::mosaic()));
-            let idl = run_workload(&w, scope.config(ManagerKind::GpuMmu4K).ideal_tlb());
+        for w in ws {
+            let chunk = runs.next().expect("three runs per workload");
+            let (base, mos, idl) = (&chunk[0], &chunk[1], &chunk[2]);
             for i in 0..w.app_count() {
                 let b = base.apps[i].ipc.max(1e-12);
                 mosaic.push(mos.apps[i].ipc / b);
@@ -63,7 +78,7 @@ pub fn run(scope: Scope) -> Fig11 {
         }
         mosaic.sort_by(f64::total_cmp);
         ideal.sort_by(f64::total_cmp);
-        levels.push(LevelCurves { apps: n, mosaic, ideal });
+        levels.push(LevelCurves { apps: *n, mosaic, ideal });
     }
     Fig11 { levels }
 }

@@ -8,7 +8,8 @@
 //! exists either way.
 
 use crate::common::{fmt_row, mean, AloneCache, Scope};
-use mosaic_gpusim::{run_workload, ManagerKind, RunConfig};
+use crate::sweep::{run_workloads, Executor};
+use mosaic_gpusim::{ManagerKind, RunConfig};
 use mosaic_workloads::Workload;
 use std::fmt;
 
@@ -31,18 +32,28 @@ pub struct Fig12 {
 }
 
 fn group(scope: Scope, label: &str, workloads: Vec<(Workload, RunConfig)>) -> GroupRow {
+    let exec = Executor::from_env();
+    // Three jobs per workload: the no-paging reference, the with-paging
+    // baseline, and Mosaic.
+    let mosaic_cfg = scope.config(ManagerKind::mosaic());
+    let jobs: Vec<_> = workloads
+        .iter()
+        .flat_map(|(w, base_cfg)| {
+            [(w.clone(), base_cfg.preloaded()), (w.clone(), *base_cfg), (w.clone(), mosaic_cfg)]
+        })
+        .collect();
     let mut cache = AloneCache::new();
+    let baseline_items: Vec<_> =
+        workloads.iter().flat_map(|(w, base_cfg)| [(w, *base_cfg), (w, mosaic_cfg)]).collect();
+    cache.prefetch(&exec, &baseline_items);
+    let results = run_workloads(&exec, jobs);
+
     let mut g_ratio = Vec::new();
     let mut m_ratio = Vec::new();
-    for (w, base_cfg) in workloads {
-        let no_paging_cfg = base_cfg.preloaded();
-        let no_paging = run_workload(&w, no_paging_cfg);
-        let ws_no_paging = cache.weighted_speedup(&w, &no_paging, base_cfg);
-        let with_paging = run_workload(&w, base_cfg);
-        let ws_paging = cache.weighted_speedup(&w, &with_paging, base_cfg);
-        let mosaic_cfg = scope.config(ManagerKind::mosaic());
-        let mosaic = run_workload(&w, mosaic_cfg);
-        let ws_mosaic = cache.weighted_speedup(&w, &mosaic, mosaic_cfg);
+    for ((w, base_cfg), chunk) in workloads.iter().zip(results.chunks_exact(3)) {
+        let ws_no_paging = cache.weighted_speedup(w, &chunk[0], *base_cfg);
+        let ws_paging = cache.weighted_speedup(w, &chunk[1], *base_cfg);
+        let ws_mosaic = cache.weighted_speedup(w, &chunk[2], mosaic_cfg);
         g_ratio.push(ws_paging / ws_no_paging);
         m_ratio.push(ws_mosaic / ws_no_paging);
     }

@@ -9,7 +9,8 @@
 //! excluded.
 
 use crate::common::{mean, Scope};
-use mosaic_gpusim::{run_workload, ManagerKind};
+use crate::sweep::{run_workloads, Executor};
+use mosaic_gpusim::ManagerKind;
 use std::fmt;
 
 /// Hit rates at one concurrency level.
@@ -39,25 +40,49 @@ pub struct Fig13 {
 /// Runs the experiment.
 pub fn run(scope: Scope) -> Fig13 {
     let max = if scope == Scope::Smoke { 3 } else { 5 };
+    let exec = Executor::from_env();
+    let level_workloads: Vec<(usize, Vec<mosaic_workloads::Workload>)> =
+        (1..=max).map(|n| (n, scope.homogeneous(n))).collect();
+    // Stage 1: every GPU-MMU baseline (also the limited-reach filter).
+    let base_jobs: Vec<_> = level_workloads
+        .iter()
+        .flat_map(|(_, ws)| ws.iter())
+        .map(|w| (w.clone(), scope.config(ManagerKind::GpuMmu4K)))
+        .collect();
+    let base_results = run_workloads(&exec, base_jobs);
+    // Stage 2: Mosaic runs only for the workloads that pass the filter.
+    let kept: Vec<bool> =
+        base_results.iter().map(|base| base.stats.l2_tlb_hit_rate() < 0.98).collect();
+    let mosaic_jobs: Vec<_> = level_workloads
+        .iter()
+        .flat_map(|(_, ws)| ws.iter())
+        .zip(&kept)
+        .filter(|(_, &keep)| keep)
+        .map(|(w, _)| (w.clone(), scope.config(ManagerKind::mosaic())))
+        .collect();
+    let mosaic_results = run_workloads(&exec, mosaic_jobs);
+
+    let mut base_iter = base_results.iter().zip(kept);
+    let mut mosaic_iter = mosaic_results.iter();
     let mut levels = Vec::new();
-    for n in 1..=max {
+    for (n, ws) in &level_workloads {
         let mut g1 = Vec::new();
         let mut g2 = Vec::new();
         let mut m1 = Vec::new();
         let mut m2 = Vec::new();
-        for w in scope.homogeneous(n) {
-            let base = run_workload(&w, scope.config(ManagerKind::GpuMmu4K));
-            if base.stats.l2_tlb_hit_rate() >= 0.98 {
+        for _ in ws {
+            let (base, keep) = base_iter.next().expect("one baseline per workload");
+            if !keep {
                 continue; // no TLB-reach problem: excluded, as in the paper
             }
-            let mos = run_workload(&w, scope.config(ManagerKind::mosaic()));
+            let mos = mosaic_iter.next().expect("one Mosaic run per kept workload");
             g1.push(base.stats.l1_tlb_hit_rate());
             g2.push(base.stats.l2_tlb_hit_rate());
             m1.push(mos.stats.l1_tlb_hit_rate());
             m2.push(mos.stats.l2_tlb_hit_rate());
         }
         levels.push(LevelRow {
-            apps: n,
+            apps: *n,
             gpu_mmu_l1: mean(&g1),
             gpu_mmu_l2: mean(&g2),
             mosaic_l1: mean(&m1),

@@ -7,7 +7,8 @@
 //! spares page walks for the pages that stay uncoalesced.
 
 use crate::common::{fmt_row, mean, Scope};
-use mosaic_gpusim::{run_workload, ManagerKind, RunConfig};
+use crate::sweep::{run_workloads, Executor};
+use mosaic_gpusim::{ManagerKind, RunConfig};
 use std::fmt;
 
 /// Which TLB parameter a sweep varies.
@@ -90,26 +91,42 @@ pub(crate) fn sweep_tlb(
     title: &str,
     sweeps: &[(SweepParam, &[usize])],
 ) -> TlbSensitivity {
+    let exec = Executor::from_env();
     let workloads = sweep_workloads(scope);
     // Normalization baseline: GPU-MMU at paper defaults.
-    let base_cycles: Vec<f64> = workloads
+    let base_jobs: Vec<_> =
+        workloads.iter().map(|w| (w.clone(), scope.config(ManagerKind::GpuMmu4K))).collect();
+    let base_cycles: Vec<f64> =
+        run_workloads(&exec, base_jobs).iter().map(|r| r.total_cycles as f64).collect();
+    // The full grid: two jobs (GPU-MMU and Mosaic) per (param, value,
+    // workload) point.
+    let grid_jobs: Vec<_> = sweeps
         .iter()
-        .map(|w| run_workload(w, scope.config(ManagerKind::GpuMmu4K)).total_cycles as f64)
-        .collect();
-    let mut out = Vec::new();
-    for &(param, values) in sweeps {
-        let mut gm = Vec::new();
-        let mut mo = Vec::new();
-        for &v in values {
-            let mut per_wl_g = Vec::new();
-            let mut per_wl_m = Vec::new();
-            for (i, w) in workloads.iter().enumerate() {
+        .flat_map(|&(param, values)| values.iter().map(move |&v| (param, v)))
+        .flat_map(|(param, v)| {
+            workloads.iter().flat_map(move |w| {
                 let mut g_cfg = scope.config(ManagerKind::GpuMmu4K);
                 param.apply(&mut g_cfg, v);
                 let mut m_cfg = scope.config(ManagerKind::mosaic());
                 param.apply(&mut m_cfg, v);
-                per_wl_g.push(base_cycles[i] / run_workload(w, g_cfg).total_cycles as f64);
-                per_wl_m.push(base_cycles[i] / run_workload(w, m_cfg).total_cycles as f64);
+                [(w.clone(), g_cfg), (w.clone(), m_cfg)]
+            })
+        })
+        .collect();
+    let grid = run_workloads(&exec, grid_jobs);
+
+    let mut pairs = grid.chunks_exact(2);
+    let mut out = Vec::new();
+    for &(param, values) in sweeps {
+        let mut gm = Vec::new();
+        let mut mo = Vec::new();
+        for _ in values {
+            let mut per_wl_g = Vec::new();
+            let mut per_wl_m = Vec::new();
+            for base in &base_cycles {
+                let pair = pairs.next().expect("one GPU-MMU/Mosaic pair per grid point");
+                per_wl_g.push(base / pair[0].total_cycles as f64);
+                per_wl_m.push(base / pair[1].total_cycles as f64);
             }
             gm.push(mean(&per_wl_g));
             mo.push(mean(&per_wl_m));

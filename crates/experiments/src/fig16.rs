@@ -16,6 +16,7 @@
 //! paper's 3 GB configuration.
 
 use crate::common::{fmt_row, Scope};
+use crate::sweep::{run_workloads, Executor};
 use mosaic_core::cac::CacConfig;
 use mosaic_gpusim::{run_workload, ManagerKind, RunConfig};
 use mosaic_workloads::Workload;
@@ -71,20 +72,28 @@ fn stress_setup(scope: Scope) -> (Workload, RunConfig) {
 }
 
 fn sweep(scope: Scope, points: &[f64], fragment: impl Fn(f64) -> (f64, f64)) -> FragSweep {
+    let exec = Executor::from_env();
     let (w, base_cfg) = stress_setup(scope);
     // Normalization: default CAC, no fragmentation.
     let baseline = run_workload(&w, base_cfg).total_cycles as f64;
-    let mut series = Vec::new();
-    for (_, cac) in DESIGNS {
-        let mut row = Vec::new();
-        for &p in points {
-            let mut cfg = base_cfg;
-            cfg.manager = ManagerKind::Mosaic(cac);
-            cfg.fragmentation = Some(fragment(p));
-            row.push(baseline / run_workload(&w, cfg).total_cycles as f64);
-        }
-        series.push(row);
-    }
+    // One job per (design, point) grid cell.
+    let jobs: Vec<_> = DESIGNS
+        .iter()
+        .flat_map(|&(_, cac)| {
+            let (w, fragment) = (&w, &fragment);
+            points.iter().map(move |&p| {
+                let mut cfg = base_cfg;
+                cfg.manager = ManagerKind::Mosaic(cac);
+                cfg.fragmentation = Some(fragment(p));
+                (w.clone(), cfg)
+            })
+        })
+        .collect();
+    let results = run_workloads(&exec, jobs);
+    let series = results
+        .chunks_exact(points.len())
+        .map(|row| row.iter().map(|r| baseline / r.total_cycles as f64).collect())
+        .collect();
     FragSweep { points: points.to_vec(), series }
 }
 

@@ -27,6 +27,12 @@
 //! benches, `Full` for the complete suites) and returns a serializable
 //! result whose `Display` impl prints the same rows/series the paper
 //! reports.
+//!
+//! Drivers run their per-workload simulation loops through the
+//! [`sweep::Executor`] — a deterministic parallel sweep executor whose
+//! ordered-collection contract makes multi-threaded output byte-identical
+//! to serial output. Worker count comes from `--jobs`/`MOSAIC_JOBS`
+//! (default: all available cores); see the [`sweep`] module docs.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -46,6 +52,8 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod sweep;
 pub mod table2;
 
 pub use common::{geomean, mean, AloneCache, Scope};
+pub use sweep::Executor;

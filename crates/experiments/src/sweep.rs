@@ -1,0 +1,270 @@
+//! Deterministic parallel sweep execution.
+//!
+//! Every experiment driver boils down to a list of independent
+//! [`run_workload`] calls whose results are then folded into rows and
+//! averages. `run_workload(&Workload, RunConfig) -> RunResult` is a pure
+//! function of its inputs, so those calls can run on any number of
+//! threads without changing a single bit of any result — the situation
+//! the parallel-simulation literature (MGSim, Accel-Sim's parallel
+//! sweeps) exploits for near-linear sweep speedups at unchanged fidelity.
+//!
+//! [`Executor`] is a dependency-free scoped thread pool (std `thread` +
+//! `Mutex` only, per DESIGN.md §6). Its determinism contract is *ordered
+//! collection*: jobs are submitted as an indexed list and results come
+//! back in submission order, whatever order the workers finished in.
+//! Downstream folding therefore sees exactly the sequence a serial loop
+//! would have produced, which is what makes `--jobs N` output
+//! byte-identical to `--jobs 1` (per-job progress goes to stderr only).
+//!
+//! Worker count resolution, in priority order:
+//! 1. the process-wide override set by [`set_jobs`] (the `reproduce`
+//!    binary's `--jobs N` flag),
+//! 2. the `MOSAIC_JOBS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+
+use mosaic_gpusim::{run_workload, RunConfig, RunResult};
+use mosaic_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide `--jobs` override; `0` means "not set".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets (or with `None` clears) the process-wide worker-count override.
+///
+/// Takes precedence over `MOSAIC_JOBS` and the detected parallelism; used
+/// by the `reproduce` binary's `--jobs N` flag and by tests that compare
+/// serial and parallel sweeps in one process.
+pub fn set_jobs(jobs: Option<usize>) {
+    JOBS_OVERRIDE.store(jobs.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// A scoped thread pool that returns job results in submission order.
+///
+/// # Examples
+///
+/// ```
+/// use mosaic_experiments::sweep::Executor;
+///
+/// let exec = Executor::new(4);
+/// let squares = exec.run((0..8).map(|i| move || i * i).collect::<Vec<_>>());
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    jobs: usize,
+}
+
+impl Executor {
+    /// An executor with exactly `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Executor { jobs: jobs.max(1) }
+    }
+
+    /// An executor sized by [`set_jobs`], `MOSAIC_JOBS`, or the machine's
+    /// available parallelism, in that priority order.
+    pub fn from_env() -> Self {
+        let overridden = JOBS_OVERRIDE.load(Ordering::Relaxed);
+        if overridden > 0 {
+            return Executor::new(overridden);
+        }
+        if let Ok(v) = std::env::var("MOSAIC_JOBS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return Executor::new(n);
+                }
+            }
+            eprintln!("MOSAIC_JOBS={v:?} is not a positive integer; ignoring");
+        }
+        Executor::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// The worker count this executor runs with.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every task, returning results in submission order.
+    ///
+    /// Tasks must be independent: each is a pure closure moved to a
+    /// worker thread. With one worker (or at most one task) everything
+    /// runs inline on the caller's thread — the serial reference the
+    /// parallel path must be byte-identical to.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        self.run_labeled(tasks.into_iter().map(|t| (String::new(), t)).collect())
+    }
+
+    /// Like [`Executor::run`], printing one `[sweep i/n] label (time)`
+    /// progress line per completed job on stderr (stdout stays clean for
+    /// report text). Jobs with an empty label stay silent.
+    pub fn run_labeled<T, F>(&self, tasks: Vec<(String, F)>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let total = tasks.len();
+        let progress = Progress::new(total);
+        if self.jobs <= 1 || total <= 1 {
+            return tasks
+                .into_iter()
+                .map(|(label, task)| {
+                    let t0 = std::time::Instant::now();
+                    let out = task();
+                    progress.report(&label, t0);
+                    out
+                })
+                .collect();
+        }
+
+        // Work queue: a cursor over the task list; each worker takes the
+        // next un-started task. Results land in their submission slot, so
+        // collection order is independent of completion order.
+        let queue = Mutex::new((0usize, tasks.into_iter().map(Some).collect::<Vec<_>>()));
+        let results = Mutex::new((0..total).map(|_| None).collect::<Vec<Option<T>>>());
+        std::thread::scope(|s| {
+            for _ in 0..self.jobs.min(total) {
+                s.spawn(|| loop {
+                    let (index, label, task) = {
+                        let mut q = queue.lock().expect("sweep queue poisoned");
+                        let index = q.0;
+                        if index >= total {
+                            break;
+                        }
+                        q.0 += 1;
+                        let (label, task) = q.1[index].take().expect("task taken twice");
+                        (index, label, task)
+                    };
+                    let t0 = std::time::Instant::now();
+                    let out = task();
+                    progress.report(&label, t0);
+                    results.lock().expect("sweep results poisoned")[index] = Some(out);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("sweep results poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every submitted job produces a result"))
+            .collect()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::from_env()
+    }
+}
+
+/// Completion counter behind the per-job stderr progress lines.
+#[derive(Debug)]
+struct Progress {
+    done: AtomicUsize,
+    total: usize,
+}
+
+impl Progress {
+    fn new(total: usize) -> Self {
+        Progress { done: AtomicUsize::new(0), total }
+    }
+
+    fn report(&self, label: &str, started: std::time::Instant) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !label.is_empty() {
+            eprintln!(
+                "[sweep {done}/{total}] {label} ({elapsed:.1?})",
+                total = self.total,
+                elapsed = started.elapsed()
+            );
+        }
+    }
+}
+
+/// Runs a list of `(workload, config)` simulation jobs through `exec`,
+/// returning the results in submission order.
+///
+/// This is the shape every figure driver's inner loop reduces to; the
+/// progress label is `workload [manager]`.
+pub fn run_workloads(exec: &Executor, jobs: Vec<(Workload, RunConfig)>) -> Vec<RunResult> {
+    exec.run_labeled(
+        jobs.into_iter()
+            .map(|(w, cfg)| {
+                let label = format!("{} [{}]", w.name, cfg.manager.label());
+                (label, move || run_workload(&w, cfg))
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let exec = Executor::new(4);
+        // Jobs finishing in reverse submission order must still collect in
+        // submission order.
+        let out = exec.run(
+            (0..16usize)
+                .map(|i| {
+                    move || {
+                        std::thread::sleep(std::time::Duration::from_millis(
+                            (16 - i % 16) as u64 * 2,
+                        ));
+                        i
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let tasks = || (0..10usize).map(|i| move || i * 3 + 1).collect::<Vec<_>>();
+        assert_eq!(Executor::new(1).run(tasks()), Executor::new(8).run(tasks()));
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        static COUNT: AtomicUsize = AtomicUsize::new(0);
+        COUNT.store(0, Ordering::SeqCst);
+        let exec = Executor::new(3);
+        let out = exec.run(
+            (0..32usize)
+                .map(|i| {
+                    move || {
+                        COUNT.fetch_add(1, Ordering::SeqCst);
+                        i
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(out.len(), 32);
+        assert_eq!(COUNT.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(Executor::new(0).jobs(), 1);
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let out: Vec<usize> = Executor::new(4).run(Vec::<fn() -> usize>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn jobs_override_wins() {
+        set_jobs(Some(3));
+        assert_eq!(Executor::from_env().jobs(), 3);
+        set_jobs(None);
+    }
+}

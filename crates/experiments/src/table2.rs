@@ -8,8 +8,9 @@
 //! occupancy to 2.22% at 75%.
 
 use crate::common::Scope;
+use crate::sweep::{run_workloads, Executor};
 use mosaic_core::cac::CacConfig;
-use mosaic_gpusim::{run_workload, ManagerKind};
+use mosaic_gpusim::ManagerKind;
 use mosaic_workloads::Workload;
 use std::fmt;
 
@@ -35,19 +36,28 @@ pub fn run(scope: Scope) -> Table2 {
     let occupancies: &[f64] =
         if scope == Scope::Smoke { &[0.10, 0.50] } else { &[0.01, 0.10, 0.25, 0.35, 0.50, 0.75] };
     let w = Workload::from_names(&["HS", "CONS"]);
-    let mut points = Vec::new();
-    for &occ in occupancies {
-        let mut cfg = scope.config(ManagerKind::Mosaic(CacConfig::default()));
-        let ws_total: u64 = w.apps.iter().map(|p| scope.scale().ws_bytes(p)).sum();
-        // Memory must fit the applications beside the fragmented data.
-        cfg.system.memory_bytes =
-            ((ws_total as f64 * (2.0 + 10.0 * occ)) as u64).max(64 * 1024 * 1024);
-        cfg.fragmentation = Some((1.0, occ));
-        let r = run_workload(&w, cfg);
-        let touched = r.stats.touched_bytes.max(1);
-        let bloat = r.stats.app_footprint_bytes as f64 / touched as f64 - 1.0;
-        points.push(BloatPoint { occupancy: occ, bloat });
-    }
+    let ws_total: u64 = w.apps.iter().map(|p| scope.scale().ws_bytes(p)).sum();
+    let jobs: Vec<_> = occupancies
+        .iter()
+        .map(|&occ| {
+            let mut cfg = scope.config(ManagerKind::Mosaic(CacConfig::default()));
+            // Memory must fit the applications beside the fragmented data.
+            cfg.system.memory_bytes =
+                ((ws_total as f64 * (2.0 + 10.0 * occ)) as u64).max(64 * 1024 * 1024);
+            cfg.fragmentation = Some((1.0, occ));
+            (w.clone(), cfg)
+        })
+        .collect();
+    let results = run_workloads(&Executor::from_env(), jobs);
+    let points = occupancies
+        .iter()
+        .zip(&results)
+        .map(|(&occ, r)| {
+            let touched = r.stats.touched_bytes.max(1);
+            let bloat = r.stats.app_footprint_bytes as f64 / touched as f64 - 1.0;
+            BloatPoint { occupancy: occ, bloat }
+        })
+        .collect();
     Table2 { points }
 }
 

@@ -1,0 +1,21 @@
+//! The determinism contract of the sweep executor: a figure driver's
+//! rendered output is byte-identical at any worker count.
+//!
+//! This drives a real figure (fig08, which exercises the job-list
+//! refactor, the `AloneCache` prefetch path, and the ordered-collection
+//! API together) once serially and once with four workers, and compares
+//! the rendered reports byte for byte.
+
+use mosaic_experiments::common::Scope;
+use mosaic_experiments::{fig08, sweep};
+
+#[test]
+fn serial_vs_parallel_sweeps_are_bit_identical() {
+    sweep::set_jobs(Some(1));
+    let serial = fig08::run(Scope::Smoke).to_string();
+    sweep::set_jobs(Some(4));
+    let parallel = fig08::run(Scope::Smoke).to_string();
+    sweep::set_jobs(None);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "parallel output must match serial byte-for-byte");
+}

@@ -55,6 +55,16 @@ impl RunResult {
     }
 }
 
+// The sweep executor ships `(Workload, RunConfig)` jobs to worker threads
+// and collects `RunResult`s back; keep these types thread-portable.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RunConfig>();
+    assert_send_sync::<RunResult>();
+    assert_send_sync::<AppResult>();
+    assert_send_sync::<Workload>();
+};
+
 /// Number of SMs application `i` of `n` receives out of `total` (equal
 /// partition, remainder to the earliest applications).
 pub fn sm_share(total: usize, n: usize, i: usize) -> usize {

@@ -145,6 +145,11 @@ fn start_done(start: Cycle, done: Cycle) -> Grant {
 pub struct ThroughputPort {
     latency: u64,
     interval: u64,
+    /// Whether the port holds for the whole (possibly request-specific)
+    /// service time rather than the fixed initiation interval. Set by the
+    /// constructor — a pipelined port whose interval happens to equal its
+    /// latency must not behave as serialized.
+    serialized: bool,
     next_issue: Cycle,
 }
 
@@ -152,7 +157,12 @@ impl ThroughputPort {
     /// Creates a fully serialized port: the next request cannot start until
     /// the previous one finishes.
     pub fn serialized(latency: u64) -> Self {
-        ThroughputPort { latency, interval: latency.max(1), next_issue: Cycle::ZERO }
+        ThroughputPort {
+            latency,
+            interval: latency.max(1),
+            serialized: true,
+            next_issue: Cycle::ZERO,
+        }
     }
 
     /// Creates a pipelined port that accepts a new request every
@@ -163,7 +173,7 @@ impl ThroughputPort {
     /// Panics if `interval` is zero.
     pub fn pipelined(latency: u64, interval: u64) -> Self {
         assert!(interval > 0, "initiation interval must be non-zero");
-        ThroughputPort { latency, interval, next_issue: Cycle::ZERO }
+        ThroughputPort { latency, interval, serialized: false, next_issue: Cycle::ZERO }
     }
 
     /// The per-request latency of this port.
@@ -182,7 +192,7 @@ impl ThroughputPort {
     /// window equals the service time for serialized ports.
     pub fn acquire_for(&mut self, now: Cycle, service: u64) -> Grant {
         let start = self.next_issue.max(now);
-        let occupy = if self.interval == self.latency.max(1) {
+        let occupy = if self.serialized {
             // Serialized port: hold for the whole service.
             service.max(1)
         } else {
@@ -269,6 +279,28 @@ mod tests {
         assert_eq!(a.done, Cycle::new(10));
         assert_eq!(b.start, Cycle::new(2));
         assert_eq!(c.start, Cycle::new(4));
+    }
+
+    #[test]
+    fn pipelined_port_with_interval_equal_to_latency_stays_pipelined() {
+        // Regression: "serialized" used to be detected by the coincidence
+        // `interval == latency.max(1)`, so a pipelined(8, 8) port given a
+        // custom service time silently switched to whole-service
+        // occupancy.
+        let mut port = ThroughputPort::pipelined(8, 8);
+        let a = port.acquire_for(Cycle::new(0), 20);
+        let b = port.acquire_for(Cycle::new(0), 20);
+        assert_eq!(a, Grant { start: Cycle::new(0), done: Cycle::new(20) });
+        // Pipelined: the next request issues after the 8-cycle interval,
+        // not after the 20-cycle service completes.
+        assert_eq!(b, Grant { start: Cycle::new(8), done: Cycle::new(28) });
+
+        // A truly serialized port with the same latency does occupy for
+        // the whole custom service.
+        let mut ser = ThroughputPort::serialized(8);
+        ser.acquire_for(Cycle::new(0), 20);
+        let c = ser.acquire_for(Cycle::new(0), 20);
+        assert_eq!(c.start, Cycle::new(20));
     }
 
     #[test]
