@@ -20,6 +20,9 @@ cargo test -q --workspace
 echo "==> cargo build --release"
 cargo build -q --release
 
+echo "==> conformance fuzz (differential oracles, bounded deterministic run)"
+cargo run -q --release -p mosaic-conformance -- fuzz --cases 256 --seed 0xC0FFEE
+
 echo "==> smoke sweep (parallel reproduce run)"
 MOSAIC_SCOPE=smoke cargo run -q --release -p mosaic-experiments --bin reproduce -- fig03 fig08
 

@@ -1,0 +1,40 @@
+//! Differential conformance testing for the Mosaic stack.
+//!
+//! The real page table, TLB, and memory managers are optimized structures
+//! full of cached counters, timestamp LRU, and policy coupling. This crate
+//! diffs them against *obviously-correct* reference models:
+//!
+//! * [`OraclePageTable`] / [`OracleTlb`] — flat `BTreeMap` mappings and
+//!   explicit recency lists ([`oracle`] module);
+//! * a frame ledger inside [`run_mgr_case`] that re-derives every number a
+//!   manager promises (fault counts, transferred bytes, event/counter
+//!   agreement, the CoCoA soft guarantee) from the op stream alone.
+//!
+//! A deterministic generator ([`gen_vm_case`] / [`gen_mgr_case`], seeded
+//! via [`mosaic_sim_core::SimRng::fork`]) drives both sides through
+//! randomized schedules; [`run_fuzz`] loops that, and on divergence a
+//! greedy delta-debugging [`shrink`] pass minimizes the schedule and
+//! renders it as a copy-pasteable Rust test body.
+//!
+//! Use it two ways:
+//!
+//! * as a library from integration tests (`crates/conformance/tests/`);
+//! * as a CLI: `cargo run -p mosaic-conformance -- fuzz --cases 256 --seed
+//!   0xC0FFEE`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fuzz;
+pub mod harness;
+pub mod ops;
+pub mod oracle;
+pub mod shrink;
+
+pub use fuzz::{run_fuzz, FuzzConfig, FuzzFailure, FuzzStats, Suite};
+pub use harness::{run_mgr_case, run_vm_case, Divergence, MgrKind, Mutation, VmConfigKind};
+pub use ops::{
+    gen_mgr_case, gen_vm_case, render_mgr_repro, render_vm_repro, MgrCase, MgrOp, VmCase, VmOp,
+};
+pub use oracle::{OraclePageTable, OracleTlb};
+pub use shrink::shrink;

@@ -1,0 +1,76 @@
+//! Greedy delta-debugging minimizer for failing op schedules.
+//!
+//! Valid because every op is self-contained (see [`crate::ops`]): any
+//! subsequence of a schedule is itself a runnable schedule, so removal is
+//! always a legal shrink step.
+
+/// Minimizes `ops` while `fails` keeps returning `true` on the candidate.
+///
+/// Classic ddmin shape: try dropping chunks of half the schedule, halving
+/// the chunk size on failure to make progress, then sweep single ops to a
+/// fixpoint. Greedy and deterministic — the same failing schedule always
+/// shrinks to the same repro.
+pub fn shrink<T: Copy>(ops: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    debug_assert!(fails(ops), "shrink() called on a passing schedule");
+    let mut cur: Vec<T> = ops.to_vec();
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            if !candidate.is_empty() && fails(&candidate) {
+                cur = candidate;
+                progressed = true;
+                // Re-test the same offset: it now holds different ops.
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 {
+            if !progressed {
+                break;
+            }
+            // A single-op sweep that made progress may have unlocked more.
+            continue;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_minimal_failing_pair() {
+        // Fails whenever both 3 and 7 are present, anywhere.
+        let ops: Vec<u32> = (0..100).collect();
+        let out = shrink(&ops, |c| c.contains(&3) && c.contains(&7));
+        assert_eq!(out, vec![3, 7]);
+    }
+
+    #[test]
+    fn single_culprit_shrinks_to_one_op() {
+        let ops: Vec<u32> = (0..33).collect();
+        let out = shrink(&ops, |c| c.contains(&13));
+        assert_eq!(out, vec![13]);
+    }
+
+    #[test]
+    fn order_dependent_failure_keeps_order() {
+        // Fails only when 2 appears before 5.
+        let ops: Vec<u32> = (0..20).collect();
+        let fails = |c: &[u32]| {
+            let p2 = c.iter().position(|&x| x == 2);
+            let p5 = c.iter().position(|&x| x == 5);
+            matches!((p2, p5), (Some(a), Some(b)) if a < b)
+        };
+        let out = shrink(&ops, fails);
+        assert_eq!(out, vec![2, 5]);
+    }
+}

@@ -225,25 +225,36 @@ impl Cac {
         cocoa: &mut CoCoA,
         requester: AppId,
     ) -> (Vec<MgmtEvent>, bool) {
+        let mut events = Vec::new();
         if self.config.enabled {
             if let Some(events) = self.compact_fragmented(pool) {
                 return (events, true);
             }
-            // Emergency path.
-            if let Some((owner, lpn)) = cocoa.pop_emergency() {
-                let mut events = Vec::new();
+            // Emergency path: walk the list until an entry actually yields
+            // free base frames. A parked page whose holes have since been
+            // re-touched back to full occupancy has nothing to give —
+            // splintering it would only destroy a perfectly good large
+            // page and recover zero capacity — so it is dropped from the
+            // list instead (a later dealloc re-parks it if it fragments
+            // again).
+            while let Some((owner, lpn)) = cocoa.pop_emergency() {
                 let table = tables.table_mut(owner);
+                if table.mapped_in_large(lpn) == BASE_PAGES_PER_LARGE_PAGE {
+                    continue;
+                }
                 if table.splinter(lpn) {
                     self.splinters.inc();
                     events.push(MgmtEvent::Splintered { asid: owner, lpn });
                 }
-                if let Some(lf) = cocoa.unbind_chunk(owner, lpn) {
-                    let holes: Vec<_> = pool.state(lf).holes().map(|i| lf.base_frame(i)).collect();
-                    if owner != requester && !holes.is_empty() {
-                        self.soft_guarantee_breaks.inc();
-                    }
-                    cocoa.donate_base(requester, holes);
+                let Some(lf) = cocoa.unbind_chunk(owner, lpn) else { continue };
+                let holes: Vec<_> = pool.state(lf).holes().map(|i| lf.base_frame(i)).collect();
+                if holes.is_empty() {
+                    continue;
                 }
+                if owner != requester {
+                    self.soft_guarantee_breaks.inc();
+                }
+                cocoa.donate_base(requester, holes);
                 return (events, true);
             }
         }
@@ -261,9 +272,9 @@ impl Cac {
                 pool.set_owner(pfn, Some(requester));
             }
             cocoa.donate_base(requester, frames);
-            return (Vec::new(), true);
+            return (events, true);
         }
-        (Vec::new(), false)
+        (events, false)
     }
 
     /// Finds the fragmented (FRAG_OWNER) frame with the most holes and
@@ -577,5 +588,121 @@ mod tests {
         let (events, ok) = cac.reclaim(&mut tables, &mut pool, &mut cocoa, AppId(0));
         assert!(!ok);
         assert!(events.is_empty());
+    }
+
+    /// Parks two chunks on the emergency list, then re-touches the
+    /// younger one back to full occupancy. The LIFO pop reaches the full
+    /// entry first; reclaim must drop it *without* splintering it —
+    /// destroying a full large page recovers zero capacity — and keep
+    /// walking until the entry that still has holes donates them.
+    /// (Regression for the single-pop reclaim bug the fuzzer found.)
+    #[test]
+    fn reclaim_skips_refilled_full_emergency_entries() {
+        let (mut tables, mut pool, mut cocoa) = setup(6);
+        let owner = AppId(0);
+        let mut cac = Cac::new(CacConfig::default());
+
+        // Chunk 0: 10 holes, parked.
+        let lpn0 = LargePageNum(0);
+        build_coalesced(&mut tables, &mut pool, &mut cocoa, owner, lpn0);
+        dealloc_pages(&mut tables, &mut pool, owner, lpn0, 10);
+        cac.on_dealloc(tables.table_mut(owner), &mut pool, &mut cocoa, owner, lpn0);
+
+        // Chunk 1: 10 holes, parked second (popped first).
+        let lpn1 = LargePageNum(1);
+        let lf1 = build_coalesced(&mut tables, &mut pool, &mut cocoa, owner, lpn1);
+        dealloc_pages(&mut tables, &mut pool, owner, lpn1, 10);
+        cac.on_dealloc(tables.table_mut(owner), &mut pool, &mut cocoa, owner, lpn1);
+        assert_eq!(cocoa.emergency_len(), 2);
+
+        // Re-touch chunk 1 back to full occupancy (the contiguous slots —
+        // the only legal mapping while the region stays coalesced).
+        let table = tables.table_mut(owner);
+        for i in 0..10 {
+            table.map_base(lpn1.base_page(i), lf1.base_frame(i)).unwrap();
+            pool.set_owner(lf1.base_frame(i), Some(owner));
+        }
+
+        let requester = AppId(1);
+        let (events, ok) = cac.reclaim(&mut tables, &mut pool, &mut cocoa, requester);
+        assert!(ok);
+        // Exactly one splinter — of chunk 0, not the refilled chunk 1.
+        assert_eq!(cac.splinters(), 1);
+        assert_eq!(
+            events.iter().filter(|e| matches!(e, MgmtEvent::Splintered { .. })).count(),
+            1,
+            "counter and events must agree"
+        );
+        assert!(matches!(events[0], MgmtEvent::Splintered { lpn, .. } if lpn == lpn0));
+        assert!(tables.table(owner).unwrap().is_coalesced(lpn1), "full entry left intact");
+        assert_eq!(cocoa.free_base_len(requester), 10, "chunk 0's holes were donated");
+        assert_eq!(cocoa.emergency_len(), 0, "full entry dropped, holey entry consumed");
+    }
+
+    /// `splinters()` and `migrations()` must match the events emitted,
+    /// accumulated across multiple `on_dealloc` calls.
+    #[test]
+    fn counters_track_events_across_operations() {
+        let (mut tables, mut pool, mut cocoa) = setup(8);
+        let asid = AppId(0);
+        let mut cac = Cac::new(CacConfig::default());
+        let mut splinter_events = 0;
+        let mut migration_events = 0;
+
+        // Chunk 0 drops to 2 live pages; same-channel spare capacity is
+        // available, so the CAC splinters and migrates both survivors.
+        let lpn0 = LargePageNum(0);
+        build_coalesced(&mut tables, &mut pool, &mut cocoa, asid, lpn0);
+        let spare = LargeFrameNum(6);
+        assert_eq!(pool.channel_of(spare), pool.channel_of(LargeFrameNum(0)));
+        let mut f = pool.take_free_frame().unwrap();
+        while f != spare {
+            f = pool.take_free_frame().unwrap();
+        }
+        cocoa.donate_base(asid, spare.base_frames());
+        dealloc_pages(&mut tables, &mut pool, asid, lpn0, 510);
+        let events = cac.on_dealloc(tables.table_mut(asid), &mut pool, &mut cocoa, asid, lpn0);
+        splinter_events +=
+            events.iter().filter(|e| matches!(e, MgmtEvent::Splintered { .. })).count();
+        migration_events +=
+            events.iter().filter(|e| matches!(e, MgmtEvent::PageMigrated { .. })).count();
+        assert_eq!(cac.splinters(), 1);
+        assert_eq!(cac.migrations(), 2);
+
+        // Chunk 1 is deallocated entirely: splinter + frame release, but
+        // nothing left to migrate.
+        let lpn1 = LargePageNum(1);
+        build_coalesced(&mut tables, &mut pool, &mut cocoa, asid, lpn1);
+        dealloc_pages(&mut tables, &mut pool, asid, lpn1, 512);
+        let events = cac.on_dealloc(tables.table_mut(asid), &mut pool, &mut cocoa, asid, lpn1);
+        splinter_events +=
+            events.iter().filter(|e| matches!(e, MgmtEvent::Splintered { .. })).count();
+        migration_events +=
+            events.iter().filter(|e| matches!(e, MgmtEvent::PageMigrated { .. })).count();
+
+        assert_eq!(cac.splinters() as usize, splinter_events);
+        assert_eq!(cac.migrations() as usize, migration_events);
+        assert_eq!(cac.splinters(), 2);
+        assert_eq!(cac.migrations(), 2);
+    }
+
+    /// Reclaiming from one's own parked emergency entry is not a
+    /// soft-guarantee break: the holes never leave the owning app.
+    #[test]
+    fn reclaim_from_own_emergency_entry_is_not_a_guarantee_break() {
+        let (mut tables, mut pool, mut cocoa) = setup(4);
+        let owner = AppId(0);
+        let lpn = LargePageNum(0);
+        build_coalesced(&mut tables, &mut pool, &mut cocoa, owner, lpn);
+        dealloc_pages(&mut tables, &mut pool, owner, lpn, 10);
+        let mut cac = Cac::new(CacConfig::default());
+        cac.on_dealloc(tables.table_mut(owner), &mut pool, &mut cocoa, owner, lpn);
+        assert_eq!(cocoa.emergency_len(), 1);
+
+        let (events, ok) = cac.reclaim(&mut tables, &mut pool, &mut cocoa, owner);
+        assert!(ok);
+        assert!(matches!(events[0], MgmtEvent::Splintered { .. }));
+        assert_eq!(cocoa.free_base_len(owner), 10);
+        assert_eq!(cac.soft_guarantee_breaks(), 0, "own pages, no break");
     }
 }

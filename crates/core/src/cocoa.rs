@@ -176,6 +176,12 @@ impl CoCoA {
         self.emergency.len()
     }
 
+    /// Iterates the parked emergency entries in park order (oldest first).
+    /// Read-only introspection for the conformance harness's frame ledger.
+    pub fn emergency_entries(&self) -> impl Iterator<Item = (AppId, LargePageNum)> + '_ {
+        self.emergency.iter().copied()
+    }
+
     /// Large frames handed out (chunks + base list refills).
     pub fn frames_assigned(&self) -> u64 {
         self.frames_assigned.get()

@@ -167,11 +167,14 @@ impl MemoryManager for GpuMmuManager {
         if !self.is_reserved(asid, vpn) {
             return Err(MemError::NotReserved);
         }
-        self.touched.insert((asid, vpn));
-        match self.page_size {
+        let out = match self.page_size {
             PageSize::Base => self.touch_base(asid, vpn),
             PageSize::Large => self.touch_large(asid, vpn),
-        }
+        }?;
+        // Count the touch only once it succeeded: a touch that failed to
+        // allocate must not inflate touched_bytes.
+        self.touched.insert((asid, vpn));
+        Ok(out)
     }
 
     fn deallocate(&mut self, asid: AppId, start: VirtPageNum, pages: u64) -> Vec<MgmtEvent> {

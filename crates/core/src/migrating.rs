@@ -198,17 +198,33 @@ impl MemoryManager for MigratingManager {
         if !self.is_reserved(asid, vpn) {
             return Err(MemError::NotReserved);
         }
-        self.touched.insert((asid, vpn));
         if self.tables.table_mut(asid).is_mapped(vpn) {
+            self.touched.insert((asid, vpn));
             return Ok(TouchOutcome::default());
+        }
+        let lpn = vpn.large_page();
+        if let Some(lf) = self.tables.table_mut(asid).large_frame_of(lpn) {
+            // A hole drilled by a partial deallocation inside a promoted
+            // (still-coalesced) region. The page must return to its slot
+            // in the region's large frame; handing it an arbitrary
+            // interleaved frame would break the region's contiguity.
+            let slot = lf.base_frame(vpn.index_in_large());
+            self.tables.table_mut(asid).map_base(vpn, slot).expect("checked unmapped");
+            self.pool.set_owner(slot, Some(asid));
+            self.touched.insert((asid, vpn));
+            self.stats.far_faults += 1;
+            self.stats.transferred_bytes += BASE_PAGE_SIZE;
+            return Ok(TouchOutcome { transfer_bytes: BASE_PAGE_SIZE, events: Vec::new() });
         }
         let pfn = self.alloc_base_interleaved(asid)?;
         self.tables.table_mut(asid).map_base(vpn, pfn).expect("checked unmapped");
+        // Count the touch only now: a touch that failed to allocate must
+        // not inflate touched_bytes (it never became resident).
+        self.touched.insert((asid, vpn));
         self.stats.far_faults += 1;
         self.stats.transferred_bytes += BASE_PAGE_SIZE;
         let mut events = Vec::new();
         let mut transfer_bytes = BASE_PAGE_SIZE;
-        let lpn = vpn.large_page();
         if self.config.promote
             && !self.promoted.contains(&(asid, lpn))
             && self.region_reserved(asid, lpn)
@@ -423,6 +439,95 @@ mod tests {
         for i in 512..1024 {
             m.touch(AppId(0), VirtPageNum(i)).unwrap();
         }
+    }
+
+    /// Regression (found by the conformance fuzzer): re-touching a hole
+    /// drilled by a partial deallocation inside a promoted region used to
+    /// go through the interleaved allocator, mapping an arbitrary frame
+    /// into a still-coalesced region and breaking its contiguity
+    /// invariant. The hole must return to its slot in the region's large
+    /// frame.
+    #[test]
+    fn hole_retouch_restores_contiguous_slot() {
+        let mut m = mgr(16);
+        for i in 0..512 {
+            m.touch(AppId(0), VirtPageNum(i)).unwrap();
+        }
+        let table = m.tables().table(AppId(0)).unwrap();
+        assert!(table.is_coalesced(LargePageNum(0)));
+        let lf = table.large_frame_of(LargePageNum(0)).unwrap();
+
+        m.deallocate(AppId(0), VirtPageNum(100), 20);
+        let table = m.tables().table(AppId(0)).unwrap();
+        assert!(table.is_coalesced(LargePageNum(0)), "partial dealloc keeps the region coalesced");
+        assert_eq!(table.mapped_in_large(LargePageNum(0)), 492);
+
+        for i in 100..120 {
+            let out = m.touch(AppId(0), VirtPageNum(i)).unwrap();
+            assert_eq!(out.transfer_bytes, BASE_PAGE_SIZE, "hole restore is one page transfer");
+            assert!(out.events.is_empty(), "no migration, no shootdown");
+        }
+        let table = m.tables().table(AppId(0)).unwrap();
+        assert!(table.is_coalesced(LargePageNum(0)));
+        assert_eq!(table.mapped_in_large(LargePageNum(0)), 512);
+        assert_eq!(table.large_frame_of(LargePageNum(0)), Some(lf), "same frame throughout");
+        assert_eq!(table.translate(VirtPageNum(105).addr()).unwrap().size, PageSize::Large);
+        let mut report = mosaic_sim_core::AuditReport::new();
+        m.audit(&mut report);
+        report.assert_clean("migrating");
+    }
+
+    /// Two apps march toward promotion in lockstep, so each app's
+    /// promotion fires while the other has allocations in flight in the
+    /// shared bump frame. At every checkpoint no base frame may be mapped
+    /// by both address spaces, and after both promotions each region's
+    /// large frame belongs to its app alone.
+    #[test]
+    fn interleaved_touches_never_share_a_frame_across_apps() {
+        let mut m = mgr(32);
+        for i in 0..512 {
+            m.touch(AppId(0), VirtPageNum(i)).unwrap();
+            m.touch(AppId(1), VirtPageNum(i)).unwrap();
+            if i % 64 == 0 || i == 511 {
+                let mut owners = std::collections::BTreeMap::new();
+                for (asid, table) in m.tables.iter() {
+                    for (_, pfn, _) in table.mappings() {
+                        if let Some(prev) = owners.insert(pfn, asid) {
+                            assert_eq!(prev, asid, "{pfn} mapped by both {prev} and {asid}");
+                        }
+                    }
+                }
+                let mut report = mosaic_sim_core::AuditReport::new();
+                m.audit(&mut report);
+                report.assert_clean("migrating");
+            }
+        }
+        for a in [AppId(0), AppId(1)] {
+            let table = m.tables().table(a).unwrap();
+            assert!(table.is_coalesced(LargePageNum(0)), "{a} promoted");
+            let lf = table.large_frame_of(LargePageNum(0)).unwrap();
+            assert!(m.pool.state(lf).single_owner(a), "{a}'s promoted frame is exclusively its");
+        }
+    }
+
+    /// Promotion is copy-then-switch: every migration event is
+    /// non-blocking (the stale mappings stay valid while the copy engine
+    /// works), and the one synchronizing action is the final targeted
+    /// shootdown of the region.
+    #[test]
+    fn promotion_is_copy_then_switch() {
+        let mut m = mgr(16);
+        let needed = (512.0f64 * 0.70).ceil() as u64;
+        let mut events = Vec::new();
+        for i in 0..needed {
+            events.extend(m.touch(AppId(0), VirtPageNum(i)).unwrap().events);
+        }
+        assert!(events
+            .iter()
+            .all(|e| !matches!(e, MgmtEvent::PageMigrated { blocking: true, .. })));
+        assert!(
+            matches!(events.last(), Some(MgmtEvent::TlbShootdown { asid: AppId(0), lpn }) if *lpn == LargePageNum(0))
+        );
     }
 
     #[test]

@@ -268,13 +268,6 @@ impl MemoryManager for MosaicManager {
                 asid,
                 lpn,
             );
-            for e in &ev {
-                match e {
-                    MgmtEvent::Splintered { .. } => self.stats.splinters += 1,
-                    MgmtEvent::PageMigrated { .. } => self.stats.migrations += 1,
-                    _ => {}
-                }
-            }
             events.extend(ev);
         }
         events
@@ -298,6 +291,12 @@ impl MemoryManager for MosaicManager {
 
     fn stats(&self) -> ManagerStats {
         let mut s = self.stats;
+        // The CAC is the single source of truth for splinters and
+        // migrations: its events flow back through both the dealloc path
+        // and the touch-path reclaim, so tallying events at one call site
+        // undercounts (the reclaim events were dropped from the splinter
+        // total) while tallying at both would double-count.
+        s.splinters = self.cac.splinters();
         s.migrations = self.cac.migrations();
         s
     }

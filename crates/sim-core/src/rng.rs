@@ -144,6 +144,25 @@ impl SimRng {
         &items[i]
     }
 
+    /// Picks an index in `[0, weights.len())` with probability
+    /// proportional to its weight (zero-weight entries are never picked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights sum to zero (including an empty slice).
+    pub fn weighted(&mut self, weights: &[u64]) -> usize {
+        let total: u64 = weights.iter().sum();
+        assert!(total > 0, "weighted choice needs a positive total weight");
+        let mut x = self.below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        unreachable!("below(total) is less than the sum of the weights")
+    }
+
     /// Fisher–Yates shuffles `items` in place.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
@@ -252,6 +271,25 @@ mod tests {
                 0xecb8_ad47_03b3_60a1,
             ]
         );
+    }
+
+    #[test]
+    fn weighted_respects_zero_and_proportions() {
+        let mut r = SimRng::from_seed(23);
+        let mut buckets = [0u32; 3];
+        for _ in 0..9000 {
+            buckets[r.weighted(&[1, 0, 2])] += 1;
+        }
+        assert_eq!(buckets[1], 0, "zero-weight entries are never picked");
+        assert!((2500..3500).contains(&buckets[0]), "bucket 0 got {}", buckets[0]);
+        assert!((5500..6500).contains(&buckets[2]), "bucket 2 got {}", buckets[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn weighted_all_zero_panics() {
+        let mut r = SimRng::from_seed(0);
+        let _ = r.weighted(&[0, 0]);
     }
 
     #[test]

@@ -421,6 +421,23 @@ impl PageTable {
     pub fn mapped_regions(&self) -> impl Iterator<Item = LargePageNum> + '_ {
         self.regions.iter().filter(|(_, r)| !r.entries.is_empty()).map(|(&lpn, _)| lpn)
     }
+
+    /// Iterates every live base mapping of this address space as
+    /// `(virtual page, frame, disabled)`, across all regions in page
+    /// order. This is the oracle-visible view of the whole table used by
+    /// the conformance harness to diff the real implementation against a
+    /// flat reference model.
+    pub fn mappings(&self) -> impl Iterator<Item = (VirtPageNum, PhysFrameNum, bool)> + '_ {
+        self.regions.iter().flat_map(|(&lpn, r)| {
+            r.entries.iter().map(move |(&i, pte)| (lpn.base_page(i), pte.frame, pte.disabled))
+        })
+    }
+
+    /// The large frame a coalesced region maps to, or `None` if `lpn` is
+    /// not coalesced.
+    pub fn large_frame_of(&self, lpn: LargePageNum) -> Option<LargeFrameNum> {
+        self.regions.get(&lpn).filter(|r| r.large).and_then(|r| r.large_frame)
+    }
 }
 
 /// The set of page tables for all applications sharing the GPU.
@@ -732,6 +749,37 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert_eq!(m[0], (lpn.base_page(2), PhysFrameNum(102), false));
         assert_eq!(m[1], (lpn.base_page(10), PhysFrameNum(110), false));
+    }
+
+    #[test]
+    fn mappings_walks_every_region_in_order() {
+        let mut pt = PageTable::new(AppId(0));
+        pt.map_base(LargePageNum(3).base_page(7), PhysFrameNum(1)).unwrap();
+        pt.map_base(LargePageNum(1).base_page(2), PhysFrameNum(2)).unwrap();
+        pt.map_base(LargePageNum(1).base_page(9), PhysFrameNum(3)).unwrap();
+        let all: Vec<_> = pt.mappings().collect();
+        assert_eq!(
+            all,
+            vec![
+                (LargePageNum(1).base_page(2), PhysFrameNum(2), false),
+                (LargePageNum(1).base_page(9), PhysFrameNum(3), false),
+                (LargePageNum(3).base_page(7), PhysFrameNum(1), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn large_frame_of_tracks_coalesce_state() {
+        let mut pt = PageTable::new(AppId(0));
+        let lpn = LargePageNum(2);
+        let lf = LargeFrameNum(5);
+        assert_eq!(pt.large_frame_of(lpn), None);
+        full_contiguous(&mut pt, lpn, lf);
+        assert_eq!(pt.large_frame_of(lpn), None, "not coalesced yet");
+        pt.coalesce(lpn).unwrap();
+        assert_eq!(pt.large_frame_of(lpn), Some(lf));
+        pt.splinter(lpn);
+        assert_eq!(pt.large_frame_of(lpn), None);
     }
 
     #[test]
