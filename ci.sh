@@ -20,6 +20,9 @@ cargo test -q --workspace
 echo "==> cargo build --release"
 cargo build -q --release
 
+echo "==> bench-smoke (wall-time regression gate vs committed BENCH.json)"
+cargo run -q --release -p mosaic-bench -- --quick --no-out --check BENCH.json
+
 echo "==> conformance fuzz (differential oracles, bounded deterministic run)"
 cargo run -q --release -p mosaic-conformance -- fuzz --cases 256 --seed 0xC0FFEE
 

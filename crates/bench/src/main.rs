@@ -1,0 +1,386 @@
+//! The `mosaic-bench` harness: the repo's benchmark trajectory point.
+//!
+//! Runs a fixed roster of scenarios — microbenches of the hot data
+//! structures plus a bounded figure-driver sweep — and emits `BENCH.json`
+//! with the median-of-N wall time per scenario. The committed
+//! `BENCH.json` is the performance baseline; CI re-runs the harness in a
+//! reduced configuration and fails when any scenario regresses more than
+//! 2x against it (`--check`).
+//!
+//! ```text
+//! cargo run --release -p mosaic-bench                  # full samples, write BENCH.json
+//! cargo run --release -p mosaic-bench -- --quick \
+//!     --out target/bench-smoke.json --check BENCH.json # CI smoke + regression gate
+//! cargo run --release -p mosaic-bench -- --list        # scenario roster
+//! ```
+//!
+//! Scenario wall times are medians, each sample rebuilds its structures
+//! from scratch, and every simulated run is seeded — so times vary only
+//! with host load, never with simulated behavior. The 2x gate is loose
+//! enough for shared-runner noise while still catching the accidental
+//! O(n^2) or re-introduced allocation churn this harness exists to pin.
+
+use mosaic_core::{MemoryManager, MosaicConfig, MosaicManager};
+use mosaic_experiments as exp;
+use mosaic_experiments::Scope;
+use mosaic_gpusim::{run_workload, ManagerKind, RunConfig};
+use mosaic_sim_core::Cycle;
+use mosaic_vm::{
+    AppId, LargeFrameNum, LargePageNum, PageSize, PageTable, PageTableWalker, PhysAddr,
+    PhysFrameNum, Tlb, TlbConfig, VirtPageNum,
+};
+use mosaic_workloads::{ScaleConfig, Workload};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Samples per scenario (median reported). `--quick` halves the work for
+/// CI; medians stay comparable because the per-sample workload is fixed.
+const SAMPLES: usize = 5;
+const QUICK_SAMPLES: usize = 2;
+
+fn micro_tlb_lookup() {
+    let mut tlb = Tlb::new(TlbConfig::paper_l1());
+    for p in 0..64u64 {
+        tlb.fill(AppId(0), VirtPageNum(p).addr(), PageSize::Base);
+    }
+    // Mix of repeated hits (last-translation-cache territory) and a
+    // rotating working set that exercises the full associative probe.
+    for i in 0..2_000_000u64 {
+        let page = if i % 4 == 0 { i / 7 % 64 } else { i % 8 };
+        black_box(tlb.lookup(AppId(0), VirtPageNum(page).addr()));
+    }
+}
+
+fn micro_tlb_fill_evict() {
+    let mut tlb = Tlb::new(TlbConfig::paper_l2());
+    for page in 0..1_000_000u64 {
+        black_box(tlb.fill(AppId(page as u16 % 3), VirtPageNum(page).addr(), PageSize::Base));
+        black_box(tlb.lookup(AppId(page as u16 % 3), VirtPageNum(page.wrapping_sub(3)).addr()));
+    }
+}
+
+fn micro_page_table_translate() {
+    let mut pt = PageTable::new(AppId(0));
+    // 16 regions, fully mapped; half coalesced.
+    for r in 0..16u64 {
+        let lpn = LargePageNum(r * 3);
+        let lf = LargeFrameNum(r);
+        for i in 0..512 {
+            pt.map_base(lpn.base_page(i), lf.base_frame(i)).unwrap();
+        }
+        if r % 2 == 0 {
+            pt.coalesce(lpn).unwrap();
+        }
+    }
+    for i in 0..2_000_000u64 {
+        let lpn = LargePageNum((i % 16) * 3);
+        black_box(pt.translate(lpn.base_page(i % 512).addr()).ok());
+        black_box(pt.walk_path(lpn.base_page((i + 7) % 512).addr()));
+    }
+}
+
+fn micro_page_table_map_unmap() {
+    let mut pt = PageTable::new(AppId(0));
+    for round in 0..40u64 {
+        for i in 0..8192u64 {
+            pt.map_base(VirtPageNum(i), PhysFrameNum(i)).unwrap();
+            black_box(pt.is_mapped(VirtPageNum(i)));
+        }
+        for i in 0..8192u64 {
+            black_box(pt.unmap_base(VirtPageNum(i)));
+        }
+        black_box(round);
+    }
+}
+
+fn micro_walker() {
+    let mut walker = PageTableWalker::new(64);
+    let path = [PhysAddr(0x1000), PhysAddr(0x2000), PhysAddr(0x3000), PhysAddr(0x4000)];
+    let mut now = Cycle::ZERO;
+    for i in 0..400_000u64 {
+        // A rotating set of pages: some re-walks merge, most are fresh.
+        let vpn = VirtPageNum(i % 97);
+        black_box(walker.walk(now, AppId(0), vpn, path, |_, _, start| start + 40));
+        now += 3;
+    }
+}
+
+fn micro_manager_touch() {
+    for _ in 0..12 {
+        let mut m = MosaicManager::new(MosaicConfig::with_memory(256 * 2 * 1024 * 1024));
+        m.register_app(AppId(0));
+        m.reserve(AppId(0), VirtPageNum(0), 16 * 512);
+        for i in 0..16 * 512 {
+            black_box(m.touch(AppId(0), VirtPageNum(i)).unwrap());
+        }
+        // Dealloc half of each chunk: splinter + CAC activity.
+        for c in 0..16u64 {
+            black_box(m.deallocate(AppId(0), VirtPageNum(c * 512), 300));
+        }
+    }
+}
+
+fn sweep_cfg() -> RunConfig {
+    RunConfig::new(ManagerKind::mosaic()).with_scale(ScaleConfig {
+        ws_divisor: 16,
+        mem_ops_per_warp: 120,
+        warps_per_sm: 6,
+        phases: 2,
+    })
+}
+
+fn sweep_run_workload() {
+    // One multi-phase, multi-app shared run: the figure drivers' inner
+    // loop, timed without the sweep executor around it.
+    let w = Workload::from_names(&["MM", "GUPS", "HS"]);
+    black_box(run_workload(&w, sweep_cfg()));
+}
+
+fn figure(run: fn(Scope) -> String) {
+    // Single-threaded so wall times measure the simulator, not the
+    // executor's scheduling; Smoke keeps the sweep bounded.
+    exp::sweep::set_jobs(Some(1));
+    black_box(run(Scope::Smoke));
+    exp::sweep::set_jobs(None);
+}
+
+/// The scenario roster. Names are stable identifiers: the committed
+/// BENCH.json and the CI gate key on them.
+fn scenarios() -> Vec<(&'static str, fn())> {
+    vec![
+        ("micro/tlb_lookup", micro_tlb_lookup),
+        ("micro/tlb_fill_evict", micro_tlb_fill_evict),
+        ("micro/page_table_translate", micro_page_table_translate),
+        ("micro/page_table_map_unmap", micro_page_table_map_unmap),
+        ("micro/walker", micro_walker),
+        ("micro/manager_touch", micro_manager_touch),
+        ("sweep/run_workload", sweep_run_workload),
+        ("sweep/fig03", || figure(|s| exp::fig03::run(s).to_string())),
+        ("sweep/fig08", || figure(|s| exp::fig08::run(s).to_string())),
+        ("sweep/fig11", || figure(|s| exp::fig11::run(s).to_string())),
+    ]
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+struct Measurement {
+    name: &'static str,
+    median_ms: f64,
+    samples_ms: Vec<f64>,
+}
+
+fn run_scenarios(samples: usize, filter: &[String]) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for (name, run) in scenarios() {
+        if !filter.is_empty() && !filter.iter().any(|f| name.contains(f.as_str())) {
+            continue;
+        }
+        // One untimed warm-up (page faults, lazy init, branch history).
+        run();
+        let mut samples_ms = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            run();
+            samples_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let median_ms = median(&mut samples_ms.clone());
+        eprintln!("# {name:<28} median {median_ms:>10.2} ms over {samples} samples");
+        out.push(Measurement { name, median_ms, samples_ms });
+    }
+    out
+}
+
+fn render_json(samples: usize, results: &[Measurement]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"mosaic-bench/v1\",\n");
+    s.push_str(&format!("  \"samples\": {samples},\n"));
+    s.push_str("  \"scenarios\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let list = m.samples_ms.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>().join(", ");
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ms\": {:.3}, \"samples_ms\": [{}]}}{}\n",
+            m.name,
+            m.median_ms,
+            list,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts `(name, median_ms)` pairs from a BENCH.json document.
+///
+/// Deliberately schema-specific rather than a general JSON parser: the
+/// harness is the only writer, so any deviation from the expected shape
+/// *is* malformation and must fail the gate.
+fn parse_baseline(text: &str) -> Result<Vec<(String, f64)>, String> {
+    if !text.contains("\"schema\": \"mosaic-bench/v1\"") {
+        return Err("missing or unknown \"schema\" marker".into());
+    }
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("{\"name\": \"") {
+        rest = &rest[pos + "{\"name\": \"".len()..];
+        let name_end = rest.find('"').ok_or("unterminated scenario name")?;
+        let name = rest[..name_end].to_string();
+        let rest2 = &rest[name_end..];
+        let tag = "\"median_ms\": ";
+        let mpos = rest2.find(tag).ok_or_else(|| format!("{name}: no median_ms field"))?;
+        let after = &rest2[mpos + tag.len()..];
+        let num_end = after
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .ok_or_else(|| format!("{name}: unterminated median_ms"))?;
+        let value: f64 =
+            after[..num_end].parse().map_err(|e| format!("{name}: bad median_ms number: {e}"))?;
+        if !value.is_finite() || value <= 0.0 {
+            return Err(format!("{name}: median_ms {value} is not a positive finite number"));
+        }
+        out.push((name, value));
+        rest = after;
+    }
+    if out.is_empty() {
+        return Err("no scenarios found".into());
+    }
+    Ok(out)
+}
+
+/// Compares current medians to the committed baseline: any scenario more
+/// than `limit`x slower fails. Scenarios present on only one side are
+/// reported but tolerated (the roster may grow between commits).
+fn check_regressions(results: &[Measurement], baseline: &[(String, f64)], limit: f64) -> bool {
+    let mut ok = true;
+    for m in results {
+        match baseline.iter().find(|(n, _)| n == m.name) {
+            Some((_, base)) => {
+                let ratio = m.median_ms / base;
+                let verdict = if ratio > limit {
+                    ok = false;
+                    "REGRESSION"
+                } else {
+                    "ok"
+                };
+                eprintln!(
+                    "# check {:<28} {:>8.2} ms vs baseline {:>8.2} ms ({:>5.2}x) {}",
+                    m.name, m.median_ms, base, ratio, verdict
+                );
+            }
+            None => eprintln!("# check {:<28} no baseline entry (new scenario)", m.name),
+        }
+    }
+    ok
+}
+
+fn main() {
+    let mut samples = SAMPLES;
+    let mut out_path: Option<String> = Some("BENCH.json".to_string());
+    let mut check_path: Option<String> = None;
+    let mut filter: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => samples = QUICK_SAMPLES,
+            "--samples" => {
+                samples = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--samples needs a positive integer"));
+            }
+            "--out" => out_path = Some(args.next().expect("--out needs a path")),
+            "--no-out" => out_path = None,
+            "--check" => check_path = Some(args.next().expect("--check needs a path")),
+            "--list" => list = true,
+            other if other.starts_with('-') => panic!("unknown flag {other}"),
+            other => filter.push(other.to_string()),
+        }
+    }
+    if list {
+        for (name, _) in scenarios() {
+            println!("{name}");
+        }
+        return;
+    }
+    assert!(samples >= 1, "need at least one sample");
+
+    let results = run_scenarios(samples, &filter);
+    assert!(!results.is_empty(), "scenario filter matched nothing");
+    let json = render_json(samples, &results);
+    if let Some(path) = &out_path {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("# wrote {path}");
+    } else {
+        print!("{json}");
+    }
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let baseline = match parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("# {path} is malformed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if !check_regressions(&results, &baseline, 2.0) {
+            eprintln!("# benchmark regression gate FAILED (see above)");
+            std::process::exit(1);
+        }
+        eprintln!("# benchmark regression gate passed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let results = vec![
+            Measurement { name: "micro/a", median_ms: 1.5, samples_ms: vec![1.4, 1.5, 1.6] },
+            Measurement { name: "sweep/b", median_ms: 250.0, samples_ms: vec![250.0] },
+        ];
+        let json = render_json(3, &results);
+        let parsed = parse_baseline(&json).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], ("micro/a".to_string(), 1.5));
+        assert_eq!(parsed[1], ("sweep/b".to_string(), 250.0));
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("{\"schema\": \"mosaic-bench/v1\"}").is_err());
+        let bad_number = "{\"schema\": \"mosaic-bench/v1\", \"scenarios\": [\n\
+             {\"name\": \"x\", \"median_ms\": -3.0, \"samples_ms\": []}]}";
+        assert!(parse_baseline(bad_number).is_err());
+    }
+
+    #[test]
+    fn regression_gate_trips_at_limit() {
+        let results =
+            vec![Measurement { name: "micro/a", median_ms: 10.0, samples_ms: vec![10.0] }];
+        let base = vec![("micro/a".to_string(), 6.0)];
+        assert!(check_regressions(&results, &base, 2.0), "1.67x is within 2x");
+        let base = vec![("micro/a".to_string(), 4.0)];
+        assert!(!check_regressions(&results, &base, 2.0), "2.5x must fail");
+        // Unknown scenarios are tolerated.
+        let base = vec![("micro/other".to_string(), 1.0)];
+        assert!(check_regressions(&results, &base, 2.0));
+    }
+}

@@ -22,6 +22,7 @@ use crate::frames::FramePool;
 use crate::MemError;
 use mosaic_sim_core::{AuditInvariants, AuditReport, Counter};
 use mosaic_vm::{AppId, LargeFrameNum, LargePageNum, PhysFrameNum, VirtPageNum};
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The CoCoA allocator state.
@@ -41,10 +42,18 @@ use std::collections::{BTreeMap, BTreeSet};
 /// ```
 #[derive(Debug, Default)]
 pub struct CoCoA {
-    /// Large frame assigned to each (app, virtual large page) chunk.
-    chunk_frames: BTreeMap<(AppId, LargePageNum), LargeFrameNum>,
-    /// Per-application free base page lists (Section 4.2).
-    free_base: BTreeMap<AppId, Vec<PhysFrameNum>>,
+    /// Large frame assigned to each (app, virtual large page) chunk,
+    /// sorted by key. A sorted vector rather than a map: chunk lookups
+    /// run on every aligned-chunk page fault, and the access pattern is
+    /// strongly repetitive, so `chunk_hint` usually skips the search.
+    chunk_frames: Vec<((AppId, LargePageNum), LargeFrameNum)>,
+    /// Index into `chunk_frames` of the most recently located entry.
+    /// Purely an accelerator: always re-validated against the key before
+    /// use, so stale hints (after inserts/removals) are harmless.
+    chunk_hint: Cell<usize>,
+    /// Per-application free base page lists (Section 4.2), sorted by
+    /// application so iteration order matches the old map layout.
+    free_base: Vec<(AppId, Vec<PhysFrameNum>)>,
     /// Coalesced-but-fragmented frames parked for the failsafe
     /// (Section 4.4's emergency frame list), with their owner.
     emergency: Vec<(AppId, LargePageNum)>,
@@ -56,6 +65,34 @@ impl CoCoA {
     /// Creates an empty allocator.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Position of `key` in the sorted `chunk_frames` vector, trying the
+    /// last-hit hint before falling back to binary search.
+    fn chunk_pos(&self, key: (AppId, LargePageNum)) -> Result<usize, usize> {
+        let hint = self.chunk_hint.get();
+        if let Some(&(k, _)) = self.chunk_frames.get(hint) {
+            if k == key {
+                return Ok(hint);
+            }
+        }
+        let pos = self.chunk_frames.binary_search_by_key(&key, |&(k, _)| k);
+        if let Ok(i) = pos {
+            self.chunk_hint.set(i);
+        }
+        pos
+    }
+
+    /// The free base page list of `asid`, created empty on first touch.
+    fn base_list_mut(&mut self, asid: AppId) -> &mut Vec<PhysFrameNum> {
+        let i = match self.free_base.binary_search_by_key(&asid, |&(a, _)| a) {
+            Ok(i) => i,
+            Err(i) => {
+                self.free_base.insert(i, (asid, Vec::new()));
+                i
+            }
+        };
+        &mut self.free_base[i].1
     }
 
     /// Returns (assigning on first call) the large frame backing the
@@ -71,23 +108,27 @@ impl CoCoA {
         asid: AppId,
         lpn: LargePageNum,
     ) -> Result<LargeFrameNum, MemError> {
-        if let Some(&lf) = self.chunk_frames.get(&(asid, lpn)) {
-            return Ok(lf);
+        match self.chunk_pos((asid, lpn)) {
+            Ok(i) => Ok(self.chunk_frames[i].1),
+            Err(i) => {
+                let lf = pool.take_free_frame().ok_or(MemError::OutOfMemory)?;
+                self.frames_assigned.inc();
+                self.chunk_frames.insert(i, ((asid, lpn), lf));
+                self.chunk_hint.set(i);
+                Ok(lf)
+            }
         }
-        let lf = pool.take_free_frame().ok_or(MemError::OutOfMemory)?;
-        self.frames_assigned.inc();
-        self.chunk_frames.insert((asid, lpn), lf);
-        Ok(lf)
     }
 
     /// Whether a chunk already has a frame bound.
     pub fn chunk_frame(&self, asid: AppId, lpn: LargePageNum) -> Option<LargeFrameNum> {
-        self.chunk_frames.get(&(asid, lpn)).copied()
+        self.chunk_pos((asid, lpn)).ok().map(|i| self.chunk_frames[i].1)
     }
 
     /// Releases the chunk binding (on full deallocation of the chunk).
     pub fn unbind_chunk(&mut self, asid: AppId, lpn: LargePageNum) -> Option<LargeFrameNum> {
-        self.chunk_frames.remove(&(asid, lpn))
+        let i = self.chunk_pos((asid, lpn)).ok()?;
+        Some(self.chunk_frames.remove(i).1)
     }
 
     /// Allocates one base frame for `asid` outside any aligned chunk,
@@ -104,14 +145,20 @@ impl CoCoA {
         pool: &mut FramePool,
         asid: AppId,
     ) -> Result<PhysFrameNum, MemError> {
-        let list = self.free_base.entry(asid).or_default();
-        if list.is_empty() {
+        let i = match self.free_base.binary_search_by_key(&asid, |&(a, _)| a) {
+            Ok(i) => i,
+            Err(i) => {
+                self.free_base.insert(i, (asid, Vec::new()));
+                i
+            }
+        };
+        if self.free_base[i].1.is_empty() {
             let lf = pool.take_free_frame().ok_or(MemError::OutOfMemory)?;
             self.frames_assigned.inc();
             // Push in reverse so allocation proceeds from index 0 upward.
-            list.extend(lf.base_frames().rev());
+            self.free_base[i].1.extend(lf.base_frames().rev());
         }
-        let pfn = list.pop().expect("list was just refilled");
+        let pfn = self.free_base[i].1.pop().expect("list was just refilled");
         self.base_assigned.inc();
         Ok(pfn)
     }
@@ -119,15 +166,16 @@ impl CoCoA {
     /// Adds spare base frames (e.g., the holes of a splintered emergency
     /// frame) to `asid`'s free base page list.
     pub fn donate_base(&mut self, asid: AppId, frames: impl IntoIterator<Item = PhysFrameNum>) {
-        let list = self.free_base.entry(asid).or_default();
         let mut added: Vec<_> = frames.into_iter().collect();
         added.reverse();
-        list.extend(added);
+        self.base_list_mut(asid).extend(added);
     }
 
     /// Number of free base frames currently parked for `asid`.
     pub fn free_base_len(&self, asid: AppId) -> usize {
-        self.free_base.get(&asid).map_or(0, Vec::len)
+        self.free_base
+            .binary_search_by_key(&asid, |&(a, _)| a)
+            .map_or(0, |i| self.free_base[i].1.len())
     }
 
     /// Pops one spare base frame from `asid`'s free base page list
@@ -135,16 +183,17 @@ impl CoCoA {
     /// [`CoCoA::alloc_base`]). Used by CAC to find migration destinations
     /// among frames the app already owns.
     pub fn pop_free_base(&mut self, asid: AppId) -> Option<PhysFrameNum> {
-        self.free_base.get_mut(&asid)?.pop()
+        let i = self.free_base.binary_search_by_key(&asid, |&(a, _)| a).ok()?;
+        self.free_base[i].1.pop()
     }
 
     /// Removes every free base frame of `asid` living in large frame `lf`
     /// (used before releasing a drained frame back to the pool). Returns
     /// how many were removed.
     pub fn reclaim_base(&mut self, asid: AppId, lf: LargeFrameNum) -> usize {
-        let list = match self.free_base.get_mut(&asid) {
-            Some(l) => l,
-            None => return 0,
+        let list = match self.free_base.binary_search_by_key(&asid, |&(a, _)| a) {
+            Ok(i) => &mut self.free_base[i].1,
+            Err(_) => return 0,
         };
         let before = list.len();
         list.retain(|pfn| pfn.large_frame() != lf);
@@ -212,8 +261,14 @@ impl AuditInvariants for CoCoA {
     /// chunk's own pages).
     fn audit(&self, report: &mut AuditReport) {
         let c = self.audit_component();
+        report.check(c, self.chunk_frames.windows(2).all(|w| w[0].0 < w[1].0), || {
+            "the chunk table is not strictly sorted by (app, large page)".to_string()
+        });
+        report.check(c, self.free_base.windows(2).all(|w| w[0].0 < w[1].0), || {
+            "the free base page lists are not strictly sorted by application".to_string()
+        });
         let mut chunk_of: BTreeMap<LargeFrameNum, (AppId, LargePageNum)> = BTreeMap::new();
-        for (&(asid, lpn), &lf) in &self.chunk_frames {
+        for &((asid, lpn), lf) in &self.chunk_frames {
             if let Some(&(other_asid, other_lpn)) = chunk_of.get(&lf) {
                 report.check(c, false, || {
                     format!("{lf} backs two chunks: {other_asid}/{other_lpn} and {asid}/{lpn}")
@@ -223,7 +278,7 @@ impl AuditInvariants for CoCoA {
             }
         }
         let mut seen_base: BTreeMap<PhysFrameNum, AppId> = BTreeMap::new();
-        for (&asid, list) in &self.free_base {
+        for &(asid, ref list) in &self.free_base {
             for &pfn in list {
                 if let Some(&other) = seen_base.get(&pfn) {
                     report.check(c, false, || {
@@ -337,6 +392,29 @@ mod tests {
         c.unpark_emergency(AppId(0), LargePageNum(3));
         assert_eq!(c.pop_emergency(), Some((AppId(1), LargePageNum(4))));
         assert_eq!(c.pop_emergency(), None);
+    }
+
+    #[test]
+    fn chunk_hint_survives_interleaved_lookups_and_unbinds() {
+        let mut pool = pool(16);
+        let mut c = CoCoA::new();
+        let mut frames = Vec::new();
+        for lpn in 0..8 {
+            frames.push(
+                c.frame_for_chunk(&mut pool, AppId(lpn as u16 % 2), LargePageNum(lpn)).unwrap(),
+            );
+        }
+        // Repeated same-key lookups (hint hits) interleaved with other keys
+        // and removals (hint goes stale) must all stay correct.
+        for _ in 0..3 {
+            assert_eq!(c.chunk_frame(AppId(1), LargePageNum(5)), Some(frames[5]));
+            assert_eq!(c.chunk_frame(AppId(0), LargePageNum(2)), Some(frames[2]));
+        }
+        assert_eq!(c.unbind_chunk(AppId(0), LargePageNum(2)), Some(frames[2]));
+        assert_eq!(c.chunk_frame(AppId(0), LargePageNum(2)), None);
+        assert_eq!(c.chunk_frame(AppId(1), LargePageNum(5)), Some(frames[5]));
+        let again = c.frame_for_chunk(&mut pool, AppId(0), LargePageNum(2)).unwrap();
+        assert_eq!(c.chunk_frame(AppId(0), LargePageNum(2)), Some(again));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use mosaic_sim_core::{AuditInvariants, AuditReport};
 use mosaic_vm::{AppId, LargeFrameNum, PhysFrameNum, BASE_PAGES_PER_LARGE_PAGE, LARGE_PAGE_SIZE};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// The special owner recorded for data injected by fragmentation
 /// stress tests (Section 6.4): it belongs to no real address space and
@@ -93,8 +93,13 @@ impl FrameState {
 pub struct FramePool {
     total: u64,
     channels: usize,
-    /// Large frames with at least one allocated base frame, or reserved.
-    states: BTreeMap<LargeFrameNum, FrameState>,
+    /// Per-large-frame allocation state, indexed by `LargeFrameNum::raw`
+    /// (`None` = neither allocated nor reserved). A flat table rather
+    /// than a map: the pool size is fixed at construction and frame
+    /// lookups sit on the allocation/deallocation hot path.
+    states: Vec<Option<FrameState>>,
+    /// Number of `Some` entries in `states` (tracked/reserved frames).
+    tracked: u64,
     /// Free large frames (no base frame allocated, not reserved), in
     /// ascending order for determinism.
     free: Vec<LargeFrameNum>,
@@ -124,7 +129,8 @@ impl FramePool {
         FramePool {
             total,
             channels,
-            states: BTreeMap::new(),
+            states: vec![None; total as usize],
+            tracked: 0,
             // Keep descending so `pop` hands out ascending frame numbers.
             free: (0..total).rev().map(LargeFrameNum).collect(),
             app_frames: 0,
@@ -152,8 +158,12 @@ impl FramePool {
     /// Takes a frame off the free-frame list (CoCoA's allocation step).
     pub fn take_free_frame(&mut self) -> Option<LargeFrameNum> {
         let lf = self.free.pop()?;
-        self.states.entry(lf).or_default();
-        self.peak_tracked = self.peak_tracked.max(self.states.len() as u64);
+        let slot = &mut self.states[lf.raw() as usize];
+        if slot.is_none() {
+            *slot = Some(FrameState::default());
+            self.tracked += 1;
+        }
+        self.peak_tracked = self.peak_tracked.max(self.tracked);
         Some(lf)
     }
 
@@ -164,21 +174,29 @@ impl FramePool {
     ///
     /// Panics if any base frame in it is still allocated.
     pub fn release_frame(&mut self, lf: LargeFrameNum) {
-        if let Some(state) = self.states.remove(&lf) {
+        if let Some(state) = self.states[lf.raw() as usize].take() {
             assert!(state.is_empty(), "cannot release a frame with allocated base pages");
+            self.tracked -= 1;
         }
         self.free.push(lf);
     }
 
     /// Allocation state of a large frame (empty default if untouched).
     pub fn state(&self, lf: LargeFrameNum) -> FrameState {
-        self.states.get(&lf).cloned().unwrap_or_default()
+        self.states.get(lf.raw() as usize).and_then(Option::as_ref).cloned().unwrap_or_default()
     }
 
     /// Sets (or clears) the owner of one base frame.
     pub fn set_owner(&mut self, pfn: PhysFrameNum, owner: Option<AppId>) {
         let lf = pfn.large_frame();
-        let state = self.states.entry(lf).or_default();
+        let slot = &mut self.states[lf.raw() as usize];
+        let state = match slot {
+            Some(s) => s,
+            None => {
+                self.tracked += 1;
+                slot.insert(FrameState::default())
+            }
+        };
         let idx = pfn.index_in_large() as usize;
         let app_before = state.app_used;
         match (state.owners[idx], owner) {
@@ -199,30 +217,36 @@ impl FramePool {
             _ => {}
         }
         self.peak_app_frames = self.peak_app_frames.max(self.app_frames);
-        self.peak_tracked = self.peak_tracked.max(self.states.len() as u64);
+        self.peak_tracked = self.peak_tracked.max(self.tracked);
     }
 
     /// Owner of one base frame.
     pub fn owner(&self, pfn: PhysFrameNum) -> Option<AppId> {
-        self.states.get(&pfn.large_frame()).and_then(|s| s.owner(pfn.index_in_large()))
+        self.states
+            .get(pfn.large_frame().raw() as usize)
+            .and_then(Option::as_ref)
+            .and_then(|s| s.owner(pfn.index_in_large()))
     }
 
     /// Iterates `(frame, state)` over frames with any allocation or
-    /// reservation.
+    /// reservation, in ascending frame-number order.
     pub fn tracked(&self) -> impl Iterator<Item = (LargeFrameNum, &FrameState)> {
-        self.states.iter().map(|(&lf, s)| (lf, s))
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (LargeFrameNum(i as u64), s)))
     }
 
     /// Total allocated base frames across the pool.
     pub fn allocated_base_frames(&self) -> u64 {
-        self.states.values().map(FrameState::used).sum()
+        self.states.iter().flatten().map(FrameState::used).sum()
     }
 
     /// Bytes of physical memory covered by tracked (reserved or partially
     /// used) large frames — the footprint figure used for memory-bloat
     /// accounting.
     pub fn reserved_bytes(&self) -> u64 {
-        self.states.len() as u64 * LARGE_PAGE_SIZE
+        self.tracked * LARGE_PAGE_SIZE
     }
 
     /// Bytes of physical memory covered by large frames holding at least
@@ -297,24 +321,36 @@ impl AuditInvariants for FramePool {
                 free.len()
             )
         });
-        report.check(c, free.len() as u64 + self.states.len() as u64 == self.total, || {
+        report.check(c, self.states.len() as u64 == self.total, || {
             format!(
-                "frame conservation broken: {} free + {} tracked != {} total",
-                free.len(),
+                "state table covers {} frames but the pool holds {}",
                 self.states.len(),
                 self.total
             )
         });
-        report.check(c, !self.states.keys().any(|lf| free.contains(lf)), || {
+        let tracked_recount = self.states.iter().flatten().count() as u64;
+        report.check(c, self.tracked == tracked_recount, || {
+            format!(
+                "pool caches tracked={} but {} state slots are occupied",
+                self.tracked, tracked_recount
+            )
+        });
+        report.check(c, free.len() as u64 + tracked_recount == self.total, || {
+            format!(
+                "frame conservation broken: {} free + {} tracked != {} total",
+                free.len(),
+                tracked_recount,
+                self.total
+            )
+        });
+        report.check(c, !self.tracked().any(|(lf, _)| free.contains(&lf)), || {
             "a large frame is simultaneously free and tracked".to_string()
         });
-        report.check(
-            c,
-            free.iter().chain(self.states.keys()).all(|lf| lf.raw() < self.total),
-            || format!("a frame number exceeds the pool size ({} frames)", self.total),
-        );
+        report.check(c, free.iter().all(|lf| lf.raw() < self.total), || {
+            format!("a frame number exceeds the pool size ({} frames)", self.total)
+        });
         let mut app_frames = 0;
-        for (&lf, state) in &self.states {
+        for (lf, state) in self.tracked() {
             let used = state.owners.iter().filter(|o| o.is_some()).count() as u16;
             let app_used =
                 state.owners.iter().filter(|o| o.is_some_and(|a| a != FRAG_OWNER)).count() as u16;
@@ -347,8 +383,8 @@ impl AuditInvariants for FramePool {
         report.check(c, self.peak_app_frames >= self.app_frames, || {
             format!("peak app frames {} below current {}", self.peak_app_frames, self.app_frames)
         });
-        report.check(c, self.peak_tracked >= self.states.len() as u64, || {
-            format!("peak tracked {} below current {}", self.peak_tracked, self.states.len())
+        report.check(c, self.peak_tracked >= self.tracked, || {
+            format!("peak tracked {} below current {}", self.peak_tracked, self.tracked)
         });
     }
 }
@@ -453,6 +489,43 @@ mod tests {
         let mut rng = SimRng::from_seed(2);
         p.pre_fragment(1.0, 0.5, &mut rng);
         assert_eq!(p.free_frames(), 0);
+    }
+
+    #[test]
+    fn sparse_frame_indices_track_independently() {
+        // Touch frames far apart in the index space; the flat table must
+        // keep them independent and iterate them in ascending order.
+        let mut p = pool(1024);
+        p.set_owner(LargeFrameNum(1000).base_frame(7), Some(AppId(2)));
+        p.set_owner(LargeFrameNum(3).base_frame(0), Some(AppId(1)));
+        p.set_owner(LargeFrameNum(512).base_frame(511), Some(AppId(1)));
+        let tracked: Vec<LargeFrameNum> = p.tracked().map(|(lf, _)| lf).collect();
+        assert_eq!(tracked, vec![LargeFrameNum(3), LargeFrameNum(512), LargeFrameNum(1000)]);
+        assert_eq!(p.owner(LargeFrameNum(1000).base_frame(7)), Some(AppId(2)));
+        assert_eq!(p.owner(LargeFrameNum(512).base_frame(7)), None);
+        assert_eq!(p.reserved_bytes(), 3 * LARGE_PAGE_SIZE);
+        assert_eq!(p.allocated_base_frames(), 3);
+    }
+
+    #[test]
+    fn dealloc_then_retouch_reuses_slot() {
+        let mut p = pool(4);
+        let lf = p.take_free_frame().unwrap();
+        p.set_owner(lf.base_frame(5), Some(AppId(0)));
+        p.set_owner(lf.base_frame(5), None);
+        p.release_frame(lf);
+        assert_eq!(p.reserved_bytes(), 0);
+        assert_eq!(p.free_frames(), 4);
+        // Re-taking the same frame must start from a clean state and
+        // count it as tracked exactly once.
+        let again = p.take_free_frame().unwrap();
+        assert_eq!(again, lf);
+        assert!(p.state(again).is_empty());
+        p.set_owner(again.base_frame(9), Some(AppId(1)));
+        assert_eq!(p.state(again).used(), 1);
+        assert_eq!(p.reserved_bytes(), LARGE_PAGE_SIZE);
+        // Peak reservation reflects both generations, not a double count.
+        assert_eq!(p.peak_reserved_bytes(), LARGE_PAGE_SIZE);
     }
 
     #[test]

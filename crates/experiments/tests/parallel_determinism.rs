@@ -9,6 +9,40 @@
 use mosaic_experiments::common::Scope;
 use mosaic_experiments::{fig08, sweep};
 
+/// FNV-1a (64-bit) over the rendered report. Small and dependency-free;
+/// collision resistance is irrelevant here — any accidental change to
+/// the rendered output flips the digest.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of fig08's smoke-scope report, pinned when the flat-structure
+/// hot-path rework landed. This is the cross-structure determinism
+/// contract: the BTreeMap→flat-vector page table, the TLB last-hit
+/// cache, the monomorphized SM loop, and the indexed frame pool must
+/// all render byte-for-byte the same report as the originals. Update
+/// this constant ONLY for a change that intentionally alters simulated
+/// behavior or report formatting — never for a performance refactor.
+const GOLDEN_FIG08_SMOKE_DIGEST: &str = "ad0fedc459c0afa6";
+
+#[test]
+fn smoke_report_matches_golden_digest() {
+    sweep::set_jobs(Some(2));
+    let report = fig08::run(Scope::Smoke).to_string();
+    sweep::set_jobs(None);
+    assert!(!report.is_empty());
+    let digest = format!("{:016x}", fnv1a(report.as_bytes()));
+    assert_eq!(
+        digest, GOLDEN_FIG08_SMOKE_DIGEST,
+        "fig08 smoke report drifted from the golden digest; report was:\n{report}"
+    );
+}
+
 #[test]
 fn serial_vs_parallel_sweeps_are_bit_identical() {
     sweep::set_jobs(Some(1));

@@ -26,4 +26,4 @@ pub mod sm;
 pub mod warp;
 
 pub use sm::{Sm, SmConfig, SmStats};
-pub use warp::{FixedLatencyMemory, MemoryInterface, WarpOp, WarpStream};
+pub use warp::{AddrList, FixedLatencyMemory, MemoryInterface, WarpOp, WarpStream, MAX_WARP_ADDRS};

@@ -43,8 +43,8 @@ pub struct SmStats {
 }
 
 #[derive(Debug)]
-struct WarpCtx {
-    stream: Box<dyn WarpStream>,
+struct WarpCtx<S> {
+    stream: S,
     ready_at: Cycle,
     finished: bool,
 }
@@ -54,12 +54,17 @@ struct WarpCtx {
 /// Drive it with [`Sm::advance`] from a loop that always advances the SM
 /// with the smallest local clock; the SM is done when [`Sm::is_active`]
 /// turns false.
+///
+/// The SM is generic over its warp-stream type. The default,
+/// `Box<dyn WarpStream>`, accepts any mix of streams; callers on the hot
+/// path (the full-system runner) instantiate `Sm<ConcreteStream>` instead
+/// so `next_op` calls are static — no per-warp box, no vtable dispatch.
 #[derive(Debug)]
-pub struct Sm {
+pub struct Sm<S: WarpStream = Box<dyn WarpStream>> {
     id: usize,
     asid: AppId,
     config: SmConfig,
-    warps: Vec<WarpCtx>,
+    warps: Vec<WarpCtx<S>>,
     current: usize,
     now: Cycle,
     /// External stall barrier (e.g., worst-case compaction stalls): the SM
@@ -68,15 +73,10 @@ pub struct Sm {
     stats: SmStats,
 }
 
-impl Sm {
+impl<S: WarpStream> Sm<S> {
     /// Creates an SM for application `asid` with the given warp streams.
     /// SMs with no warps start inactive.
-    pub fn new(
-        id: usize,
-        asid: AppId,
-        config: SmConfig,
-        streams: Vec<Box<dyn WarpStream>>,
-    ) -> Self {
+    pub fn new(id: usize, asid: AppId, config: SmConfig, streams: Vec<S>) -> Self {
         let warps = streams
             .into_iter()
             .map(|stream| WarpCtx { stream, ready_at: Cycle::ZERO, finished: false })
@@ -91,6 +91,23 @@ impl Sm {
             fence: Cycle::ZERO,
             stats: SmStats::default(),
         }
+    }
+
+    /// Re-arms the SM with a new grid's warp streams, resetting the clock,
+    /// fence, and statistics but keeping identity (`id`, `asid`) and the
+    /// warp-slot allocation. Lets a multi-phase runner reuse its SMs
+    /// instead of constructing a fresh vector per kernel phase.
+    pub fn reload(&mut self, streams: impl IntoIterator<Item = S>) {
+        self.warps.clear();
+        self.warps.extend(streams.into_iter().map(|stream| WarpCtx {
+            stream,
+            ready_at: Cycle::ZERO,
+            finished: false,
+        }));
+        self.current = 0;
+        self.now = Cycle::ZERO;
+        self.fence = Cycle::ZERO;
+        self.stats = SmStats::default();
     }
 
     /// This SM's index.
@@ -127,7 +144,7 @@ impl Sm {
     /// GTO pick: the current warp if ready, else the oldest (lowest index)
     /// ready warp, else `None`.
     fn pick(&self) -> Option<usize> {
-        let ready = |w: &WarpCtx| !w.finished && w.ready_at <= self.now;
+        let ready = |w: &WarpCtx<S>| !w.finished && w.ready_at <= self.now;
         if ready(&self.warps[self.current]) {
             return Some(self.current);
         }
@@ -208,7 +225,7 @@ impl Sm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::warp::FixedLatencyMemory;
+    use crate::warp::{AddrList, FixedLatencyMemory};
     use mosaic_vm::VirtAddr;
 
     /// `n` compute ops then exit.
@@ -234,7 +251,7 @@ mod tests {
                 WarpOp::Exit
             } else {
                 self.0 -= 1;
-                WarpOp::Memory { addresses: vec![VirtAddr(self.0 * 128)] }
+                WarpOp::Memory { addresses: AddrList::one(VirtAddr(self.0 * 128)) }
             }
         }
     }
@@ -316,6 +333,38 @@ mod tests {
         let end = sm.run_to_completion(&mut mem);
         assert!(end.as_u64() >= 510);
         assert!(sm.stats().stall_cycles >= 500);
+    }
+
+    #[test]
+    fn monomorphized_sm_matches_boxed_sm() {
+        // The same streams through Sm<ComputeN> (static dispatch) and the
+        // default Sm (boxed) must behave identically.
+        let mut mono =
+            Sm::new(0, AppId(0), SmConfig { warps: 2, batch: 8 }, vec![ComputeN(50), ComputeN(50)]);
+        let mut boxed = sm_with(vec![Box::new(ComputeN(50)), Box::new(ComputeN(50))]);
+        let mut mem = FixedLatencyMemory { latency: 0 };
+        let end_mono = mono.run_to_completion(&mut mem);
+        let end_boxed = boxed.run_to_completion(&mut mem);
+        assert_eq!(end_mono, end_boxed);
+        assert_eq!(mono.stats(), boxed.stats());
+    }
+
+    #[test]
+    fn reload_rearms_for_a_new_phase() {
+        let mut sm = Sm::new(3, AppId(1), SmConfig { warps: 1, batch: 8 }, vec![ComputeN(10)]);
+        let mut mem = FixedLatencyMemory { latency: 0 };
+        sm.run_to_completion(&mut mem);
+        assert!(!sm.is_active());
+        assert_eq!(sm.stats().instructions, 10);
+
+        sm.reload(vec![ComputeN(7), ComputeN(7)]);
+        assert!(sm.is_active(), "reload rearms the SM");
+        assert_eq!(sm.now(), Cycle::ZERO, "clock resets");
+        assert_eq!(sm.stats(), SmStats::default(), "stats reset");
+        assert_eq!(sm.id(), 3, "identity survives");
+        assert_eq!(sm.asid(), AppId(1));
+        sm.run_to_completion(&mut mem);
+        assert_eq!(sm.stats().instructions, 14);
     }
 
     #[test]

@@ -4,7 +4,73 @@
 use mosaic_sim_core::Cycle;
 use mosaic_vm::{AppId, VirtAddr};
 
+/// Capacity of [`AddrList`]: a warp has 32 lanes, so one instruction can
+/// touch at most 32 distinct cache lines (fully divergent).
+pub const MAX_WARP_ADDRS: usize = 32;
+
+/// The coalesced addresses of one memory instruction, stored inline.
+///
+/// Every issued memory op used to carry a heap `Vec` (usually of one
+/// element), making the per-op allocation the hottest line of the issue
+/// loop; an inline fixed-capacity list keeps the stream generators
+/// allocation-free. Dereferences to `&[VirtAddr]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrList {
+    addrs: [VirtAddr; MAX_WARP_ADDRS],
+    len: u8,
+}
+
+impl AddrList {
+    /// An empty list.
+    pub fn new() -> Self {
+        AddrList { addrs: [VirtAddr(0); MAX_WARP_ADDRS], len: 0 }
+    }
+
+    /// A single-address list (the fully-converged common case).
+    pub fn one(addr: VirtAddr) -> Self {
+        let mut list = Self::new();
+        list.push(addr);
+        list
+    }
+
+    /// Appends an address; a warp cannot produce more than
+    /// [`MAX_WARP_ADDRS`] (enforced by the slot indexing).
+    pub fn push(&mut self, addr: VirtAddr) {
+        self.addrs[usize::from(self.len)] = addr;
+        self.len += 1;
+    }
+}
+
+impl Default for AddrList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for AddrList {
+    type Target = [VirtAddr];
+
+    fn deref(&self) -> &[VirtAddr] {
+        &self.addrs[..usize::from(self.len)]
+    }
+}
+
+impl FromIterator<VirtAddr> for AddrList {
+    fn from_iter<I: IntoIterator<Item = VirtAddr>>(iter: I) -> Self {
+        let mut list = Self::new();
+        for addr in iter {
+            list.push(addr);
+        }
+        list
+    }
+}
+
 /// One warp instruction, as seen by the timing model.
+//
+// The size asymmetry is deliberate: boxing `Memory` (clippy's suggestion)
+// would put a heap allocation back on the per-op issue path, which is the
+// cost `AddrList` exists to remove.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WarpOp {
     /// A non-memory instruction (or a fused run of them): the warp cannot
@@ -18,7 +84,7 @@ pub enum WarpOp {
     /// = fully converged, 32 = fully divergent).
     Memory {
         /// Per-transaction virtual addresses.
-        addresses: Vec<VirtAddr>,
+        addresses: AddrList,
     },
     /// The warp has retired its last instruction.
     Exit,

@@ -11,7 +11,7 @@
 
 use crate::config::{ManagerKind, RunConfig};
 use crate::system::{GpuSystem, SystemStats};
-use mosaic_gpu::{Sm, SmConfig, WarpStream};
+use mosaic_gpu::{Sm, SmConfig};
 use mosaic_sim_core::{Cycle, SimRng};
 use mosaic_vm::AppId;
 use mosaic_workloads::{AppLayout, AppWarpStream, Workload};
@@ -114,9 +114,22 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
         system.audit().assert_clean("after launch");
     }
 
+    // The SM vector and scheduling heap survive across phases: phase 0
+    // populates them, later phases `reload` in place. SMs are
+    // monomorphized over `AppWarpStream` so warp issue is static dispatch
+    // with no per-warp box.
+    let mut sms: Vec<Sm<AppWarpStream>> = Vec::with_capacity(cfg.system.sm_count);
+    let mut heap: BinaryHeap<(Reverse<Cycle>, usize)> =
+        BinaryHeap::with_capacity(cfg.system.sm_count);
+
     for phase in 0..phases {
-        // Partition SMs and build their warps for this phase's grid.
-        let mut sms: Vec<Sm> = Vec::with_capacity(cfg.system.sm_count);
+        // Partition SMs and build their warps for this phase's grid. The
+        // per-application RNG is forked once per (app, phase) — every SM
+        // of the same app derives the same fork, so hoisting it out of
+        // the SM loop is digest-neutral.
+        let app_rngs: Vec<SimRng> = (0..n as u64)
+            .map(|app| root.fork("app-instance", app).fork("phase", u64::from(phase)))
+            .collect();
         let mut per_app_sm_seen = vec![0u64; n];
         for sm_id in 0..cfg.system.sm_count {
             let app = sm_id % n;
@@ -127,30 +140,29 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
             let sm_ordinal = per_app_sm_seen[app];
             per_app_sm_seen[app] += 1;
             let mem_ops = cfg.scale.mem_ops_for(profile, total_warps);
-            let app_rng = root.fork("app-instance", app as u64).fork("phase", u64::from(phase));
-            let streams: Vec<Box<dyn WarpStream>> = (0..cfg.scale.warps_per_sm as u64)
-                .map(|w| {
-                    let warp_idx = sm_ordinal * cfg.scale.warps_per_sm as u64 + w;
-                    Box::new(AppWarpStream::new(
-                        profile,
-                        &layouts[app],
-                        warp_idx,
-                        total_warps,
-                        mem_ops,
-                        &app_rng,
-                    )) as Box<dyn WarpStream>
-                })
-                .collect();
-            let mut sm =
-                Sm::new(sm_id, asid, SmConfig { warps: cfg.scale.warps_per_sm, batch: 8 }, streams);
+            let app_rng = &app_rngs[app];
+            let streams = (0..cfg.scale.warps_per_sm as u64).map(|w| {
+                let warp_idx = sm_ordinal * cfg.scale.warps_per_sm as u64 + w;
+                AppWarpStream::new(profile, &layouts[app], warp_idx, total_warps, mem_ops, app_rng)
+            });
+            let sm = match sms.get_mut(sm_id) {
+                Some(sm) => {
+                    sm.reload(streams);
+                    sm
+                }
+                None => {
+                    let config = SmConfig { warps: cfg.scale.warps_per_sm, batch: 8 };
+                    sms.push(Sm::new(sm_id, asid, config, streams.collect()));
+                    &mut sms[sm_id]
+                }
+            };
             // Later phases start where the previous grid left off.
             sm.stall_until(phase_start);
-            sms.push(sm);
         }
 
         // Smallest-clock-first scheduling loop.
-        let mut heap: BinaryHeap<(Reverse<Cycle>, usize)> =
-            (0..sms.len()).map(|i| (Reverse(Cycle::ZERO), i)).collect();
+        heap.clear();
+        heap.extend((0..sms.len()).map(|i| (Reverse(Cycle::ZERO), i)));
         let mut active_per_app: Vec<usize> =
             (0..n).map(|i| sm_share(cfg.system.sm_count, n, i)).collect();
         while let Some((_, idx)) = heap.pop() {
@@ -165,7 +177,8 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
             if let Some(every) = audit_every {
                 let now = sms[idx].now().as_u64();
                 if now >= next_audit {
-                    system.audit().assert_clean(&format!("cycle {now}"));
+                    // Lazy context: a clean audit formats nothing.
+                    system.audit().assert_clean(format_args!("cycle {now}"));
                     next_audit = (now / every + 1) * every;
                 }
             }
@@ -210,7 +223,7 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
         total_cycles = phase_end.as_u64();
         phase_start = phase_end;
         if audit_every.is_some() {
-            system.audit().assert_clean(&format!("end of phase {phase}"));
+            system.audit().assert_clean(format_args!("end of phase {phase}"));
         }
     }
 

@@ -506,39 +506,56 @@ impl GpuSystem {
     /// bit-identical. The runner calls this every `audit_every` cycles and
     /// panics on the first violation (see [`mosaic_sim_core::AuditReport`]).
     pub fn audit(&self) -> mosaic_sim_core::AuditReport {
+        use std::fmt::Write as _;
         let mut report = mosaic_sim_core::AuditReport::new();
         self.manager.audit(&mut report);
         let tables = self.manager.tables();
-        let l1s = self.l1_tlbs.iter().enumerate().map(|(sm, t)| (format!("l1-tlb[{sm}]"), t));
-        for (name, tlb) in l1s.chain(std::iter::once(("l2-tlb".to_string(), &self.l2_tlb))) {
-            for (asid, page, size) in tlb.entries() {
-                match size {
-                    PageSize::Base => report.check(
-                        &name,
-                        tables.table(asid).is_some_and(|t| t.is_mapped(VirtPageNum(page))),
-                        || {
-                            format!(
-                                "caches a base translation for {asid} page {page:#x} \
-                                 with no live page-table entry"
-                            )
-                        },
-                    ),
-                    PageSize::Large => report.check(
-                        &name,
-                        tables
-                            .table(asid)
-                            .is_some_and(|t| t.is_coalesced(mosaic_vm::LargePageNum(page))),
-                        || {
-                            format!(
-                                "caches a large translation for {asid} region {page:#x} \
-                                 that is not coalesced in the page table"
-                            )
-                        },
-                    ),
-                }
+        // One name buffer reused across the sweep: a clean audit performs
+        // no per-TLB allocation (violation messages still format lazily).
+        let mut name = String::new();
+        for (sm, tlb) in self.l1_tlbs.iter().enumerate() {
+            name.clear();
+            let _ = write!(name, "l1-tlb[{sm}]");
+            Self::audit_tlb(&mut report, &name, tlb, tables);
+        }
+        Self::audit_tlb(&mut report, "l2-tlb", &self.l2_tlb, tables);
+        report
+    }
+
+    /// Checks that every translation cached in `tlb` is backed by a live
+    /// page-table entry of the matching page size.
+    fn audit_tlb(
+        report: &mut mosaic_sim_core::AuditReport,
+        name: &str,
+        tlb: &Tlb,
+        tables: &mosaic_vm::PageTableSet,
+    ) {
+        for (asid, page, size) in tlb.entries() {
+            match size {
+                PageSize::Base => report.check(
+                    name,
+                    tables.table(asid).is_some_and(|t| t.is_mapped(VirtPageNum(page))),
+                    || {
+                        format!(
+                            "caches a base translation for {asid} page {page:#x} \
+                             with no live page-table entry"
+                        )
+                    },
+                ),
+                PageSize::Large => report.check(
+                    name,
+                    tables
+                        .table(asid)
+                        .is_some_and(|t| t.is_coalesced(mosaic_vm::LargePageNum(page))),
+                    || {
+                        format!(
+                            "caches a large translation for {asid} region {page:#x} \
+                             that is not coalesced in the page table"
+                        )
+                    },
+                ),
             }
         }
-        report
     }
 
     /// Collects the end-of-run statistics.

@@ -76,7 +76,21 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All sets in one contiguous slab, `assoc` slots per set (no per-set
+    /// heap indirection); `lens[s]` is the live-line count of set `s`.
+    /// Live lines occupy the front of their set's slice, in the same
+    /// order the per-set vectors held them.
+    lines: Vec<Line>,
+    lens: Vec<u16>,
+    num_sets: u64,
+    /// `log2(line_size)` when the line size is a power of two, so the
+    /// per-access address split is a shift instead of a division. Both
+    /// shipped geometries qualify; odd test geometries fall back.
+    line_shift: Option<u32>,
+    /// `sets - 1` when the set count is a power of two (mask instead of
+    /// modulo). The L2 slice has a non-power-of-two set count, so this
+    /// stays a genuine fallback, not dead code.
+    set_mask: Option<u64>,
     tick: u64,
     stats: Ratio,
     writebacks: u64,
@@ -95,7 +109,14 @@ impl Cache {
         let sets = config.sets();
         Cache {
             config,
-            sets: (0..sets).map(|_| Vec::with_capacity(config.assoc)).collect(),
+            lines: vec![Line { tag: 0, last_used: 0, dirty: false }; sets as usize * config.assoc],
+            lens: vec![0; sets as usize],
+            num_sets: sets,
+            line_shift: config
+                .line_size
+                .is_power_of_two()
+                .then_some(config.line_size.trailing_zeros()),
+            set_mask: sets.is_power_of_two().then_some(sets - 1),
             tick: 0,
             stats: Ratio::default(),
             writebacks: 0,
@@ -113,8 +134,14 @@ impl Cache {
     }
 
     fn split(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.config.line_size;
-        let set = (line % self.sets.len() as u64) as usize;
+        let line = match self.line_shift {
+            Some(shift) => addr >> shift,
+            None => addr / self.config.line_size,
+        };
+        let set = match self.set_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % self.num_sets) as usize,
+        };
         (set, line)
     }
 
@@ -125,18 +152,32 @@ impl Cache {
         let tick = self.tick;
         let assoc = self.config.assoc;
         let (set_idx, tag) = self.split(addr);
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
-            line.last_used = tick;
-            line.dirty |= write;
-            self.stats.record(true);
-            return true;
+        let base = set_idx * assoc;
+        let len = self.lens[set_idx] as usize;
+        let set = &mut self.lines[base..base + len];
+        // One pass finds the hit and the LRU victim together. Ticks are
+        // unique within the cache, so strict `<` keeps the same
+        // (first-minimum) victim the separate `min_by_key` pass chose.
+        let mut lru_idx = 0;
+        let mut lru_tick = u64::MAX;
+        for (i, line) in set.iter_mut().enumerate() {
+            if line.tag == tag {
+                line.last_used = tick;
+                line.dirty |= write;
+                self.stats.record(true);
+                return true;
+            }
+            if line.last_used < lru_tick {
+                lru_tick = line.last_used;
+                lru_idx = i;
+            }
         }
         self.stats.record(false);
-        if set.len() < assoc {
-            set.push(Line { tag, last_used: tick, dirty: write });
+        if len < assoc {
+            self.lines[base + len] = Line { tag, last_used: tick, dirty: write };
+            self.lens[set_idx] += 1;
         } else {
-            let victim = set.iter_mut().min_by_key(|l| l.last_used).expect("full set is non-empty");
+            let victim = &mut self.lines[base + lru_idx];
             if victim.dirty {
                 self.writebacks += 1;
             }
@@ -148,15 +189,19 @@ impl Cache {
     /// Probes without filling or updating recency.
     pub fn contains(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.split(addr);
-        self.sets[set_idx].iter().any(|l| l.tag == tag)
+        let base = set_idx * self.config.assoc;
+        self.lines[base..base + self.lens[set_idx] as usize].iter().any(|l| l.tag == tag)
     }
 
     /// Invalidates every line (e.g., at kernel boundaries). Dirty lines
     /// count as writebacks.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            self.writebacks += set.iter().filter(|l| l.dirty).count() as u64;
-            set.clear();
+        let assoc = self.config.assoc;
+        for (set_idx, len) in self.lens.iter_mut().enumerate() {
+            let base = set_idx * assoc;
+            let live = &self.lines[base..base + *len as usize];
+            self.writebacks += live.iter().filter(|l| l.dirty).count() as u64;
+            *len = 0;
         }
     }
 
@@ -172,7 +217,7 @@ impl Cache {
 
     /// Number of valid lines.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 }
 
@@ -250,5 +295,19 @@ mod tests {
     #[should_panic(expected = "line size")]
     fn zero_line_size_rejected() {
         let _ = Cache::new(CacheConfig { capacity: 256, line_size: 0, assoc: 2, latency: 1 });
+    }
+
+    #[test]
+    fn split_fast_paths_match_division() {
+        // The L2 slice geometry has a non-power-of-two set count, the L1 a
+        // power-of-two one; both must index identically to plain div/mod.
+        for config in [CacheConfig::paper_l1(), CacheConfig::paper_l2_slice()] {
+            let c = Cache::new(config);
+            for addr in (0..4096u64).map(|i| i * 7919) {
+                let (set, line) = c.split(addr);
+                assert_eq!(line, addr / config.line_size);
+                assert_eq!(set as u64, line % c.num_sets);
+            }
+        }
     }
 }

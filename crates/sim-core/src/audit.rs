@@ -98,10 +98,15 @@ impl AuditReport {
     /// is observable the run's statistics are already unsound, so the
     /// only honest reaction is to stop.
     ///
+    /// `context` is only rendered on failure, so callers on audited hot
+    /// loops should pass something lazily formatted (`format_args!`)
+    /// rather than a pre-built `String` — the clean path then allocates
+    /// nothing.
+    ///
     /// # Panics
     ///
     /// Panics if the report holds at least one violation.
-    pub fn assert_clean(&self, context: &str) {
+    pub fn assert_clean(&self, context: impl fmt::Display) {
         assert!(
             self.is_clean(),
             "invariant audit failed ({context}): {} violation(s) in {} checks\n{self}",

@@ -88,12 +88,33 @@ struct Slot {
     last_used: u64,
 }
 
+/// Bucket count of the [`TranslationArray`] counting filter. Power of
+/// two, and an order of magnitude above the largest array (512 entries)
+/// so most absent probes hit an empty bucket.
+const FILTER_BUCKETS: usize = 4096;
+
 /// A set-associative translation array with LRU replacement.
 #[derive(Debug, Clone)]
 struct TranslationArray {
     sets: Vec<Vec<Slot>>,
     assoc: usize,
     tick: u64,
+    /// Counting filter over the `(asid, page)` pairs held across all
+    /// sets: each resident pair increments its hash bucket. Invalidations
+    /// (TLB shootdowns) arrive for *every* unmapped page but the array
+    /// only caches a handful of them, so a zero bucket proves absence and
+    /// skips the set scan in the overwhelmingly common case; a non-zero
+    /// bucket (present, or a collision) falls back to the scan. Purely an
+    /// accelerator: contents and replacement are unchanged, and
+    /// maintenance is O(1) per insert/evict.
+    filter: Box<[u16; FILTER_BUCKETS]>,
+}
+
+/// Deterministic bucket index for one `(asid, page)` pair — a cheap
+/// multiplicative mix (no per-run randomness; determinism policy).
+fn filter_bucket(asid: AppId, page: u64) -> usize {
+    let h = (page ^ (u64::from(asid.0) << 40)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (h >> 52) as usize & (FILTER_BUCKETS - 1)
 }
 
 impl TranslationArray {
@@ -113,6 +134,7 @@ impl TranslationArray {
             sets: (0..num_sets).map(|_| Vec::with_capacity(assoc)).collect(),
             assoc,
             tick: 0,
+            filter: Box::new([0; FILTER_BUCKETS]),
         }
     }
 
@@ -126,6 +148,12 @@ impl TranslationArray {
         }
         self.tick += 1;
         let tick = self.tick;
+        // A zero bucket proves a miss without scanning the set; a miss
+        // touches no slot, so skipping the scan is unobservable (the
+        // recency tick above is bumped either way).
+        if self.filter[filter_bucket(asid, page)] == 0 {
+            return false;
+        }
         let idx = self.set_index(page);
         match self.sets[idx].iter_mut().find(|s| s.asid == asid && s.page == page) {
             Some(slot) => {
@@ -146,43 +174,70 @@ impl TranslationArray {
         let idx = self.set_index(page);
         let assoc = self.assoc;
         let set = &mut self.sets[idx];
-        if let Some(slot) = set.iter_mut().find(|s| s.asid == asid && s.page == page) {
-            slot.last_used = tick;
-            return None;
+        // One pass finds a refresh hit and the LRU victim together. Ticks
+        // are unique within the array, so strict `<` keeps the same
+        // (first-minimum) victim the separate `min_by_key` pass chose.
+        let mut lru_idx = 0;
+        let mut lru_tick = u64::MAX;
+        for (i, slot) in set.iter_mut().enumerate() {
+            if slot.asid == asid && slot.page == page {
+                slot.last_used = tick;
+                return None;
+            }
+            if slot.last_used < lru_tick {
+                lru_tick = slot.last_used;
+                lru_idx = i;
+            }
         }
+        self.filter[filter_bucket(asid, page)] += 1;
         if set.len() < assoc {
             set.push(Slot { asid, page, last_used: tick });
             return None;
         }
-        let victim =
-            set.iter_mut().min_by_key(|s| s.last_used).expect("set is full, hence non-empty");
+        let victim = &mut set[lru_idx];
         let evicted = (victim.asid, victim.page);
         *victim = Slot { asid, page, last_used: tick };
+        self.filter[filter_bucket(evicted.0, evicted.1)] -= 1;
         Some(evicted)
     }
 
     fn invalidate(&mut self, asid: AppId, page: u64) -> bool {
-        if self.sets.is_empty() {
+        // A zero bucket proves the pair is absent (the common case during
+        // unmap shootdown storms) without touching the sets.
+        let bucket = filter_bucket(asid, page);
+        if self.filter[bucket] == 0 {
             return false;
         }
         let idx = self.set_index(page);
         let set = &mut self.sets[idx];
         let before = set.len();
         set.retain(|s| !(s.asid == asid && s.page == page));
-        set.len() != before
+        if set.len() == before {
+            return false; // filter collision, not a resident entry
+        }
+        self.filter[bucket] -= 1;
+        true
     }
 
     fn flush_asid(&mut self, asid: AppId) -> usize {
         let mut n = 0;
         for set in &mut self.sets {
             let before = set.len();
-            set.retain(|s| s.asid != asid);
+            set.retain(|s| {
+                if s.asid == asid {
+                    self.filter[filter_bucket(s.asid, s.page)] -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
             n += before - set.len();
         }
         n
     }
 
     fn flush_all(&mut self) -> usize {
+        self.filter.fill(0);
         let mut n = 0;
         for set in &mut self.sets {
             n += set.len();
@@ -194,6 +249,29 @@ impl TranslationArray {
     fn occupancy(&self) -> usize {
         self.sets.iter().map(Vec::len).sum()
     }
+}
+
+/// The most recent *hit*, kept so an immediately repeated lookup can skip
+/// the associative probe (warps overwhelmingly issue runs of accesses to
+/// the same page).
+///
+/// This cache is deliberately a single entry covering only *consecutive*
+/// repeats: between the original probe and a cached replay no other
+/// operation may touch the TLB, which is exactly what makes the shortcut
+/// invisible. The skipped probe would only have bumped the recency tick of
+/// the slot that is already the array's most recently used, so every
+/// future hit/miss/eviction decision is unchanged; had another lookup,
+/// fill, or flush intervened (or a second entry been cached), the slot
+/// might no longer be most-recent and skipping its recency update could
+/// change a later LRU victim. Statistics are replayed exactly as the slow
+/// path records them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LastHit {
+    asid: AppId,
+    /// Large-page number for a large hit (the entry covers the whole
+    /// 2 MB region), base-page number for a base hit.
+    page: u64,
+    size: PageSize,
 }
 
 /// One TLB level: split base/large arrays, ASID tags, LRU replacement, and
@@ -220,6 +298,7 @@ pub struct Tlb {
     base_stats: Ratio,
     large_stats: Ratio,
     overall: Ratio,
+    last_hit: Option<LastHit>,
 }
 
 impl Tlb {
@@ -232,6 +311,7 @@ impl Tlb {
             base_stats: Ratio::default(),
             large_stats: Ratio::default(),
             overall: Ratio::default(),
+            last_hit: None,
         }
     }
 
@@ -246,20 +326,51 @@ impl Tlb {
     }
 
     /// Probes the TLB for `addr` in address space `asid`: large entries
-    /// first, then base entries.
+    /// first, then base entries. A lookup that repeats the previous hit
+    /// (same ASID, same covered page, nothing in between) is served from
+    /// [`LastHit`] without probing; statistics and outcome are identical
+    /// either way.
     pub fn lookup(&mut self, asid: AppId, addr: VirtAddr) -> TlbLookup {
+        if let Some(last) = self.last_hit {
+            if last.asid == asid {
+                match last.size {
+                    PageSize::Large if last.page == addr.large_page().raw() => {
+                        // Replay of the slow path's large-hit records.
+                        self.large_stats.record(true);
+                        self.overall.record(true);
+                        return TlbLookup::HitLarge;
+                    }
+                    PageSize::Base if last.page == addr.base_page().raw() => {
+                        // Replay of the slow path's large-miss/base-hit
+                        // records.
+                        self.large_stats.record(false);
+                        self.base_stats.record(true);
+                        self.overall.record(true);
+                        return TlbLookup::HitBase;
+                    }
+                    _ => {}
+                }
+            }
+        }
         let large_hit = self.large.lookup(asid, addr.large_page().raw());
         self.large_stats.record(large_hit);
         if large_hit {
             self.overall.record(true);
+            self.last_hit =
+                Some(LastHit { asid, page: addr.large_page().raw(), size: PageSize::Large });
             return TlbLookup::HitLarge;
         }
         let base_hit = self.base.lookup(asid, addr.base_page().raw());
         self.base_stats.record(base_hit);
         self.overall.record(base_hit);
         if base_hit {
+            self.last_hit =
+                Some(LastHit { asid, page: addr.base_page().raw(), size: PageSize::Base });
             TlbLookup::HitBase
         } else {
+            // The probe bumped recency ticks; a stale cached hit must not
+            // skip the next probe's tick on top of that.
+            self.last_hit = None;
             TlbLookup::Miss
         }
     }
@@ -289,6 +400,7 @@ impl Tlb {
     /// Fills the translation for `addr` into the array selected by `size`,
     /// returning any evicted `(asid, page-number)` pair.
     pub fn fill(&mut self, asid: AppId, addr: VirtAddr, size: PageSize) -> Option<(AppId, u64)> {
+        self.last_hit = None;
         match size {
             PageSize::Base => self.base.insert(asid, addr.base_page().raw()),
             PageSize::Large => self.large.insert(asid, addr.large_page().raw()),
@@ -299,24 +411,28 @@ impl Tlb {
     /// coalesced page is splintered (Section 4.4). Returns whether an entry
     /// was present.
     pub fn flush_large(&mut self, asid: AppId, addr: VirtAddr) -> bool {
+        self.last_hit = None;
         self.large.invalidate(asid, addr.large_page().raw())
     }
 
     /// Invalidates the base-page entry covering `addr`. Returns whether an
     /// entry was present.
     pub fn flush_base(&mut self, asid: AppId, addr: VirtAddr) -> bool {
+        self.last_hit = None;
         self.base.invalidate(asid, addr.base_page().raw())
     }
 
     /// Removes every entry belonging to `asid` (both arrays), returning the
     /// number of entries dropped. Used when an application terminates.
     pub fn flush_asid(&mut self, asid: AppId) -> usize {
+        self.last_hit = None;
         self.base.flush_asid(asid) + self.large.flush_asid(asid)
     }
 
     /// Removes all entries; the full-TLB shootdown of the baseline
     /// coalescing path (Figure 6a). Returns entries dropped.
     pub fn flush_all(&mut self) -> usize {
+        self.last_hit = None;
         self.base.flush_all() + self.large.flush_all()
     }
 
@@ -508,6 +624,178 @@ mod tests {
         tlb.fill(AppId(0), VirtAddr(0x1000), PageSize::Base);
         tlb.fill(AppId(0), VirtAddr(0x20_0000), PageSize::Large);
         assert_eq!(tlb.flush_all(), 2);
+        assert_eq!(tlb.occupancy(), 0);
+    }
+
+    #[test]
+    fn last_hit_cache_serves_repeats() {
+        let mut tlb = small_tlb(4, 4);
+        let addr = VirtPageNum(7).addr();
+        tlb.fill(AppId(0), addr, PageSize::Base);
+        assert_eq!(tlb.lookup(AppId(0), addr), TlbLookup::HitBase);
+        assert!(tlb.last_hit.is_some(), "hit primes the cache");
+        // Repeats are served from the cache with identical stats.
+        assert_eq!(tlb.lookup(AppId(0), addr), TlbLookup::HitBase);
+        assert_eq!(tlb.lookup(AppId(0), addr), TlbLookup::HitBase);
+        assert_eq!(tlb.hit_rate().hits(), 3);
+        assert_eq!(tlb.hit_rate().total(), 3);
+        assert_eq!(tlb.base_hit_rate().total(), 3);
+        assert_eq!(tlb.large_hit_rate().total(), 3, "cached base hits replay the large miss");
+        assert_eq!(tlb.large_hit_rate().hits(), 0);
+        // A different page falls back to the probe; a miss clears the cache.
+        assert_eq!(tlb.lookup(AppId(0), VirtPageNum(8).addr()), TlbLookup::Miss);
+        assert!(tlb.last_hit.is_none(), "a miss clears the cache");
+    }
+
+    #[test]
+    fn last_hit_cache_covers_whole_large_page() {
+        let mut tlb = small_tlb(4, 4);
+        let lpn = LargePageNum(3);
+        tlb.fill(AppId(0), lpn.addr(), PageSize::Large);
+        assert_eq!(tlb.lookup(AppId(0), lpn.base_page(0).addr()), TlbLookup::HitLarge);
+        // A different base page of the same large page is still a cached
+        // repeat — the large entry covers all of it.
+        assert_eq!(tlb.lookup(AppId(0), lpn.base_page(511).addr()), TlbLookup::HitLarge);
+        assert_eq!(tlb.large_hit_rate().hits(), 2);
+        assert_eq!(tlb.hit_rate().total(), 2);
+        assert_eq!(tlb.base_hit_rate().total(), 0, "large hits never probe the base array");
+    }
+
+    #[test]
+    fn last_hit_cache_is_asid_isolated() {
+        let mut tlb = small_tlb(4, 4);
+        let addr = VirtPageNum(7).addr();
+        tlb.fill(AppId(0), addr, PageSize::Base);
+        tlb.fill(AppId(1), addr, PageSize::Base);
+        assert_eq!(tlb.lookup(AppId(0), addr), TlbLookup::HitBase);
+        // Same page, different address space: must not be served from
+        // AppId(0)'s cached hit (it re-probes and re-caches for AppId(1)).
+        assert_eq!(
+            tlb.last_hit,
+            Some(LastHit { asid: AppId(0), page: VirtPageNum(7).raw(), size: PageSize::Base })
+        );
+        assert_eq!(tlb.lookup(AppId(1), addr), TlbLookup::HitBase);
+        assert_eq!(
+            tlb.last_hit,
+            Some(LastHit { asid: AppId(1), page: VirtPageNum(7).raw(), size: PageSize::Base })
+        );
+        // An ASID with no entry misses even though the page matches.
+        assert_eq!(tlb.lookup(AppId(2), addr), TlbLookup::Miss);
+    }
+
+    #[test]
+    fn last_hit_cache_invalidated_by_fills_and_flushes() {
+        let mut tlb = small_tlb(4, 4);
+        let addr = VirtPageNum(7).addr();
+        tlb.fill(AppId(0), addr, PageSize::Base);
+        tlb.lookup(AppId(0), addr);
+        assert!(tlb.last_hit.is_some());
+        tlb.fill(AppId(0), VirtPageNum(9).addr(), PageSize::Base);
+        assert!(tlb.last_hit.is_none(), "fill invalidates");
+
+        tlb.lookup(AppId(0), addr);
+        assert!(tlb.last_hit.is_some());
+        assert!(tlb.flush_base(AppId(0), addr));
+        assert!(tlb.last_hit.is_none(), "flush_base invalidates");
+        // The flushed entry must actually miss (the stale cached hit would
+        // have claimed HitBase).
+        assert_eq!(tlb.lookup(AppId(0), addr), TlbLookup::Miss);
+
+        tlb.fill(AppId(0), addr, PageSize::Large);
+        tlb.lookup(AppId(0), addr);
+        assert!(tlb.last_hit.is_some());
+        assert!(tlb.flush_large(AppId(0), addr));
+        assert!(tlb.last_hit.is_none(), "flush_large invalidates");
+
+        tlb.fill(AppId(0), addr, PageSize::Base);
+        tlb.lookup(AppId(0), addr);
+        tlb.flush_asid(AppId(0));
+        assert!(tlb.last_hit.is_none(), "flush_asid invalidates");
+
+        tlb.fill(AppId(0), addr, PageSize::Base);
+        tlb.lookup(AppId(0), addr);
+        tlb.flush_all();
+        assert!(tlb.last_hit.is_none(), "flush_all invalidates");
+    }
+
+    #[test]
+    fn last_hit_cache_preserves_lru_outcomes() {
+        // Drive two TLBs with the same operations, but defeat the cache on
+        // one of them by re-probing (a cached replay leaves array state
+        // untouched, so the extra lookups on `slow` are the *slow path* of
+        // the same repeats). Contents, evictions, and subsequent victims
+        // must match — the observational-equivalence claim of `LastHit`.
+        let mut fast = small_tlb(2, 0);
+        let mut slow = small_tlb(2, 0);
+        let a = VirtPageNum(1).addr();
+        let b = VirtPageNum(2).addr();
+        let c = VirtPageNum(3).addr();
+        for t in [&mut fast, &mut slow] {
+            t.fill(AppId(0), a, PageSize::Base);
+            t.fill(AppId(0), b, PageSize::Base);
+        }
+        // `fast` serves the repeats from the cache; `slow` has its cache
+        // cleared before each repeat so every one takes the probe path.
+        for _ in 0..5 {
+            assert_eq!(fast.lookup(AppId(0), a), TlbLookup::HitBase);
+            slow.last_hit = None;
+            assert_eq!(slow.lookup(AppId(0), a), TlbLookup::HitBase);
+        }
+        // `a` is most-recent in both; the next fill must evict `b` in both.
+        assert_eq!(fast.fill(AppId(0), c, PageSize::Base), Some((AppId(0), VirtPageNum(2).raw())));
+        assert_eq!(slow.fill(AppId(0), c, PageSize::Base), Some((AppId(0), VirtPageNum(2).raw())));
+        let fast_entries: Vec<_> = fast.entries().collect();
+        let slow_entries: Vec<_> = slow.entries().collect();
+        assert_eq!(fast_entries, slow_entries);
+    }
+
+    /// Exhaustively checks that the counting filter stays an exact image
+    /// of the array contents through fill/evict/invalidate/flush churn —
+    /// each bucket must equal the number of resident pairs hashing to it,
+    /// the invariant the shootdown fast path relies on.
+    #[test]
+    fn presence_filter_tracks_contents_exactly() {
+        fn check(tlb: &Tlb) {
+            for arr in [&tlb.base, &tlb.large] {
+                let mut expected = vec![0u16; FILTER_BUCKETS];
+                for s in arr.sets.iter().flatten() {
+                    expected[filter_bucket(s.asid, s.page)] += 1;
+                }
+                assert_eq!(&expected[..], &arr.filter[..], "filter drifted from set contents");
+            }
+        }
+        let mut tlb = small_tlb(2, 1);
+        check(&tlb);
+        // Fill past capacity to force evictions, across two ASIDs.
+        for i in 0..5u64 {
+            tlb.fill(AppId((i % 2) as u16), VirtPageNum(i).addr(), PageSize::Base);
+            check(&tlb);
+        }
+        tlb.fill(AppId(0), LargePageNum(3).addr(), PageSize::Large);
+        check(&tlb);
+        // Absent invalidations (the shootdown-storm case) and present ones.
+        assert!(!tlb.flush_base(AppId(0), VirtPageNum(999).addr()));
+        assert!(!tlb.flush_large(AppId(1), LargePageNum(3).addr()));
+        check(&tlb);
+        let held: Vec<_> = tlb.entries().collect();
+        for (asid, page, size) in held {
+            let flushed = match size {
+                PageSize::Base => tlb.flush_base(asid, VirtPageNum(page).addr()),
+                PageSize::Large => tlb.flush_large(asid, LargePageNum(page).addr()),
+            };
+            assert!(flushed, "entry reported by entries() must flush");
+            check(&tlb);
+        }
+        assert_eq!(tlb.occupancy(), 0);
+        // flush_asid / flush_all keep the mirror in step too.
+        for i in 0..4u64 {
+            tlb.fill(AppId((i % 2) as u16), VirtPageNum(i).addr(), PageSize::Base);
+        }
+        tlb.flush_asid(AppId(1));
+        check(&tlb);
+        assert_eq!(tlb.flush_asid(AppId(1)), 0, "second flush finds nothing");
+        tlb.flush_all();
+        check(&tlb);
         assert_eq!(tlb.occupancy(), 0);
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::layout::AppLayout;
 use crate::profile::{AccessPattern, AppProfile};
-use mosaic_gpu::{WarpOp, WarpStream};
+use mosaic_gpu::{AddrList, WarpOp, WarpStream};
 use mosaic_sim_core::SimRng;
 use mosaic_vm::{VirtAddr, BASE_PAGE_SIZE};
 
@@ -157,21 +157,21 @@ impl AppWarpStream {
         pos
     }
 
-    fn gen_addresses(&mut self) -> Vec<VirtAddr> {
+    fn gen_addresses(&mut self) -> AddrList {
         if self.layout.small_count > 0 && self.rng.chance(COLD_TOUR_PROB) {
-            return vec![self.cold_addr()];
+            return AddrList::one(self.cold_addr());
         }
         if self.rng.chance(self.profile.reuse) {
-            return vec![self.hot_addr()];
+            return AddrList::one(self.hot_addr());
         }
         match self.profile.pattern {
             AccessPattern::Streaming => {
                 let pos = self.advance(SWEEP_STEP);
-                vec![self.addr(pos)]
+                AddrList::one(self.addr(pos))
             }
             AccessPattern::Strided { stride_pages } => {
                 let pos = self.advance(u64::from(stride_pages) * BASE_PAGE_SIZE + SWEEP_STEP);
-                vec![self.addr(pos)]
+                AddrList::one(self.addr(pos))
             }
             AccessPattern::Stencil { touches, row_pages } => {
                 let center = self.advance(SWEEP_STEP);
@@ -193,7 +193,7 @@ impl AppWarpStream {
                 .collect(),
             AccessPattern::Chase => {
                 let off = self.rng.below(self.ws_bytes / LINE) * LINE;
-                vec![self.addr(off)]
+                AddrList::one(self.addr(off))
             }
         }
     }
@@ -310,7 +310,7 @@ mod tests {
             let layout = s.layout.clone();
             for _ in 0..300 {
                 if let WarpOp::Memory { addresses } = s.next_op() {
-                    for a in addresses {
+                    for a in addresses.iter() {
                         let in_main = a.raw() >= 0x1000_0000 && a.raw() < 0x1000_0000 + ws;
                         let in_small = (0..layout.small_count).any(|i| {
                             let b = layout.small_base(i).raw();

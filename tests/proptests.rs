@@ -246,7 +246,7 @@ fn all_managers(frames: u64) -> Vec<Box<dyn MemoryManager>> {
 fn audit_clean(m: &dyn MemoryManager, when: &str) -> u64 {
     let mut report = mosaic::sim_core::AuditReport::new();
     m.audit(&mut report);
-    report.assert_clean(&format!("{} {when}", m.name()));
+    report.assert_clean(format!("{} {when}", m.name()));
     report.checks()
 }
 
