@@ -29,4 +29,11 @@ cargo run -q --release -p mosaic-conformance -- fuzz --cases 256 --seed 0xC0FFEE
 echo "==> smoke sweep (parallel reproduce run)"
 MOSAIC_SCOPE=smoke cargo run -q --release -p mosaic-experiments --bin reproduce -- fig03 fig08
 
+echo "==> trace-smoke (record a traced sweep, validate the JSONL, round-trip to Chrome)"
+MOSAIC_SCOPE=smoke cargo run -q --release -p mosaic-experiments --bin reproduce -- \
+    --trace target/trace-smoke.jsonl --stall-report
+cargo run -q --release -p mosaic-telemetry --bin mosaic-trace -- validate target/trace-smoke.jsonl
+cargo run -q --release -p mosaic-telemetry --bin mosaic-trace -- \
+    chrome target/trace-smoke.jsonl -o target/trace-smoke.chrome.json
+
 echo "CI green."

@@ -322,6 +322,34 @@ pub fn run_vm_case(
                     return Err(diverge(format!("flush_all: real {r} oracle {o}")));
                 }
             }
+            VmOp::Shootdown { asid, lpn } => {
+                // A full shootdown of one 2 MB region, the sequence a
+                // splinter-triggered TLB shootdown performs: the large
+                // entry first, then all 512 base slots under it. Nearly
+                // every base slot is empty, so the real TLB's occupancy
+                // filter must short-circuit each absent flush to exactly
+                // the oracle's answer.
+                let (asid, lpn) = (AppId(asid), LargePageNum(lpn));
+                let large_addr = lpn.base_page(0).addr();
+                let o = oracle.flush_large(asid, large_addr);
+                if mutation != Mutation::SkipFlushLarge {
+                    let r = tlb.flush_large(asid, large_addr);
+                    if r != o {
+                        return Err(diverge(format!("shootdown large: real {r} oracle {o}")));
+                    }
+                }
+                for vpn in lpn.base_pages() {
+                    let addr = vpn.addr();
+                    let r = tlb.flush_base(asid, addr);
+                    let o = oracle.flush_base(asid, addr);
+                    if r != o {
+                        return Err(diverge(format!(
+                            "shootdown base {}: real {r} oracle {o}",
+                            vpn.0
+                        )));
+                    }
+                }
+            }
         }
         if let Some(detail) = vm_state_digest(&tlb, &oracle, &table, &otable) {
             return Err(diverge(detail));

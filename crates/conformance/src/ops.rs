@@ -98,6 +98,16 @@ pub enum VmOp {
     },
     /// Drop every entry.
     FlushAll,
+    /// Full shootdown of one 2 MB region: invalidate its large entry,
+    /// then every one of its 512 base entries. Most of those base slots
+    /// hold nothing, so the sweep leans hard on the TLB's per-ASID
+    /// occupancy-filter short-circuit for absent entries.
+    Shootdown {
+        /// Address space.
+        asid: u16,
+        /// Large page number swept.
+        lpn: u64,
+    },
 }
 
 /// One step of a manager-suite schedule, driving a full memory manager
@@ -176,7 +186,7 @@ fn vm_page(rng: &mut SimRng) -> u64 {
 /// Generates one VM-suite op.
 fn vm_op(rng: &mut SimRng) -> VmOp {
     let asid = rng.below(u64::from(VM_ASIDS)) as u16;
-    match rng.weighted(&[5, 1, 3, 2, 2, 4, 4, 4, 2, 2, 1, 1]) {
+    match rng.weighted(&[5, 1, 3, 2, 2, 4, 4, 4, 2, 2, 1, 1, 2]) {
         0 => VmOp::Map { vpn: vm_page(rng), pfn: rng.below(VM_FRAMES * PAGES) },
         1 => VmOp::MapRegion { lpn: rng.below(VM_REGIONS), lf: rng.below(VM_FRAMES) },
         2 => VmOp::Unmap { vpn: vm_page(rng) },
@@ -188,7 +198,8 @@ fn vm_op(rng: &mut SimRng) -> VmOp {
         8 => VmOp::FlushLarge { asid, page: vm_page(rng) },
         9 => VmOp::FlushBase { asid, page: vm_page(rng) },
         10 => VmOp::FlushAsid { asid },
-        _ => VmOp::FlushAll,
+        11 => VmOp::FlushAll,
+        _ => VmOp::Shootdown { asid, lpn: rng.below(VM_REGIONS) },
     }
 }
 

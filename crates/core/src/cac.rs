@@ -143,6 +143,10 @@ impl Cac {
         table.splinter(lpn);
         self.splinters.inc();
         cocoa.unpark_emergency(asid, lpn);
+        mosaic_telemetry::emit(|| mosaic_telemetry::Event::Splinter {
+            asid: asid.0,
+            lpn: lpn.raw(),
+        });
         events.push(MgmtEvent::Splintered { asid, lpn });
         // ...and compact the survivors into same-channel spare slots.
         let lf = match cocoa.unbind_chunk(asid, lpn) {
@@ -244,6 +248,10 @@ impl Cac {
                 }
                 if table.splinter(lpn) {
                     self.splinters.inc();
+                    mosaic_telemetry::emit(|| mosaic_telemetry::Event::Splinter {
+                        asid: owner.0,
+                        lpn: lpn.raw(),
+                    });
                     events.push(MgmtEvent::Splintered { asid: owner, lpn });
                 }
                 let Some(lf) = cocoa.unbind_chunk(owner, lpn) else { continue };

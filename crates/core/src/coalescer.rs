@@ -60,6 +60,10 @@ impl InPlaceCoalescer {
         match table.coalesce(lpn) {
             Ok(_lf) => {
                 self.coalesced.inc();
+                mosaic_telemetry::emit(|| mosaic_telemetry::Event::Coalesce {
+                    asid: table.asid().0,
+                    lpn: lpn.raw(),
+                });
                 vec![MgmtEvent::Coalesced { asid: table.asid(), lpn }]
             }
             Err(

@@ -140,6 +140,10 @@ impl GpuMmuManager {
         self.stats.coalesces += 1;
         self.stats.far_faults += 1;
         self.stats.transferred_bytes += LARGE_PAGE_SIZE;
+        mosaic_telemetry::emit(|| mosaic_telemetry::Event::Coalesce {
+            asid: asid.0,
+            lpn: lpn.raw(),
+        });
         Ok(TouchOutcome {
             transfer_bytes: LARGE_PAGE_SIZE,
             events: vec![MgmtEvent::Coalesced { asid, lpn }],
@@ -192,6 +196,10 @@ impl MemoryManager for GpuMmuManager {
             let table = self.tables.table_mut(asid);
             if table.mapped_in_large(lpn) == 0 && table.splinter(lpn) {
                 self.stats.splinters += 1;
+                mosaic_telemetry::emit(|| mosaic_telemetry::Event::Splinter {
+                    asid: asid.0,
+                    lpn: lpn.raw(),
+                });
                 events.push(MgmtEvent::Splintered { asid, lpn });
             }
         }

@@ -12,6 +12,12 @@
 //! `--jobs N` (or `MOSAIC_JOBS=N`) sets the worker-thread count of the
 //! sweep executor; the default is the machine's available parallelism.
 //! Output is byte-identical for every job count.
+//!
+//! `--trace FILE` records every simulated event of every sweep run to
+//! `FILE` as JSONL (one `run_begin` line per run, then its events);
+//! validate or convert it with the `mosaic-trace` binary. `--stall-report`
+//! appends the stall-cycle attribution report to the requested
+//! experiments. Both are deterministic: byte-identical at any `--jobs`.
 
 use mosaic_experiments as exp;
 use mosaic_experiments::Scope;
@@ -102,15 +108,53 @@ fn take_jobs_flag(args: &mut Vec<String>) -> Option<usize> {
     jobs
 }
 
+/// Strips `--trace FILE` / `--trace=FILE` out of `args` and returns the
+/// output path, exiting with a usage error on a missing value.
+fn take_trace_flag(args: &mut Vec<String>) -> Option<String> {
+    let mut path = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--trace" {
+            if i + 1 >= args.len() {
+                eprintln!("--trace requires an output path");
+                std::process::exit(2);
+            }
+            path = Some(args.remove(i + 1));
+            args.remove(i);
+        } else if let Some(v) = args[i].strip_prefix("--trace=") {
+            path = Some(v.to_string());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    path
+}
+
 fn main() {
     let scope = Scope::from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     exp::sweep::set_jobs(take_jobs_flag(&mut args));
-    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        ALL.to_vec()
-    } else {
-        args.iter().map(String::as_str).collect()
+    let trace_path = take_trace_flag(&mut args);
+    let stall_report = {
+        let before = args.len();
+        args.retain(|a| a != "--stall-report");
+        args.len() != before
     };
+    if trace_path.is_some() {
+        exp::sweep::set_trace(true);
+    }
+    // `--stall-report` alone runs just the stall report; alongside
+    // experiment names (or `all`) it rides along as an extra section.
+    let mut wanted: Vec<&str> =
+        if args.iter().any(|a| a == "all") || (args.is_empty() && !stall_report) {
+            ALL.to_vec()
+        } else {
+            args.iter().map(String::as_str).collect()
+        };
+    if stall_report && !wanted.contains(&"stall") {
+        wanted.push("stall");
+    }
     eprintln!("scope: {scope:?} (set MOSAIC_SCOPE=smoke|default|full)");
     eprintln!(
         "jobs: {} (set with --jobs N or MOSAIC_JOBS=N; output is identical at any count)",
@@ -135,6 +179,7 @@ fn main() {
             "fig15" => emit(name, exp::fig15::run(scope), &mut results),
             "fig16" => emit(name, exp::fig16::run(scope), &mut results),
             "table2" => emit(name, exp::table2::run(scope), &mut results),
+            "stall" => emit(name, exp::stall::run(scope), &mut results),
             "ablations" => {
                 emit("ablation_pwc", exp::ablations::pwc_vs_l2tlb(scope), &mut results);
                 emit("ablation_walker", exp::ablations::walker_threads(scope), &mut results);
@@ -152,6 +197,14 @@ fn main() {
             }
         }
         eprintln!("[{name} done in {:.1?}]", t0.elapsed());
+    }
+
+    if let Some(path) = trace_path {
+        let chunks = exp::sweep::take_trace();
+        let events: usize = chunks.iter().map(|c| c.events.len()).sum();
+        std::fs::write(&path, exp::sweep::render_trace(&chunks))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {events} events from {} runs to {path}", chunks.len());
     }
 
     if let Ok(path) = std::env::var("MOSAIC_JSON") {

@@ -21,6 +21,7 @@
 //! | [`fig16`] | Figure 16 — CAC under fragmentation |
 //! | [`table2`] | Table 2 — memory bloat vs frame occupancy |
 //! | [`ablations`] | §3.1 page-walk-cache ablation + walker/threshold sweeps |
+//! | [`stall`] | stall-cycle attribution by cause (`--stall-report`) |
 //!
 //! Every driver takes a [`Scope`] that bounds how much of the paper's
 //! 235-workload evaluation it sweeps (`Smoke` for CI, `Default` for
@@ -52,6 +53,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod stall;
 pub mod sweep;
 pub mod table2;
 

@@ -23,12 +23,79 @@
 //! 3. [`std::thread::available_parallelism`].
 
 use mosaic_gpusim::{run_workload, RunConfig, RunResult};
+use mosaic_telemetry::{Event, TraceSession};
 use mosaic_workloads::Workload;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Process-wide `--jobs` override; `0` means "not set".
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether [`run_workloads`] wraps each simulation in a [`TraceSession`].
+static TRACE_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Global submission counter ordering trace chunks across sweeps.
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Trace chunks collected from worker threads, in completion order;
+/// [`take_trace`] re-sorts them by submission sequence.
+static COLLECTED: Mutex<Vec<TraceChunk>> = Mutex::new(Vec::new());
+
+/// The events of one traced simulation run, tagged with its global
+/// submission sequence number so multi-threaded sweeps reassemble into
+/// the same order a serial sweep would have produced.
+#[derive(Debug, Clone)]
+pub struct TraceChunk {
+    /// Global submission index (across all sweeps since [`set_trace`]).
+    pub seq: u64,
+    /// Workload display name.
+    pub workload: String,
+    /// Manager label.
+    pub manager: String,
+    /// Captured events in emission order.
+    pub events: Vec<Event>,
+}
+
+/// Turns sweep-level trace collection on or off. While on, every job run
+/// through [`run_workloads`] records its events into a process-global
+/// buffer; drain it with [`take_trace`]. Enabling also clears any
+/// previously collected chunks and resets the sequence counter.
+pub fn set_trace(on: bool) {
+    TRACE_REQUESTED.store(on, Ordering::SeqCst);
+    if on {
+        TRACE_SEQ.store(0, Ordering::SeqCst);
+        COLLECTED.lock().expect("trace buffer poisoned").clear();
+    }
+}
+
+/// Whether sweep-level trace collection is currently on.
+pub fn trace_requested() -> bool {
+    TRACE_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Drains every collected trace chunk, sorted by submission sequence —
+/// the order a `--jobs 1` sweep would have produced them in.
+pub fn take_trace() -> Vec<TraceChunk> {
+    let mut chunks = std::mem::take(&mut *COLLECTED.lock().expect("trace buffer poisoned"));
+    chunks.sort_by_key(|c| c.seq);
+    chunks
+}
+
+/// Renders trace chunks as JSONL: one `run_begin` line per simulated
+/// run, followed by that run's events in emission order. Fixed key
+/// order end to end, so equal traces are byte-identical.
+pub fn render_trace(chunks: &[TraceChunk]) -> String {
+    let mut out = String::new();
+    for chunk in chunks {
+        out.push_str(&mosaic_telemetry::run_begin_jsonl(&chunk.workload, &chunk.manager));
+        out.push('\n');
+        for ev in &chunk.events {
+            out.push_str(&ev.to_jsonl());
+            out.push('\n');
+        }
+    }
+    out
+}
 
 /// Sets (or with `None` clears) the process-wide worker-count override.
 ///
@@ -190,11 +257,34 @@ impl Progress {
 /// This is the shape every figure driver's inner loop reduces to; the
 /// progress label is `workload [manager]`.
 pub fn run_workloads(exec: &Executor, jobs: Vec<(Workload, RunConfig)>) -> Vec<RunResult> {
+    let tracing = trace_requested();
+    let seq_base =
+        if tracing { TRACE_SEQ.fetch_add(jobs.len() as u64, Ordering::SeqCst) } else { 0 };
     exec.run_labeled(
         jobs.into_iter()
-            .map(|(w, cfg)| {
-                let label = format!("{} [{}]", w.name, cfg.manager.label());
-                (label, move || run_workload(&w, cfg))
+            .enumerate()
+            .map(|(i, (w, cfg))| {
+                let manager = cfg.manager.label().to_string();
+                let label = format!("{} [{manager}]", w.name);
+                let task = move || {
+                    if !tracing {
+                        return run_workload(&w, cfg);
+                    }
+                    // Sequence numbers are assigned at submission, on the
+                    // submitting thread, so chunk order is independent of
+                    // which worker runs the job and when it finishes.
+                    let session = TraceSession::start();
+                    let result = run_workload(&w, cfg);
+                    let chunk = TraceChunk {
+                        seq: seq_base + i as u64,
+                        workload: w.name.clone(),
+                        manager,
+                        events: session.finish(),
+                    };
+                    COLLECTED.lock().expect("trace buffer poisoned").push(chunk);
+                    result
+                };
+                (label, task)
             })
             .collect(),
     )

@@ -1,13 +1,21 @@
 //! The determinism contract of the sweep executor: a figure driver's
 //! rendered output is byte-identical at any worker count.
 //!
-//! This drives a real figure (fig08, which exercises the job-list
-//! refactor, the `AloneCache` prefetch path, and the ordered-collection
-//! API together) once serially and once with four workers, and compares
-//! the rendered reports byte for byte.
+//! Each test drives a real figure once serially and once with multiple
+//! workers, compares the rendered reports byte for byte, and pins the
+//! serial report to a golden FNV-1a digest. The golden tier covers
+//! fig08 (job-list refactor + `AloneCache` prefetch + ordered
+//! collection), fig03 (single-app sweeps), fig11 (per-app normalized
+//! IPC sort), the walker-threads ablation, and the stall-attribution
+//! report (exact bucket decomposition on the always-on path).
 
 use mosaic_experiments::common::Scope;
-use mosaic_experiments::{fig08, sweep};
+use mosaic_experiments::{ablations, fig03, fig08, fig11, stall, sweep};
+use std::sync::Mutex;
+
+/// Serializes tests: `sweep::set_jobs` is process-global, and these
+/// tests each claim a specific worker count, so they must not overlap.
+static JOBS_LOCK: Mutex<()> = Mutex::new(());
 
 /// FNV-1a (64-bit) over the rendered report. Small and dependency-free;
 /// collision resistance is irrelevant here — any accidental change to
@@ -30,8 +38,37 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// behavior or report formatting — never for a performance refactor.
 const GOLDEN_FIG08_SMOKE_DIGEST: &str = "ad0fedc459c0afa6";
 
+/// Golden smoke-scope digests for the rest of the tier, pinned when the
+/// telemetry/stall-attribution instrumentation landed (which had to be
+/// output-isomorphic — `GOLDEN_FIG08_SMOKE_DIGEST` predates it and did
+/// not move). Same update policy as above.
+const GOLDEN_FIG03_SMOKE_DIGEST: &str = "d3a367a2c8a59907";
+const GOLDEN_FIG11_SMOKE_DIGEST: &str = "f0bc1943ac8bc2e5";
+const GOLDEN_ABLATION_WALKER_SMOKE_DIGEST: &str = "3e03ad211b0a0142";
+const GOLDEN_STALL_SMOKE_DIGEST: &str = "aa8edc57e8f00200";
+
+/// Renders `run` serially and at eight workers, asserts byte-identity,
+/// checks the serial rendering against `golden`, and returns the report.
+fn golden_check(name: &str, golden: &str, run: impl Fn() -> String) -> String {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    sweep::set_jobs(Some(1));
+    let serial = run();
+    sweep::set_jobs(Some(8));
+    let parallel = run();
+    sweep::set_jobs(None);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "{name}: parallel output must match serial byte-for-byte");
+    let digest = format!("{:016x}", fnv1a(serial.as_bytes()));
+    assert_eq!(
+        digest, golden,
+        "{name} smoke report drifted from the golden digest; report was:\n{serial}"
+    );
+    serial
+}
+
 #[test]
 fn smoke_report_matches_golden_digest() {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     sweep::set_jobs(Some(2));
     let report = fig08::run(Scope::Smoke).to_string();
     sweep::set_jobs(None);
@@ -45,6 +82,7 @@ fn smoke_report_matches_golden_digest() {
 
 #[test]
 fn serial_vs_parallel_sweeps_are_bit_identical() {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     sweep::set_jobs(Some(1));
     let serial = fig08::run(Scope::Smoke).to_string();
     sweep::set_jobs(Some(4));
@@ -52,4 +90,30 @@ fn serial_vs_parallel_sweeps_are_bit_identical() {
     sweep::set_jobs(None);
     assert!(!serial.is_empty());
     assert_eq!(serial, parallel, "parallel output must match serial byte-for-byte");
+}
+
+#[test]
+fn fig03_matches_golden_digest_at_any_jobs() {
+    golden_check("fig03", GOLDEN_FIG03_SMOKE_DIGEST, || fig03::run(Scope::Smoke).to_string());
+}
+
+#[test]
+fn fig11_matches_golden_digest_at_any_jobs() {
+    golden_check("fig11", GOLDEN_FIG11_SMOKE_DIGEST, || fig11::run(Scope::Smoke).to_string());
+}
+
+#[test]
+fn walker_ablation_matches_golden_digest_at_any_jobs() {
+    golden_check("ablation_walker", GOLDEN_ABLATION_WALKER_SMOKE_DIGEST, || {
+        ablations::walker_threads(Scope::Smoke).to_string()
+    });
+}
+
+#[test]
+fn stall_report_matches_golden_digest_at_any_jobs() {
+    let report =
+        golden_check("stall", GOLDEN_STALL_SMOKE_DIGEST, || stall::run(Scope::Smoke).to_string());
+    // The report must cover both ends of the TLB-sensitivity spectrum.
+    assert!(report.contains("MM "), "TLB-friendly workload present:\n{report}");
+    assert!(report.contains("GUPS "), "TLB-sensitive workload present:\n{report}");
 }

@@ -10,6 +10,7 @@
 
 use crate::warp::{MemoryInterface, WarpOp, WarpStream};
 use mosaic_sim_core::Cycle;
+use mosaic_telemetry::{emit, AccessTimeline, Event, StallBreakdown, StallBucket};
 use mosaic_vm::AppId;
 
 /// SM parameters.
@@ -40,6 +41,11 @@ pub struct SmStats {
     pub stall_cycles: u64,
     /// Memory transactions issued (post-coalescing).
     pub transactions: u64,
+    /// Exact decomposition of `stall_cycles` by cause: each stalled
+    /// interval is attributed to the timeline of the warp whose wake-up
+    /// ends it (the critical path), so the buckets always sum to
+    /// `stall_cycles`.
+    pub stall_breakdown: StallBreakdown,
 }
 
 #[derive(Debug)]
@@ -65,11 +71,18 @@ pub struct Sm<S: WarpStream = Box<dyn WarpStream>> {
     asid: AppId,
     config: SmConfig,
     warps: Vec<WarpCtx<S>>,
+    /// Where the cycles of each warp's in-flight operation went, indexed
+    /// like `warps`; consulted when an SM stall ends at that warp's
+    /// wake-up. Kept out of `WarpCtx` so the scheduler's per-cycle scans
+    /// over `warps` stay dense.
+    timelines: Vec<AccessTimeline>,
     current: usize,
     now: Cycle,
     /// External stall barrier (e.g., worst-case compaction stalls): the SM
     /// may not issue before this cycle.
     fence: Cycle,
+    /// Which bucket fence-induced stall cycles are charged to.
+    fence_cause: StallBucket,
     stats: SmStats,
 }
 
@@ -77,18 +90,21 @@ impl<S: WarpStream> Sm<S> {
     /// Creates an SM for application `asid` with the given warp streams.
     /// SMs with no warps start inactive.
     pub fn new(id: usize, asid: AppId, config: SmConfig, streams: Vec<S>) -> Self {
-        let warps = streams
+        let warps: Vec<_> = streams
             .into_iter()
             .map(|stream| WarpCtx { stream, ready_at: Cycle::ZERO, finished: false })
             .collect();
+        let timelines = vec![AccessTimeline::default(); warps.len()];
         Sm {
             id,
             asid,
             config,
             warps,
+            timelines,
             current: 0,
             now: Cycle::ZERO,
             fence: Cycle::ZERO,
+            fence_cause: StallBucket::Sync,
             stats: SmStats::default(),
         }
     }
@@ -104,9 +120,12 @@ impl<S: WarpStream> Sm<S> {
             ready_at: Cycle::ZERO,
             finished: false,
         }));
+        self.timelines.clear();
+        self.timelines.resize(self.warps.len(), AccessTimeline::default());
         self.current = 0;
         self.now = Cycle::ZERO;
         self.fence = Cycle::ZERO;
+        self.fence_cause = StallBucket::Sync;
         self.stats = SmStats::default();
     }
 
@@ -136,9 +155,20 @@ impl<S: WarpStream> Sm<S> {
     }
 
     /// Stalls the SM until `until` (used for the conservative whole-GPU
-    /// compaction stalls and baseline TLB-shootdown modelling).
+    /// compaction stalls and baseline TLB-shootdown modelling), charging
+    /// the stalled cycles to [`StallBucket::Sync`].
     pub fn stall_until(&mut self, until: Cycle) {
-        self.fence = self.fence.max(until);
+        self.stall_until_for(until, StallBucket::Sync);
+    }
+
+    /// Stalls the SM until `until`, charging the stalled cycles to
+    /// `cause`. A fence that does not extend the current one keeps the
+    /// existing cause.
+    pub fn stall_until_for(&mut self, until: Cycle, cause: StallBucket) {
+        if until > self.fence {
+            self.fence = until;
+            self.fence_cause = cause;
+        }
     }
 
     /// GTO pick: the current warp if ready, else the oldest (lowest index)
@@ -151,9 +181,20 @@ impl<S: WarpStream> Sm<S> {
         self.warps.iter().position(ready)
     }
 
-    /// Earliest cycle any unfinished warp becomes ready.
-    fn next_wakeup(&self) -> Option<Cycle> {
-        self.warps.iter().filter(|w| !w.finished).map(|w| w.ready_at).min()
+    /// The unfinished warp with the earliest wake-up (first such index;
+    /// its `ready_at` equals the minimum the old `next_wakeup` returned).
+    fn next_wakeup_warp(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, w) in self.warps.iter().enumerate() {
+            if w.finished {
+                continue;
+            }
+            match best {
+                Some(b) if self.warps[b].ready_at <= w.ready_at => {}
+                _ => best = Some(i),
+            }
+        }
+        best
     }
 
     /// Runs the SM for up to `config.batch` issued instructions (or one
@@ -164,15 +205,22 @@ impl<S: WarpStream> Sm<S> {
             return false;
         }
         if self.fence > self.now {
-            self.stats.stall_cycles += self.fence - self.now;
+            let skipped = self.fence - self.now;
+            self.stats.stall_cycles += skipped;
+            self.stats.stall_breakdown.add(self.fence_cause, skipped);
             self.now = self.fence;
         }
         for _ in 0..self.config.batch {
             let Some(w) = self.pick() else {
-                // Nothing ready: fast-forward to the next wake-up.
-                if let Some(wake) = self.next_wakeup() {
+                // Nothing ready: fast-forward to the next wake-up and
+                // attribute the skipped interval to the waking warp's
+                // timeline (the critical path that ends the stall).
+                if let Some(i) = self.next_wakeup_warp() {
+                    let wake = self.warps[i].ready_at;
                     if wake > self.now {
-                        self.stats.stall_cycles += wake - self.now;
+                        let skipped = wake - self.now;
+                        self.stats.stall_cycles += skipped;
+                        self.stats.stall_breakdown.attribute(&self.timelines[i], self.now, wake);
                         self.now = wake;
                     }
                     return true;
@@ -184,17 +232,33 @@ impl<S: WarpStream> Sm<S> {
             match op {
                 WarpOp::Compute { cycles } => {
                     self.stats.instructions += 1;
-                    self.warps[w].ready_at = self.now + u64::from(cycles.max(1));
+                    let ready = self.now + u64::from(cycles.max(1));
+                    self.warps[w].ready_at = ready;
+                    self.timelines[w] =
+                        AccessTimeline::single(self.now, ready, StallBucket::Compute);
                     self.now += 1;
                 }
                 WarpOp::Memory { addresses } => {
                     self.stats.instructions += 1;
                     self.stats.memory_instructions += 1;
                     self.stats.transactions += addresses.len() as u64;
-                    let done = mem.warp_access(self.now, self.id, self.asid, &addresses);
+                    let done = mem.warp_access_timed(
+                        self.now,
+                        self.id,
+                        self.asid,
+                        &addresses,
+                        &mut self.timelines[w],
+                    );
                     debug_assert!(done >= self.now);
                     // SIMT lockstep: the warp waits for its slowest lane.
                     self.warps[w].ready_at = done;
+                    emit(|| Event::WarpMem {
+                        sm: self.id as u32,
+                        asid: self.asid.0,
+                        issue: self.now.as_u64(),
+                        done: done.as_u64(),
+                        transactions: addresses.len() as u32,
+                    });
                     self.now += 1;
                 }
                 WarpOp::Exit => {
@@ -333,6 +397,56 @@ mod tests {
         let end = sm.run_to_completion(&mut mem);
         assert!(end.as_u64() >= 510);
         assert!(sm.stats().stall_cycles >= 500);
+    }
+
+    #[test]
+    fn stall_breakdown_sums_exactly_to_stall_cycles() {
+        let mut sm = sm_with(vec![Box::new(MemN(10)), Box::new(ComputeN(30))]);
+        sm.stall_until(Cycle::new(100));
+        let mut mem = FixedLatencyMemory { latency: 100 };
+        sm.run_to_completion(&mut mem);
+        let stats = sm.stats();
+        assert_eq!(stats.stall_breakdown.total(), stats.stall_cycles, "buckets tile every stall");
+        assert_eq!(stats.stall_breakdown.get(StallBucket::Sync), 100, "fence charged to Sync");
+        assert!(
+            stats.stall_breakdown.get(StallBucket::Other) > 0,
+            "mock memory waits charge Other"
+        );
+    }
+
+    #[test]
+    fn stall_until_for_charges_the_given_cause() {
+        let mut sm = sm_with(vec![Box::new(ComputeN(5))]);
+        sm.stall_until_for(Cycle::new(50), StallBucket::Shootdown);
+        // A shorter fence afterwards neither moves the fence nor the cause.
+        sm.stall_until(Cycle::new(10));
+        let mut mem = FixedLatencyMemory { latency: 0 };
+        sm.run_to_completion(&mut mem);
+        assert_eq!(sm.stats().stall_breakdown.get(StallBucket::Shootdown), 50);
+        assert_eq!(sm.stats().stall_breakdown.total(), sm.stats().stall_cycles);
+    }
+
+    #[test]
+    fn compute_waits_attribute_to_compute_bucket() {
+        #[derive(Debug)]
+        struct SlowCompute(u64);
+        impl WarpStream for SlowCompute {
+            fn next_op(&mut self) -> WarpOp {
+                if self.0 == 0 {
+                    WarpOp::Exit
+                } else {
+                    self.0 -= 1;
+                    WarpOp::Compute { cycles: 40 }
+                }
+            }
+        }
+        let mut sm = sm_with(vec![Box::new(SlowCompute(5))]);
+        let mut mem = FixedLatencyMemory { latency: 0 };
+        sm.run_to_completion(&mut mem);
+        let stats = sm.stats();
+        assert!(stats.stall_cycles > 0);
+        assert_eq!(stats.stall_breakdown.get(StallBucket::Compute), stats.stall_cycles);
+        assert_eq!(stats.stall_breakdown.total(), stats.stall_cycles);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! memory-system boundary.
 
 use mosaic_sim_core::Cycle;
+use mosaic_telemetry::{AccessTimeline, StallBucket};
 use mosaic_vm::{AppId, VirtAddr};
 
 /// Capacity of [`AddrList`]: a warp has 32 lanes, so one instruction can
@@ -116,6 +117,26 @@ pub trait MemoryInterface {
     /// coalesced transaction. Returns the cycle at which the *slowest*
     /// transaction completes — the warp resumes then (SIMT lockstep).
     fn warp_access(&mut self, now: Cycle, sm: usize, asid: AppId, addresses: &[VirtAddr]) -> Cycle;
+
+    /// Like [`MemoryInterface::warp_access`], but also describes *where*
+    /// the access's cycles went by filling `timeline` with a segment run
+    /// tiling `[now, done)` for the slowest transaction. The default
+    /// charges the whole interval to [`StallBucket::Other`], so simple
+    /// mocks still produce exactly-summing stall breakdowns; the
+    /// full-system memory hierarchy overrides this with a real
+    /// decomposition.
+    fn warp_access_timed(
+        &mut self,
+        now: Cycle,
+        sm: usize,
+        asid: AppId,
+        addresses: &[VirtAddr],
+        timeline: &mut AccessTimeline,
+    ) -> Cycle {
+        let done = self.warp_access(now, sm, asid, addresses);
+        *timeline = AccessTimeline::single(now, done, StallBucket::Other);
+        done
+    }
 }
 
 /// A fixed-latency memory, useful as a baseline and in tests.

@@ -13,10 +13,15 @@ use crate::config::{ManagerKind, RunConfig};
 use crate::system::{GpuSystem, SystemStats};
 use mosaic_gpu::{Sm, SmConfig};
 use mosaic_sim_core::{Cycle, SimRng};
+use mosaic_telemetry::{emit, Event, StallBreakdown, StallBucket};
 use mosaic_vm::AppId;
 use mosaic_workloads::{AppLayout, AppWarpStream, Workload};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Cycles between periodic `Epoch` metric-snapshot events when tracing
+/// is enabled (cadenced on SM local clocks; disabled runs never check).
+const EPOCH_EVERY: u64 = 100_000;
 
 /// Per-application outcome of one run.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +36,11 @@ pub struct AppResult {
     pub cycles: u64,
     /// Instructions per cycle.
     pub ipc: f64,
+    /// Stall cycles summed over the app's SMs (all phases).
+    pub stall_cycles: u64,
+    /// Exact decomposition of `stall_cycles` by cause, merged over the
+    /// app's SMs and phases (buckets always sum to `stall_cycles`).
+    pub stall: StallBreakdown,
 }
 
 /// Outcome of one workload run.
@@ -103,7 +113,12 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
     let mut phase_start = Cycle::ZERO;
     let mut instr_per_app = vec![0u64; n];
     let mut cycles_per_app = vec![0u64; n];
+    let mut stall_cycles_per_app = vec![0u64; n];
+    let mut stall_per_app = vec![StallBreakdown::default(); n];
     let mut total_cycles = 0u64;
+    // Epoch snapshot cadence (trace-only; the counter is not consulted
+    // when tracing is off, so disabled runs skip this entirely).
+    let mut next_epoch = EPOCH_EVERY;
 
     // Runtime invariant auditing (side-effect free, so audited and
     // unaudited runs of the same seed stay bit-identical). On by default
@@ -159,6 +174,7 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
             // Later phases start where the previous grid left off.
             sm.stall_until(phase_start);
         }
+        emit(|| Event::PhaseBegin { phase, cycle: phase_start.as_u64() });
 
         // Smallest-clock-first scheduling loop.
         heap.clear();
@@ -171,7 +187,19 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
                 // Worst-case model (when enabled): compaction/shootdowns
                 // stall every SM (Section 5).
                 for sm in &mut sms {
-                    sm.stall_until(stall);
+                    sm.stall_until_for(stall, StallBucket::Shootdown);
+                }
+            }
+            if mosaic_telemetry::enabled() {
+                let now = sms[idx].now().as_u64();
+                if now >= next_epoch {
+                    let (mut instructions, mut stall_cycles) = (0u64, 0u64);
+                    for sm in &sms {
+                        instructions += sm.stats().instructions;
+                        stall_cycles += sm.stats().stall_cycles;
+                    }
+                    emit(|| Event::Epoch { cycle: now, instructions, stall_cycles });
+                    next_epoch = (now / EPOCH_EVERY + 1) * EPOCH_EVERY;
                 }
             }
             if let Some(every) = audit_every {
@@ -214,12 +242,16 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
             let my_sms = sms.iter().filter(|s| s.asid().0 as usize == i);
             let mut cycles = 0;
             for s in my_sms {
-                instr_per_app[i] += s.stats().instructions;
+                let stats = s.stats();
+                instr_per_app[i] += stats.instructions;
+                stall_cycles_per_app[i] += stats.stall_cycles;
+                stall_per_app[i].merge(&stats.stall_breakdown);
                 cycles = cycles.max(s.now().as_u64());
             }
             cycles_per_app[i] = cycles;
         }
         let phase_end = sms.iter().map(|s| s.now()).max().unwrap_or(phase_start);
+        emit(|| Event::PhaseEnd { phase, cycle: phase_end.as_u64() });
         total_cycles = phase_end.as_u64();
         phase_start = phase_end;
         if audit_every.is_some() {
@@ -240,6 +272,8 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
             } else {
                 instr_per_app[i] as f64 / cycles_per_app[i] as f64
             },
+            stall_cycles: stall_cycles_per_app[i],
+            stall: stall_per_app[i],
         });
     }
     RunResult {
@@ -377,6 +411,21 @@ mod tests {
             base.apps[0].ipc
         );
         assert_eq!(ideal.manager, "Ideal TLB");
+    }
+
+    #[test]
+    fn stall_buckets_sum_exactly_per_app() {
+        let w = Workload::from_names(&["GUPS", "MM"]);
+        let r = run_workload(&w, tiny_cfg(ManagerKind::mosaic()));
+        for app in &r.apps {
+            assert!(app.stall_cycles > 0, "{} stalls somewhere", app.name);
+            assert_eq!(app.stall.total(), app.stall_cycles, "{} buckets tile stalls", app.name);
+            assert!(
+                app.stall.get(StallBucket::Other) < app.stall_cycles,
+                "{} attribution is not all residual",
+                app.name
+            );
+        }
     }
 
     #[test]

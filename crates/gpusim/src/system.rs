@@ -17,6 +17,7 @@ use mosaic_gpu::MemoryInterface;
 use mosaic_iobus::IoBus;
 use mosaic_mem::{Cache, Crossbar, Dram};
 use mosaic_sim_core::{Counter, Cycle, SimRng, ThroughputPort};
+use mosaic_telemetry::{emit, AccessTimeline, Event, StallBucket};
 use mosaic_vm::{
     AppId, PageSize, PageTableWalker, PhysAddr, Tlb, VirtAddr, VirtPageNum, WalkCache,
 };
@@ -290,6 +291,7 @@ impl GpuSystem {
                     // Targeted IPI-style shootdown: drop the region's base
                     // and large translations everywhere, then a brief
                     // synchronization stall.
+                    emit(|| Event::Shootdown { asid: asid.0, lpn: lpn.raw(), cycle: now.as_u64() });
                     let large_addr = lpn.addr();
                     for tlb in self.l1_tlbs.iter_mut().chain(std::iter::once(&mut self.l2_tlb)) {
                         tlb.flush_large(asid, large_addr);
@@ -324,11 +326,18 @@ impl GpuSystem {
         // keeping the bus port's arrivals in order); the warp waits for
         // whichever finishes last.
         let migrations_done = self.apply_events(now, &outcome.events);
-        if outcome.transfer_bytes > 0 && self.cfg.paging == DemandPagingMode::OnDemand {
+        let done = if outcome.transfer_bytes > 0 && self.cfg.paging == DemandPagingMode::OnDemand {
             self.iobus.transfer(now, outcome.transfer_bytes).max(migrations_done)
         } else {
             migrations_done
-        }
+        };
+        emit(|| Event::FarFault {
+            asid: asid.0,
+            vpn: vpn.raw(),
+            cycle: now.as_u64(),
+            done: done.as_u64(),
+        });
+        done
     }
 
     /// One page-table memory access for the walker: optionally through the
@@ -374,19 +383,29 @@ impl GpuSystem {
     /// Translates `addr` for SM `sm`, returning the cycle translation
     /// completes, the physical address, and whether a far-fault was taken
     /// (the data access then bypasses contended ports: its start time sits
-    /// beyond every other SM's clock). Faults are resolved inline.
+    /// beyond every other SM's clock). Faults are resolved inline. The
+    /// translation's cycles are recorded on `tl` (TLB hit vs. walk vs.
+    /// fault) for stall attribution.
     fn translate(
         &mut self,
         now: Cycle,
         sm: usize,
         asid: AppId,
         addr: VirtAddr,
+        tl: &mut AccessTimeline,
     ) -> (Cycle, PhysAddr, bool) {
         let vpn = addr.base_page();
         if self.cfg.system.ideal_tlb {
             // Every request is an L1 TLB hit; only residency is enforced.
             let faulted = self.manager.tables().table(asid).is_none_or(|t| !t.is_mapped(vpn));
-            let ready = if faulted { self.handle_fault(now, asid, vpn) } else { now };
+            let ready = if faulted {
+                let done = self.handle_fault(now, asid, vpn);
+                tl.mark(done, StallBucket::Fault);
+                done
+            } else {
+                now
+            };
+            tl.mark(ready + 1, StallBucket::TlbHit);
             let t = self
                 .manager
                 .tables()
@@ -400,7 +419,16 @@ impl GpuSystem {
         // L1 TLB.
         let l1 = &mut self.l1_tlbs[sm];
         let l1_done = now + l1.latency();
-        if l1.lookup(asid, addr).is_hit() {
+        let l1_hit = l1.lookup(asid, addr).is_hit();
+        emit(|| Event::TlbLookup {
+            level: 1,
+            sm: sm as u32,
+            asid: asid.0,
+            cycle: now.as_u64(),
+            hit: l1_hit,
+        });
+        if l1_hit {
+            tl.mark(l1_done, StallBucket::TlbHit);
             let t = self
                 .manager
                 .tables()
@@ -417,16 +445,27 @@ impl GpuSystem {
         let has_l2_tlb =
             self.cfg.system.l2_tlb.base_entries + self.cfg.system.l2_tlb.large_entries > 0;
         let l2_done = if has_l2_tlb { self.l2_tlb_port.acquire(l1_done).done } else { l1_done };
-        if has_l2_tlb && self.l2_tlb.lookup(asid, addr).is_hit() {
-            let t = self
-                .manager
-                .tables()
-                .table(asid)
-                .expect("app registered")
-                .translate(addr)
-                .expect("L2 TLB hit implies resident mapping");
-            self.l1_tlbs[sm].fill(asid, addr, t.size);
-            return (l2_done, PhysAddr(t.frame.addr().raw() + addr.base_offset()), false);
+        if has_l2_tlb {
+            let l2_hit = self.l2_tlb.lookup(asid, addr).is_hit();
+            emit(|| Event::TlbLookup {
+                level: 2,
+                sm: sm as u32,
+                asid: asid.0,
+                cycle: l1_done.as_u64(),
+                hit: l2_hit,
+            });
+            if l2_hit {
+                tl.mark(l2_done, StallBucket::TlbHit);
+                let t = self
+                    .manager
+                    .tables()
+                    .table(asid)
+                    .expect("app registered")
+                    .translate(addr)
+                    .expect("L2 TLB hit implies resident mapping");
+                self.l1_tlbs[sm].fill(asid, addr, t.size);
+                return (l2_done, PhysAddr(t.frame.addr().raw() + addr.base_offset()), false);
+            }
         }
 
         // Page walk (Figure 2: walker accesses go through L2$/DRAM).
@@ -439,12 +478,14 @@ impl GpuSystem {
             Self::pt_access(walk_cache, l2_slices, l2_ports, dram, now, level, pte, t)
         });
         let mut ready = out.done;
+        tl.mark(ready, StallBucket::TlbWalk);
 
         // The walk may discover a not-present page: far-fault.
         let mapped = self.manager.tables().table(asid).is_some_and(|t| t.translate(addr).is_ok());
         let faulted = !mapped;
         if faulted {
             ready = self.handle_fault(ready, asid, vpn);
+            tl.mark(ready, StallBucket::Fault);
         }
         let t = self
             .manager
@@ -460,7 +501,8 @@ impl GpuSystem {
 
     /// Charges the data access for `phys` from SM `sm` starting at
     /// `start`, for an instruction issued at `issue_now` (lookahead
-    /// isolation applies beyond the window).
+    /// isolation applies beyond the window). Cache and DRAM time is
+    /// recorded on `tl`, with DRAM split into queueing vs. service.
     fn data_access(
         &mut self,
         issue_now: Cycle,
@@ -468,10 +510,12 @@ impl GpuSystem {
         sm: usize,
         phys: PhysAddr,
         bypass: bool,
+        tl: &mut AccessTimeline,
     ) -> Cycle {
         let l1 = &mut self.l1_caches[sm];
         let l1_done = start + l1.latency();
         if l1.access(phys.raw(), false) {
+            tl.mark(l1_done, StallBucket::Cache);
             return l1_done;
         }
         let contended = !bypass && start.since(issue_now) <= LOOKAHEAD_WINDOW;
@@ -487,12 +531,19 @@ impl GpuSystem {
         } else {
             at_partition + l2.latency()
         };
+        tl.mark(l2_done, StallBucket::Cache);
         if l2.access(phys.raw(), false) {
             l2_done
         } else if contended {
-            self.dram.access(l2_done, phys.raw())
+            let (done, service, _row_hit) = self.dram.access_timed(l2_done, phys.raw());
+            // Whatever precedes the pure service portion is queueing.
+            tl.mark(Cycle::new(done.as_u64().saturating_sub(service)), StallBucket::DramQueue);
+            tl.mark(done, StallBucket::DramService);
+            done
         } else {
-            l2_done + self.dram.uncontended_latency()
+            let done = l2_done + self.dram.uncontended_latency();
+            tl.mark(done, StallBucket::DramService);
+            done
         }
     }
 
@@ -611,12 +662,34 @@ impl GpuSystem {
 
 impl MemoryInterface for GpuSystem {
     fn warp_access(&mut self, now: Cycle, sm: usize, asid: AppId, addresses: &[VirtAddr]) -> Cycle {
+        let mut scratch = AccessTimeline::default();
+        self.warp_access_timed(now, sm, asid, addresses, &mut scratch)
+    }
+
+    fn warp_access_timed(
+        &mut self,
+        now: Cycle,
+        sm: usize,
+        asid: AppId,
+        addresses: &[VirtAddr],
+        timeline: &mut AccessTimeline,
+    ) -> Cycle {
         let mut worst = now + 1;
+        // SIMT lockstep: the warp waits for its slowest transaction, so
+        // the slowest transaction's timeline is the one the stalled SM
+        // is actually waiting on.
+        *timeline = AccessTimeline::single(now, worst, StallBucket::Other);
         for &addr in addresses {
-            let (translated, phys, faulted) = self.translate(now, sm, asid, addr);
-            let done = self.data_access(now, translated, sm, phys, faulted);
-            worst = worst.max(done);
+            let mut tl = AccessTimeline::begin(now);
+            let (translated, phys, faulted) = self.translate(now, sm, asid, addr, &mut tl);
+            let done = self.data_access(now, translated, sm, phys, faulted, &mut tl);
+            tl.seal(done);
+            if done > worst {
+                worst = done;
+                *timeline = tl;
+            }
         }
+        timeline.seal(worst);
         worst
     }
 }

@@ -124,6 +124,9 @@ pub struct Dram {
     config: DramConfig,
     channels: Vec<Channel>,
     clock: ClockDomain,
+    /// `clock.cycles_for(config.burst_time).max(1)`, precomputed: the
+    /// per-access and per-copy-beat paths need it on every call.
+    burst_cycles: u64,
     row_hits: Ratio,
     accesses: Counter,
     bulk_copies: Counter,
@@ -140,12 +143,13 @@ impl Dram {
         assert!(config.channels > 0, "need at least one channel");
         assert!(config.banks_per_channel > 0, "need at least one bank");
         let clock = ClockDomain::from_mhz(config.core_clock_mhz);
+        let burst_cycles = clock.cycles_for(config.burst_time).max(1);
         let channels = (0..config.channels)
             .map(|_| Channel {
                 banks: (0..config.banks_per_channel)
                     .map(|_| Bank { open_rows: Vec::new(), service: OccupancyPool::new(1) })
                     .collect(),
-                bus: ThroughputPort::serialized(clock.cycles_for(config.burst_time).max(1)),
+                bus: ThroughputPort::serialized(burst_cycles),
                 copy_engine: ThroughputPort::serialized(1),
             })
             .collect();
@@ -153,6 +157,7 @@ impl Dram {
             config,
             channels,
             clock,
+            burst_cycles,
             row_hits: Ratio::default(),
             accesses: Counter::new(),
             bulk_copies: Counter::new(),
@@ -184,6 +189,15 @@ impl Dram {
     /// returns the completion cycle. Row-buffer state, bank occupancy, and
     /// channel bus occupancy are all charged.
     pub fn access(&mut self, now: Cycle, addr: u64) -> Cycle {
+        self.access_timed(now, addr).0
+    }
+
+    /// Like [`Dram::access`], but also returns the pure *service* portion
+    /// of the latency — the row access plus bus burst the request would
+    /// cost on an idle channel — and whether it hit the open row.
+    /// Everything before `done - service` is bank/bus queueing, which is
+    /// how the stall attribution splits DRAM time into queue vs. service.
+    pub fn access_timed(&mut self, now: Cycle, addr: u64) -> (Cycle, u64, bool) {
         self.accesses.inc();
         let (ch, bank_idx, row) = self.locate(addr);
         let hit = self.channels[ch].banks[bank_idx].access_row(row);
@@ -195,7 +209,15 @@ impl Dram {
             bank.service.acquire(now, service).done
         };
         // Data returns over the channel bus after the bank produces it.
-        self.channels[ch].bus.acquire(bank_done).done
+        let done = self.channels[ch].bus.acquire(bank_done).done;
+        let burst = self.burst_cycles;
+        mosaic_telemetry::emit(|| mosaic_telemetry::Event::DramAccess {
+            cycle: now.as_u64(),
+            done: done.as_u64(),
+            service: service + burst,
+            row_hit: hit,
+        });
+        (done, service + burst, hit)
     }
 
     /// Copies one 4 KB page within channel `ch` over the narrow (64-bit)
@@ -205,11 +227,17 @@ impl Dram {
     /// returned completion cycle gates whoever needs the migrated frame.
     pub fn narrow_page_copy(&mut self, now: Cycle, ch: usize) -> Cycle {
         self.narrow_copies.inc();
-        let per_beat = self.clock.cycles_for(self.config.burst_time).max(1);
+        let per_beat = self.burst_cycles;
         // 4096 B / 8 B per beat = 512 beats of copy-engine occupancy.
         let beats = 4096 / 8;
         let ch = ch % self.config.channels;
-        self.channels[ch].copy_engine.acquire_for(now, per_beat * beats).done
+        let done = self.channels[ch].copy_engine.acquire_for(now, per_beat * beats).done;
+        mosaic_telemetry::emit(|| mosaic_telemetry::Event::PageCopy {
+            cycle: now.as_u64(),
+            done: done.as_u64(),
+            bulk: false,
+        });
+        done
     }
 
     /// Copies one 4 KB page within channel `ch` using the in-DRAM bulk
@@ -222,7 +250,13 @@ impl Dram {
         // Charge an arbitrary bank pair (we model the array occupancy on
         // bank 0 of the channel; the data bus stays free, which is the
         // mechanism's whole point).
-        self.channels[ch].banks[0].service.acquire(now, cycles).done
+        let done = self.channels[ch].banks[0].service.acquire(now, cycles).done;
+        mosaic_telemetry::emit(|| mosaic_telemetry::Event::PageCopy {
+            cycle: now.as_u64(),
+            done: done.as_u64(),
+            bulk: true,
+        });
+        done
     }
 
     /// Nominal latency of one uncontended line access that misses the row
@@ -230,8 +264,7 @@ impl Dram {
     /// in the simulated future are charged nominal latency instead of
     /// perturbing port state out of order).
     pub fn uncontended_latency(&self) -> u64 {
-        self.clock.cycles_for(self.config.row_conflict).max(1)
-            + self.clock.cycles_for(self.config.burst_time).max(1)
+        self.clock.cycles_for(self.config.row_conflict).max(1) + self.burst_cycles
     }
 
     /// Row-buffer hit rate.
@@ -316,6 +349,20 @@ mod tests {
                                                // Both are cold conflicts; with independent channels they finish
                                                // at the same time.
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn access_timed_splits_queue_from_service() {
+        let mut d = dram();
+        let (done, service, hit) = d.access_timed(Cycle::new(0), 0);
+        assert!(!hit);
+        assert_eq!(done.as_u64(), service, "idle DRAM has no queueing");
+        assert_eq!(service, d.uncontended_latency(), "cold service matches the nominal latency");
+        // A simultaneous same-bank access waits in the bank queue first.
+        let (done2, service2, hit2) = d.access_timed(Cycle::new(0), 64);
+        assert!(hit2, "same row under FR-FCFS");
+        assert!(done2.as_u64() - service2 > 0, "queued behind the first access");
+        assert!(done2 > done);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! `mosaic-trace`: validate and convert JSONL traces produced by
+//! `reproduce --trace`.
+//!
+//! ```text
+//! mosaic-trace validate TRACE.jsonl
+//! mosaic-trace chrome TRACE.jsonl -o OUT.json
+//! ```
+
+use std::process::ExitCode;
+
+use mosaic_telemetry::chrome::jsonl_to_chrome;
+use mosaic_telemetry::json::{parse_object, Value};
+use mosaic_telemetry::SCHEMA;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  mosaic-trace validate TRACE.jsonl\n  mosaic-trace chrome TRACE.jsonl -o OUT.json"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("validate") => {
+            let [_, path] = &args[..] else { return usage() };
+            match std::fs::read_to_string(path) {
+                Err(e) => {
+                    eprintln!("mosaic-trace: cannot read {path}: {e}");
+                    ExitCode::FAILURE
+                }
+                Ok(text) => match validate(&text) {
+                    Ok(count) => {
+                        println!("{path}: {count} events OK");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("mosaic-trace: {path}: {e}");
+                        ExitCode::FAILURE
+                    }
+                },
+            }
+        }
+        Some("chrome") => {
+            let [_, path, flag, out_path] = &args[..] else { return usage() };
+            if flag != "-o" {
+                return usage();
+            }
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("mosaic-trace: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match jsonl_to_chrome(&text) {
+                Ok(chrome) => {
+                    if let Err(e) = std::fs::write(out_path, chrome) {
+                        eprintln!("mosaic-trace: cannot write {out_path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {out_path}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("mosaic-trace: {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// Validates every line against the event schema: each line must parse
+/// as a flat object, lead with a known `"type"`, and carry exactly that
+/// type's key set in schema order. Returns the number of event lines.
+fn validate(text: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = idx + 1;
+        let pairs = parse_object(line).map_err(|e| format!("line {n}: {e}"))?;
+        let Some(("type", Value::Str(tag))) = pairs.first().map(|(k, v)| (k.as_str(), v.clone()))
+        else {
+            return Err(format!("line {n}: first key must be \"type\""));
+        };
+        let Some((_, keys)) = SCHEMA.iter().find(|(t, _)| *t == tag) else {
+            return Err(format!("line {n}: unknown event type \"{tag}\""));
+        };
+        let got: Vec<&str> = pairs.iter().skip(1).map(|(k, _)| k.as_str()).collect();
+        if got != *keys {
+            return Err(format!("line {n}: \"{tag}\" keys {got:?} do not match schema {keys:?}"));
+        }
+        count += 1;
+    }
+    if count == 0 {
+        return Err("trace contains no events".into());
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate;
+    use mosaic_telemetry::{run_begin_jsonl, Event};
+
+    #[test]
+    fn validate_accepts_schema_conformant_lines() {
+        let mut text = run_begin_jsonl("MM", "Mosaic");
+        text.push('\n');
+        text.push_str(&Event::Epoch { cycle: 1, instructions: 2, stall_cycles: 3 }.to_jsonl());
+        text.push('\n');
+        assert_eq!(validate(&text), Ok(2));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_keys_and_unknown_types() {
+        assert!(validate("{\"type\":\"epoch\",\"cycle\":1}").is_err());
+        assert!(validate("{\"type\":\"nope\"}").is_err());
+        assert!(validate("{\"cycle\":1}").is_err());
+        assert!(validate("").is_err(), "empty traces are an error");
+    }
+}

@@ -1,0 +1,235 @@
+//! Chrome `trace_event` exporter: converts a JSONL trace into the JSON
+//! array format that chrome://tracing and Perfetto load directly.
+//!
+//! Mapping:
+//! - each `run_begin` line starts a new process (`pid`), labelled with
+//!   the workload/manager names via `process_name` metadata;
+//! - events with a duration (`warp_mem`, `page_walk`, `far_fault`,
+//!   `dram_access`, `page_copy`) become complete events (`ph:"X"`) with
+//!   `ts` = start cycle and `dur` = cycles (1 simulated cycle = 1 µs on
+//!   the trace timeline);
+//! - instantaneous events become instants (`ph:"i"`); `coalesce` /
+//!   `splinter` carry no cycle and are placed at the last cycle seen.
+//! - `tid` groups rows: per-SM rows for warp traffic, one row per
+//!   subsystem (TLB, walker, DRAM, manager) otherwise.
+
+use crate::json::{parse_object, Value};
+
+/// Converts JSONL trace text into a Chrome `trace_event` JSON document.
+/// Lines must already satisfy the schema (run `validate` first for
+/// friendly errors); returns the first offending line otherwise.
+pub fn jsonl_to_chrome(jsonl: &str) -> Result<String, String> {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut pid = 0u64;
+    let mut cursor = 0u64; // last cycle seen, for untimestamped events
+    for (idx, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let pairs = parse_object(line).map_err(|e| format!("line {}: {}", idx + 1, e))?;
+        let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let num = |key: &str| get(key).and_then(Value::as_num).unwrap_or(0);
+        let tag = get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {}: missing \"type\"", idx + 1))?
+            .to_string();
+
+        let mut push = |record: String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&record);
+        };
+
+        match tag.as_str() {
+            "run_begin" => {
+                pid += 1;
+                cursor = 0;
+                let workload = get("workload").and_then(Value::as_str).unwrap_or("?");
+                let manager = get("manager").and_then(Value::as_str).unwrap_or("?");
+                push(format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+                     \"args\":{{\"name\":\"{} [{}]\"}}}}",
+                    crate::escape_json(workload),
+                    crate::escape_json(manager)
+                ));
+            }
+            "warp_mem" => {
+                let (ts, done) = (num("issue"), num("done"));
+                cursor = cursor.max(done);
+                push(complete(
+                    pid,
+                    &format!("sm{}", num("sm")),
+                    "warp_mem",
+                    ts,
+                    done,
+                    &format!("\"asid\":{},\"transactions\":{}", num("asid"), num("transactions")),
+                ));
+            }
+            "page_walk" => {
+                let (ts, done) = (num("issue"), num("done"));
+                cursor = cursor.max(done);
+                push(complete(
+                    pid,
+                    "walker",
+                    "page_walk",
+                    ts,
+                    done,
+                    &format!("\"asid\":{},\"vpn\":{}", num("asid"), num("vpn")),
+                ));
+            }
+            "far_fault" => {
+                let (ts, done) = (num("cycle"), num("done"));
+                cursor = cursor.max(done);
+                push(complete(
+                    pid,
+                    "manager",
+                    "far_fault",
+                    ts,
+                    done,
+                    &format!("\"asid\":{},\"vpn\":{}", num("asid"), num("vpn")),
+                ));
+            }
+            "dram_access" => {
+                let (ts, done) = (num("cycle"), num("done"));
+                cursor = cursor.max(done);
+                push(complete(
+                    pid,
+                    "dram",
+                    "dram_access",
+                    ts,
+                    done,
+                    &format!(
+                        "\"service\":{},\"row_hit\":{}",
+                        num("service"),
+                        get("row_hit").map(|v| *v == Value::Bool(true)).unwrap_or(false)
+                    ),
+                ));
+            }
+            "page_copy" => {
+                let (ts, done) = (num("cycle"), num("done"));
+                cursor = cursor.max(done);
+                push(complete(
+                    pid,
+                    "dram",
+                    "page_copy",
+                    ts,
+                    done,
+                    &format!(
+                        "\"bulk\":{}",
+                        get("bulk").map(|v| *v == Value::Bool(true)).unwrap_or(false)
+                    ),
+                ));
+            }
+            "coalesce" | "splinter" => {
+                push(instant(
+                    pid,
+                    "manager",
+                    &tag,
+                    cursor,
+                    &format!("\"asid\":{},\"lpn\":{}", num("asid"), num("lpn")),
+                ));
+            }
+            "shootdown" => {
+                let ts = num("cycle");
+                cursor = cursor.max(ts);
+                push(instant(
+                    pid,
+                    "manager",
+                    "shootdown",
+                    ts,
+                    &format!("\"asid\":{},\"lpn\":{}", num("asid"), num("lpn")),
+                ));
+            }
+            "tlb_lookup" => {
+                let ts = num("cycle");
+                cursor = cursor.max(ts);
+                push(instant(
+                    pid,
+                    &format!("tlb-l{}", num("level")),
+                    "tlb_lookup",
+                    ts,
+                    &format!(
+                        "\"sm\":{},\"asid\":{},\"hit\":{}",
+                        num("sm"),
+                        num("asid"),
+                        get("hit").map(|v| *v == Value::Bool(true)).unwrap_or(false)
+                    ),
+                ));
+            }
+            "phase_begin" | "phase_end" | "epoch" => {
+                let ts = num("cycle");
+                cursor = cursor.max(ts);
+                let args = match tag.as_str() {
+                    "epoch" => format!(
+                        "\"instructions\":{},\"stall_cycles\":{}",
+                        num("instructions"),
+                        num("stall_cycles")
+                    ),
+                    _ => format!("\"phase\":{}", num("phase")),
+                };
+                push(instant(pid, "run", &tag, ts, &args));
+            }
+            other => return Err(format!("line {}: unknown event type \"{other}\"", idx + 1)),
+        }
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+fn complete(pid: u64, tid: &str, name: &str, ts: u64, done: u64, args: &str) -> String {
+    format!(
+        "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":\"{tid}\",\"name\":\"{name}\",\
+         \"ts\":{ts},\"dur\":{},\"args\":{{{args}}}}}",
+        done.saturating_sub(ts).max(1)
+    )
+}
+
+fn instant(pid: u64, tid: &str, name: &str, ts: u64, args: &str) -> String {
+    format!(
+        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":\"{tid}\",\"name\":\"{name}\",\
+         \"ts\":{ts},\"args\":{{{args}}}}}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_begin_jsonl, Event};
+
+    #[test]
+    fn round_trips_a_small_trace() {
+        let mut jsonl = String::new();
+        jsonl.push_str(&run_begin_jsonl("MM", "Mosaic"));
+        jsonl.push('\n');
+        for ev in [
+            Event::PhaseBegin { phase: 0, cycle: 0 },
+            Event::WarpMem { sm: 0, asid: 1, issue: 10, done: 300, transactions: 2 },
+            Event::TlbLookup { level: 1, sm: 0, asid: 1, cycle: 11, hit: false },
+            Event::PageWalk { asid: 1, vpn: 7, issue: 20, done: 180 },
+            Event::DramAccess { cycle: 200, done: 260, service: 40, row_hit: true },
+            Event::Coalesce { asid: 1, lpn: 3 },
+            Event::Shootdown { asid: 1, lpn: 3, cycle: 280 },
+            Event::PhaseEnd { phase: 0, cycle: 300 },
+        ] {
+            jsonl.push_str(&ev.to_jsonl());
+            jsonl.push('\n');
+        }
+        let chrome = jsonl_to_chrome(&jsonl).expect("export succeeds");
+        assert!(chrome.starts_with("{\"displayTimeUnit\""));
+        assert!(chrome.ends_with("]}"));
+        assert!(chrome.contains("\"ph\":\"X\""));
+        assert!(chrome.contains("\"name\":\"process_name\""));
+        // The untimestamped coalesce lands at the last-seen cycle (300).
+        assert!(chrome.contains("\"name\":\"coalesce\",\"ts\":300"));
+    }
+
+    #[test]
+    fn rejects_unknown_types_and_bad_lines() {
+        assert!(jsonl_to_chrome("{\"type\":\"bogus\"}").is_err());
+        assert!(jsonl_to_chrome("not json").is_err());
+        assert!(jsonl_to_chrome("\n\n").is_ok(), "blank lines are skipped");
+    }
+}

@@ -1,0 +1,315 @@
+//! The typed event vocabulary and its JSONL encoding.
+//!
+//! Events are plain `Copy` records — no strings, no heap — so emitting
+//! one into a memory sink is a bounded-cost array write and the null-sink
+//! path allocates nothing. Run-level metadata that needs strings (the
+//! workload and manager names) is written by the trace *writer* as a
+//! `run_begin` JSONL line rather than carried inside [`Event`].
+
+/// One structured simulator event. All cycle fields are absolute
+/// simulated cycles; identifiers are the simulator's own (SM index,
+/// `AppId`, large-page number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A kernel phase started on every SM.
+    PhaseBegin {
+        /// Phase index within the run.
+        phase: u32,
+        /// Cycle the phase's SMs were released.
+        cycle: u64,
+    },
+    /// A kernel phase finished (all SMs drained).
+    PhaseEnd {
+        /// Phase index within the run.
+        phase: u32,
+        /// Cycle the last SM finished.
+        cycle: u64,
+    },
+    /// Periodic whole-GPU metric snapshot.
+    Epoch {
+        /// Snapshot cycle.
+        cycle: u64,
+        /// Instructions retired so far (all SMs, current phase set).
+        instructions: u64,
+        /// Stall cycles accumulated so far (all SMs).
+        stall_cycles: u64,
+    },
+    /// One warp memory instruction, from issue to slowest transaction.
+    WarpMem {
+        /// Issuing SM index.
+        sm: u32,
+        /// Address space of the issuing app.
+        asid: u16,
+        /// Issue cycle.
+        issue: u64,
+        /// Completion cycle of the slowest transaction.
+        done: u64,
+        /// Coalesced transactions in the instruction.
+        transactions: u32,
+    },
+    /// A TLB probe at L1 or L2.
+    TlbLookup {
+        /// TLB level (1 or 2).
+        level: u8,
+        /// Probing SM index.
+        sm: u32,
+        /// Address space probed.
+        asid: u16,
+        /// Probe cycle.
+        cycle: u64,
+        /// Whether the probe hit.
+        hit: bool,
+    },
+    /// A page-table walk issued by the walker (fresh, not coalesced).
+    PageWalk {
+        /// Address space walked.
+        asid: u16,
+        /// Virtual page number walked.
+        vpn: u64,
+        /// Cycle the walk was requested.
+        issue: u64,
+        /// Cycle the walk completed.
+        done: u64,
+    },
+    /// A far fault serviced by the manager (demand paging / migration).
+    FarFault {
+        /// Faulting address space.
+        asid: u16,
+        /// Faulting virtual page number.
+        vpn: u64,
+        /// Cycle the fault was raised.
+        cycle: u64,
+        /// Cycle the fault service completed.
+        done: u64,
+    },
+    /// One DRAM data access (row activate + burst).
+    DramAccess {
+        /// Cycle the request reached DRAM.
+        cycle: u64,
+        /// Cycle the data burst completed.
+        done: u64,
+        /// Pure service cycles (row access + burst), excluding queueing.
+        service: u64,
+        /// Whether the access hit the open row.
+        row_hit: bool,
+    },
+    /// A page copy executed in DRAM (migration or compaction).
+    PageCopy {
+        /// Cycle the copy was requested.
+        cycle: u64,
+        /// Cycle the copy completed.
+        done: u64,
+        /// Whether the in-DRAM bulk path was used (vs. the narrow
+        /// read-modify-write path).
+        bulk: bool,
+    },
+    /// The manager coalesced a large-page region.
+    Coalesce {
+        /// Owning address space.
+        asid: u16,
+        /// Coalesced large-page number.
+        lpn: u64,
+    },
+    /// The manager splintered a large-page region.
+    Splinter {
+        /// Owning address space.
+        asid: u16,
+        /// Splintered large-page number.
+        lpn: u64,
+    },
+    /// A TLB shootdown was broadcast to every SM.
+    Shootdown {
+        /// Address space whose mappings were invalidated.
+        asid: u16,
+        /// Large-page number invalidated.
+        lpn: u64,
+        /// Cycle the shootdown was raised.
+        cycle: u64,
+    },
+}
+
+impl Event {
+    /// The event's schema type tag (the JSONL `"type"` value).
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            Event::PhaseBegin { .. } => "phase_begin",
+            Event::PhaseEnd { .. } => "phase_end",
+            Event::Epoch { .. } => "epoch",
+            Event::WarpMem { .. } => "warp_mem",
+            Event::TlbLookup { .. } => "tlb_lookup",
+            Event::PageWalk { .. } => "page_walk",
+            Event::FarFault { .. } => "far_fault",
+            Event::DramAccess { .. } => "dram_access",
+            Event::PageCopy { .. } => "page_copy",
+            Event::Coalesce { .. } => "coalesce",
+            Event::Splinter { .. } => "splinter",
+            Event::Shootdown { .. } => "shootdown",
+        }
+    }
+
+    /// Serializes the event as one JSONL object. Keys are emitted in the
+    /// fixed schema order, so equal events always produce identical
+    /// bytes (the golden-trace digests rely on this).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"type\":\"");
+        s.push_str(self.type_tag());
+        s.push('"');
+        let mut field = |key: &str, value: String| {
+            s.push_str(",\"");
+            s.push_str(key);
+            s.push_str("\":");
+            s.push_str(&value);
+        };
+        match *self {
+            Event::PhaseBegin { phase, cycle } | Event::PhaseEnd { phase, cycle } => {
+                field("phase", phase.to_string());
+                field("cycle", cycle.to_string());
+            }
+            Event::Epoch { cycle, instructions, stall_cycles } => {
+                field("cycle", cycle.to_string());
+                field("instructions", instructions.to_string());
+                field("stall_cycles", stall_cycles.to_string());
+            }
+            Event::WarpMem { sm, asid, issue, done, transactions } => {
+                field("sm", sm.to_string());
+                field("asid", asid.to_string());
+                field("issue", issue.to_string());
+                field("done", done.to_string());
+                field("transactions", transactions.to_string());
+            }
+            Event::TlbLookup { level, sm, asid, cycle, hit } => {
+                field("level", level.to_string());
+                field("sm", sm.to_string());
+                field("asid", asid.to_string());
+                field("cycle", cycle.to_string());
+                field("hit", hit.to_string());
+            }
+            Event::PageWalk { asid, vpn, issue, done } => {
+                field("asid", asid.to_string());
+                field("vpn", vpn.to_string());
+                field("issue", issue.to_string());
+                field("done", done.to_string());
+            }
+            Event::FarFault { asid, vpn, cycle, done } => {
+                field("asid", asid.to_string());
+                field("vpn", vpn.to_string());
+                field("cycle", cycle.to_string());
+                field("done", done.to_string());
+            }
+            Event::DramAccess { cycle, done, service, row_hit } => {
+                field("cycle", cycle.to_string());
+                field("done", done.to_string());
+                field("service", service.to_string());
+                field("row_hit", row_hit.to_string());
+            }
+            Event::PageCopy { cycle, done, bulk } => {
+                field("cycle", cycle.to_string());
+                field("done", done.to_string());
+                field("bulk", bulk.to_string());
+            }
+            Event::Coalesce { asid, lpn } | Event::Splinter { asid, lpn } => {
+                field("asid", asid.to_string());
+                field("lpn", lpn.to_string());
+            }
+            Event::Shootdown { asid, lpn, cycle } => {
+                field("asid", asid.to_string());
+                field("lpn", lpn.to_string());
+                field("cycle", cycle.to_string());
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// The JSONL schema: every event type with its exact, ordered key set
+/// (excluding the leading `"type"`). `mosaic-trace validate` checks each
+/// line's key set against this table.
+pub const SCHEMA: &[(&str, &[&str])] = &[
+    ("run_begin", &["workload", "manager"]),
+    ("phase_begin", &["phase", "cycle"]),
+    ("phase_end", &["phase", "cycle"]),
+    ("epoch", &["cycle", "instructions", "stall_cycles"]),
+    ("warp_mem", &["sm", "asid", "issue", "done", "transactions"]),
+    ("tlb_lookup", &["level", "sm", "asid", "cycle", "hit"]),
+    ("page_walk", &["asid", "vpn", "issue", "done"]),
+    ("far_fault", &["asid", "vpn", "cycle", "done"]),
+    ("dram_access", &["cycle", "done", "service", "row_hit"]),
+    ("page_copy", &["cycle", "done", "bulk"]),
+    ("coalesce", &["asid", "lpn"]),
+    ("splinter", &["asid", "lpn"]),
+    ("shootdown", &["asid", "lpn", "cycle"]),
+];
+
+/// Renders the `run_begin` metadata line that precedes each run's events
+/// in a JSONL trace.
+pub fn run_begin_jsonl(workload: &str, manager: &str) -> String {
+    format!(
+        "{{\"type\":\"run_begin\",\"workload\":\"{}\",\"manager\":\"{}\"}}",
+        escape_json(workload),
+        escape_json(manager)
+    )
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_keys_match_schema() {
+        let samples = [
+            Event::PhaseBegin { phase: 0, cycle: 1 },
+            Event::PhaseEnd { phase: 0, cycle: 2 },
+            Event::Epoch { cycle: 3, instructions: 4, stall_cycles: 5 },
+            Event::WarpMem { sm: 0, asid: 1, issue: 2, done: 3, transactions: 4 },
+            Event::TlbLookup { level: 1, sm: 0, asid: 1, cycle: 2, hit: true },
+            Event::PageWalk { asid: 1, vpn: 2, issue: 3, done: 4 },
+            Event::FarFault { asid: 1, vpn: 2, cycle: 3, done: 4 },
+            Event::DramAccess { cycle: 1, done: 2, service: 1, row_hit: false },
+            Event::PageCopy { cycle: 1, done: 2, bulk: true },
+            Event::Coalesce { asid: 1, lpn: 2 },
+            Event::Splinter { asid: 1, lpn: 2 },
+            Event::Shootdown { asid: 1, lpn: 2, cycle: 3 },
+        ];
+        for ev in samples {
+            let line = ev.to_jsonl();
+            let parsed = crate::json::parse_object(&line).expect("valid JSON");
+            let (_, keys) = SCHEMA
+                .iter()
+                .find(|(tag, _)| *tag == ev.type_tag())
+                .expect("every event type is in SCHEMA");
+            let got: Vec<&str> = parsed.iter().skip(1).map(|(k, _)| k.as_str()).collect();
+            assert_eq!(&got[..], *keys, "key order for {}", ev.type_tag());
+        }
+        // SCHEMA covers exactly the 12 event types plus run_begin.
+        assert_eq!(SCHEMA.len(), samples.len() + 1);
+    }
+
+    #[test]
+    fn run_begin_escapes_metadata() {
+        let line = run_begin_jsonl("MM \"x\"", "Mosaic");
+        assert_eq!(
+            line,
+            "{\"type\":\"run_begin\",\"workload\":\"MM \\\"x\\\"\",\"manager\":\"Mosaic\"}"
+        );
+        assert!(crate::json::parse_object(&line).is_ok());
+    }
+}

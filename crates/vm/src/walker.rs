@@ -150,6 +150,12 @@ impl PageTableWalker {
         self.latency.record(t.since(now));
         self.active.insert(req, t);
         self.completions.push(Reverse((t, req)));
+        mosaic_telemetry::emit(|| mosaic_telemetry::Event::PageWalk {
+            asid: asid.0,
+            vpn: vpn.raw(),
+            issue: now.as_u64(),
+            done: t.as_u64(),
+        });
         WalkOutcome { done: t, coalesced: false }
     }
 
