@@ -11,8 +11,15 @@ cargo fmt --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> mosaic-audit self-test (rule corpus, mutation tripwires, closure pins)"
+cargo test -q -p mosaic-audit
+
 echo "==> mosaic-audit check (determinism & invariants policy)"
+mkdir -p target/audit
 cargo run -q -p mosaic-audit -- check
+cargo run -q -p mosaic-audit -- check --format json > target/audit/findings.json
+cargo run -q -p mosaic-audit -- graph --format json > target/audit/closure.json
+echo "    artifacts: target/audit/findings.json, target/audit/closure.json"
 
 echo "==> cargo test"
 cargo test -q --workspace

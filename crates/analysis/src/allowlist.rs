@@ -69,7 +69,7 @@ impl Allowlist {
             let rule = parts.next().unwrap_or_default().to_string();
             let path = parts.next().unwrap_or_default().to_string();
             let justification = parts.next().unwrap_or_default().trim().to_string();
-            if !RULES.iter().any(|(r, _)| *r == rule) {
+            if !RULES.iter().any(|r| r.id == rule) {
                 errors.push(ParseError { line, message: format!("unknown rule `{rule}`") });
                 continue;
             }

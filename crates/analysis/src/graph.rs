@@ -1,0 +1,317 @@
+//! Layer 3 of the analyzer: a cross-crate call graph over the parsed
+//! workspace, and the reachability pass that *computes* the hot-path
+//! closure the panic rule runs on.
+//!
+//! Nodes are the functions defined in cycle-level crates (see
+//! [`crate::rules::CYCLE_CRATES`]). Edges are resolved from the call
+//! sites the parser extracted:
+//!
+//! * `Type::method(..)` paths resolve by `(self type, name)`, with the
+//!   type name first mapped through the file's `use` renames;
+//! * `recv.method(..)` method calls resolve *by name to every function
+//!   with that name* — receiver types are not inferred, so the graph
+//!   over-approximates. For a soundness pass that is the right
+//!   direction: the computed closure can only be too big, never too
+//!   small;
+//! * bare `helper(..)` calls resolve to free functions with that name;
+//! * closures are attributed to the function whose body defines them.
+//!
+//! Entry points — the per-cycle tick/issue/access loops of the simulated
+//! machine — are declared in [`ENTRY_POINTS`] as `Type::method` pairs.
+//! Everything reachable from them is the hot path: a panic there takes
+//! down the whole simulation, so `panic-in-hotpath` applies to each
+//! member function, wherever its file lives.
+
+use crate::parse::{Callee, FileModel};
+use crate::rules::is_cycle_crate;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The per-cycle entry points of the simulated machine, as
+/// `Type::method`. Everything reachable from these is hot. Adding a new
+/// per-cycle engine (an eviction pump, a second GPU's tick) means adding
+/// its entry here — the closure then extends itself.
+pub const ENTRY_POINTS: &[&str] = &[
+    // The SM issue loop: one call per warp scheduling slot.
+    "Sm::advance",
+    // The memory system behind it: every warp memory instruction.
+    "GpuSystem::warp_access",
+    "GpuSystem::warp_access_timed",
+    // Mid-run management traffic (between-kernel deallocation drives
+    // CAC compaction and shootdowns).
+    "GpuSystem::deallocate",
+    // Address-translation machinery ticks.
+    "PageTableWalker::walk",
+    // DRAM, cache, crossbar, and IO-bus device ticks.
+    "Dram::access",
+    "Dram::access_timed",
+    "Dram::narrow_page_copy",
+    "Dram::bulk_page_copy",
+    "Cache::access",
+    "Crossbar::traverse",
+    "IoBus::transfer",
+];
+
+/// A function in the computed closure, addressable for humans.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnRef {
+    /// Repo-relative file path.
+    pub path: String,
+    /// `impl`/`trait` self type, if any.
+    pub self_ty: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// 1-based definition line.
+    pub line: u32,
+}
+
+impl std::fmt::Display for FnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.self_ty {
+            Some(ty) => write!(f, "{}::{} ({}:{})", ty, self.name, self.path, self.line),
+            None => write!(f, "{} ({}:{})", self.name, self.path, self.line),
+        }
+    }
+}
+
+/// One declared entry point and the definitions it resolved to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryResolution {
+    /// The `Type::method` spec from [`ENTRY_POINTS`].
+    pub spec: &'static str,
+    /// Matching function definitions (empty = the spec is stale).
+    pub resolved: Vec<FnRef>,
+}
+
+/// The computed hot-path closure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Closure {
+    /// Entry point resolutions, in [`ENTRY_POINTS`] order.
+    pub entries: Vec<EntryResolution>,
+    /// Every reachable function, sorted by (path, line).
+    pub members: Vec<FnRef>,
+    /// (file index, fn index) keys of the members, for rule lookups.
+    keys: BTreeSet<(usize, usize)>,
+}
+
+impl Closure {
+    /// Whether `files[file_idx].fns[fn_idx]` is in the closure.
+    pub fn contains(&self, file_idx: usize, fn_idx: usize) -> bool {
+        self.keys.contains(&(file_idx, fn_idx))
+    }
+
+    /// The distinct files the closure touches, sorted.
+    pub fn files(&self) -> Vec<&str> {
+        let set: BTreeSet<&str> = self.members.iter().map(|m| m.path.as_str()).collect();
+        set.into_iter().collect()
+    }
+
+    /// Entry specs that resolved to no definition (stale declarations —
+    /// the analyzer is lying to itself if these exist).
+    pub fn unresolved_entries(&self) -> Vec<&'static str> {
+        self.entries.iter().filter(|e| e.resolved.is_empty()).map(|e| e.spec).collect()
+    }
+}
+
+/// Computes the hot-path closure over the parsed workspace files.
+pub fn compute_closure(files: &[FileModel]) -> Closure {
+    // Node universe: functions in cycle-level crates.
+    let mut by_name: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    let mut by_ty_name: BTreeMap<(&str, &str), Vec<(usize, usize)>> = BTreeMap::new();
+    let mut free_by_name: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        if !is_cycle_crate(&file.path) {
+            continue;
+        }
+        for (gi, f) in file.fns.iter().enumerate() {
+            by_name.entry(&f.name).or_default().push((fi, gi));
+            match &f.self_ty {
+                Some(ty) => by_ty_name.entry((ty, &f.name)).or_default().push((fi, gi)),
+                None => free_by_name.entry(&f.name).or_default().push((fi, gi)),
+            }
+        }
+    }
+
+    // Per-file `use` rename maps for resolving `Alias::method(..)`.
+    let rename: Vec<BTreeMap<&str, &str>> = files
+        .iter()
+        .map(|file| {
+            file.uses
+                .iter()
+                .filter(|u| u.local != "*")
+                .filter_map(|u| Some((u.local.as_str(), u.target.last()?.as_str())))
+                .collect()
+        })
+        .collect();
+
+    let mut entries = Vec::new();
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for spec in ENTRY_POINTS {
+        let (ty, name) = spec.split_once("::").unwrap_or(("", spec));
+        let resolved = by_ty_name.get(&(ty, name)).cloned().unwrap_or_default();
+        for &node in &resolved {
+            if seen.insert(node) {
+                work.push(node);
+            }
+        }
+        entries.push(EntryResolution {
+            spec,
+            resolved: resolved.iter().map(|&(fi, gi)| fn_ref(files, fi, gi)).collect(),
+        });
+    }
+
+    while let Some((fi, gi)) = work.pop() {
+        let file = &files[fi];
+        let def = &file.fns[gi];
+        for call in &def.calls {
+            let targets: Vec<(usize, usize)> = match &call.callee {
+                Callee::Method(name) => by_name.get(name.as_str()).cloned().unwrap_or_default(),
+                Callee::Path(segs) => {
+                    let last = segs.last().map(String::as_str).unwrap_or_default();
+                    if segs.len() == 1 {
+                        free_by_name.get(last).cloned().unwrap_or_default()
+                    } else {
+                        let ty_seg = segs[segs.len() - 2].as_str();
+                        let ty = if ty_seg == "Self" {
+                            def.self_ty.as_deref().unwrap_or(ty_seg)
+                        } else {
+                            rename[fi].get(ty_seg).copied().unwrap_or(ty_seg)
+                        };
+                        if ty.starts_with(char::is_uppercase) {
+                            by_ty_name.get(&(ty, last)).cloned().unwrap_or_default()
+                        } else {
+                            // Module-qualified free function.
+                            free_by_name.get(last).cloned().unwrap_or_default()
+                        }
+                    }
+                }
+                Callee::Macro(_) => Vec::new(),
+            };
+            for node in targets {
+                if seen.insert(node) {
+                    work.push(node);
+                }
+            }
+        }
+    }
+
+    let mut members: Vec<FnRef> = seen.iter().map(|&(fi, gi)| fn_ref(files, fi, gi)).collect();
+    members.sort();
+    Closure { entries, members, keys: seen }
+}
+
+fn fn_ref(files: &[FileModel], fi: usize, gi: usize) -> FnRef {
+    let f = &files[fi].fns[gi];
+    FnRef {
+        path: files[fi].path.clone(),
+        self_ty: f.self_ty.clone(),
+        name: f.name.clone(),
+        line: f.line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::strip;
+    use crate::parse::parse_file;
+    use crate::tokens::tokenize;
+
+    fn ws(sources: &[(&str, &str)]) -> Vec<FileModel> {
+        sources.iter().map(|(p, s)| parse_file(p, tokenize(&strip(s)))).collect()
+    }
+
+    fn member_names(c: &Closure) -> Vec<String> {
+        c.members.iter().map(|m| m.name.clone()).collect()
+    }
+
+    #[test]
+    fn reaches_through_direct_and_method_calls() {
+        let files = ws(&[(
+            "crates/gpu/src/sm.rs",
+            "impl Sm {\n\
+             \x20   pub fn advance(&mut self) { self.pick(); helper(); }\n\
+             \x20   fn pick(&self) {}\n\
+             }\n\
+             fn helper() { leaf(); }\n\
+             fn leaf() {}\n\
+             fn unrelated() {}\n",
+        )]);
+        let c = compute_closure(&files);
+        let names = member_names(&c);
+        assert!(names.contains(&"advance".to_string()));
+        assert!(names.contains(&"pick".to_string()));
+        assert!(names.contains(&"helper".to_string()));
+        assert!(names.contains(&"leaf".to_string()));
+        assert!(!names.contains(&"unrelated".to_string()));
+    }
+
+    #[test]
+    fn method_calls_cross_crates_by_name() {
+        let files = ws(&[
+            (
+                "crates/gpu/src/sm.rs",
+                "impl Sm { pub fn advance(&mut self, t: &mut Tlb) { t.lookup(1); } }\n",
+            ),
+            (
+                "crates/vm/src/tlb.rs",
+                "impl Tlb { pub fn lookup(&mut self, p: u64) -> u64 { self.probe(p) }\n\
+                 fn probe(&self, p: u64) -> u64 { p } }\n",
+            ),
+        ]);
+        let c = compute_closure(&files);
+        let names = member_names(&c);
+        assert!(names.contains(&"lookup".to_string()));
+        assert!(names.contains(&"probe".to_string()));
+    }
+
+    #[test]
+    fn use_renames_resolve_for_qualified_calls() {
+        let files = ws(&[
+            (
+                "crates/gpu/src/sm.rs",
+                "use mosaic_vm::PageTableWalker as Walker;\n\
+                 impl Sm { pub fn advance(&mut self) { Walker::walk(); } }\n",
+            ),
+            (
+                "crates/vm/src/walker.rs",
+                "impl PageTableWalker { pub fn walk() { step(); } }\nfn step() {}\n",
+            ),
+        ]);
+        let c = compute_closure(&files);
+        let names = member_names(&c);
+        assert!(names.contains(&"walk".to_string()), "{names:?}");
+        assert!(names.contains(&"step".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn non_cycle_crates_are_not_nodes() {
+        let files = ws(&[
+            ("crates/gpu/src/sm.rs", "impl Sm { pub fn advance(&mut self) { build(); } }\n"),
+            ("crates/workloads/src/gen.rs", "pub fn build() { panic!(\"host side\"); }\n"),
+        ]);
+        let c = compute_closure(&files);
+        assert_eq!(member_names(&c), ["advance"]);
+    }
+
+    #[test]
+    fn unresolved_entries_are_reported() {
+        let files = ws(&[("crates/gpu/src/sm.rs", "fn nothing_here() {}\n")]);
+        let c = compute_closure(&files);
+        assert!(c.unresolved_entries().contains(&"Sm::advance"));
+        assert!(c.members.is_empty());
+    }
+
+    #[test]
+    fn closure_files_are_deduplicated_and_sorted() {
+        let files = ws(&[
+            (
+                "crates/gpu/src/sm.rs",
+                "impl Sm { pub fn advance(&mut self, c: &mut Cache) { c.access(1); } }\n",
+            ),
+            ("crates/mem/src/cache.rs", "impl Cache { pub fn access(&mut self, a: u64) {} }\n"),
+        ]);
+        let c = compute_closure(&files);
+        assert_eq!(c.files(), ["crates/gpu/src/sm.rs", "crates/mem/src/cache.rs"]);
+    }
+}

@@ -130,7 +130,16 @@ pub fn strip(source: &str) -> String {
             if is_escape {
                 keep(&mut out, c);
                 i += 1;
-                // Blank until the closing quote.
+                // Blank the backslash and the escaped character
+                // unconditionally — `'\''` must not stop at the escaped
+                // quote — then blank any multi-char escape payload
+                // (`'\u{1F600}'`) until the real closing quote.
+                blank(&mut out, chars[i]);
+                i += 1;
+                if i < n {
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
                 while i < n && chars[i] != '\'' {
                     blank(&mut out, chars[i]);
                     i += 1;
@@ -211,6 +220,27 @@ mod tests {
         let s = strip("let c = 'H'; let e = '\\n'; HashMap");
         assert!(!s.contains("'H'"));
         assert!(s.contains("HashMap"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_swallow_the_line() {
+        let s = strip("let q = '\\''; let h = HashMap::new();");
+        assert_eq!(s.matches("HashMap").count(), 1, "{s:?}");
+        assert_eq!(s.chars().count(), "let q = '\\''; let h = HashMap::new();".chars().count());
+    }
+
+    #[test]
+    fn byte_char_literals_are_blanked() {
+        let s = strip("let b = b'x'; let e = b'\\''; Instant");
+        assert!(!s.contains("'x'"));
+        assert_eq!(s.matches("Instant").count(), 1, "{s:?}");
+    }
+
+    #[test]
+    fn unicode_escape_char_literal_is_blanked_to_the_close() {
+        let s = strip("let c = '\\u{1F600}'; SystemTime");
+        assert!(!s.contains("1F600"));
+        assert_eq!(s.matches("SystemTime").count(), 1, "{s:?}");
     }
 
     #[test]

@@ -2,28 +2,36 @@
 //! pass.
 //!
 //! A cycle-accurate simulator's results are only meaningful if the same
-//! seed always produces the same run. This crate scans every Rust source
-//! file under `crates/*/src` (plus the root `src/`) for the constructs
-//! that historically break that guarantee or mask broken invariants:
+//! seed always produces the same run. This crate parses every Rust source
+//! file under `crates/*/src` (plus the root `src/`) and checks the
+//! constructs that historically break that guarantee or mask broken
+//! invariants. It is syntax-aware, not a line scanner:
 //!
-//! * `HashMap`/`HashSet` in cycle-level crates (iteration order leaks
-//!   host randomness into simulated state),
-//! * wall-clock time (`Instant`, `SystemTime`) in simulation logic,
-//! * entropy-seeded randomness (`thread_rng`, `from_entropy`),
-//! * `unwrap`/`expect`/`panic!` on per-cycle hot paths,
-//! * lossy `as` casts of address/cycle-typed values.
+//! * [`lexer`] erases comments and literal contents, preserving layout;
+//! * [`tokens`] chops the stripped source into a token stream;
+//! * [`parse`] extracts `use` trees (including `as` renames and globs),
+//!   `fn`/`impl` items, and call sites, excluding `#[cfg(test)]` items;
+//! * [`graph`] builds a cross-crate call graph and *computes* the
+//!   hot-path closure from the per-cycle entry points — there is no
+//!   hand-maintained hot-file list to go stale;
+//! * [`rules`] runs the policy over the parsed workspace: banned
+//!   containers/clocks/entropy (including alias and re-export evasions),
+//!   interior mutability and relaxed atomics in cycle crates, the
+//!   telemetry `emit()` gate, lossy casts, and panics anywhere in the
+//!   computed closure.
 //!
 //! Violations that are individually justified live in
 //! `crates/analysis/allow.list`; everything else fails the check. The
-//! scanner is hand-rolled and dependency-free (the workspace builds
-//! offline): see [`lexer`] for the comment/string eraser, [`rules`] for
-//! the checks, and [`allowlist`] for the exemption format.
+//! analyzer is hand-rolled and dependency-free (the workspace builds
+//! offline).
 //!
 //! Run it as:
 //!
 //! ```text
-//! cargo run -p mosaic-audit -- check            # scan the repo, exit 1 on findings
-//! cargo run -p mosaic-audit -- check some/dir   # scan a different root
+//! cargo run -p mosaic-audit -- check                 # scan the repo, exit 1 on findings
+//! cargo run -p mosaic-audit -- check --format json   # machine-readable findings
+//! cargo run -p mosaic-audit -- graph                 # dump the computed hot-path closure
+//! cargo run -p mosaic-audit -- explain panic-in-hotpath
 //! ```
 //!
 //! The runtime half of the policy is the `AuditInvariants` trait in
@@ -33,13 +41,63 @@
 #![warn(missing_docs)]
 
 pub mod allowlist;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod tokens;
 
 pub use allowlist::Allowlist;
+pub use graph::Closure;
 pub use rules::Finding;
 
+use parse::FileModel;
 use std::path::{Path, PathBuf};
+
+/// The parsed workspace: every covered file as a [`FileModel`].
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Parsed files, sorted by path.
+    pub files: Vec<FileModel>,
+}
+
+impl Workspace {
+    /// Parses in-memory sources (tests, fixtures). Paths must be
+    /// repo-relative with forward slashes.
+    pub fn from_sources(sources: &[(&str, &str)]) -> Self {
+        let mut files: Vec<FileModel> = sources
+            .iter()
+            .map(|(path, src)| parse::parse_file(path, tokens::tokenize(&lexer::strip(src))))
+            .collect();
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        Workspace { files }
+    }
+
+    /// Loads and parses every covered source file under `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (unreadable tree).
+    pub fn load(root: &Path) -> std::io::Result<Self> {
+        let mut files = Vec::new();
+        for file in source_files(root)? {
+            let source = std::fs::read_to_string(&file)?;
+            let rel = relative(root, &file);
+            files.push(parse::parse_file(&rel, tokens::tokenize(&lexer::strip(&source))));
+        }
+        Ok(Workspace { files })
+    }
+
+    /// Computes the hot-path closure over this workspace.
+    pub fn closure(&self) -> Closure {
+        graph::compute_closure(&self.files)
+    }
+
+    /// Runs every rule over this workspace (closure computed internally).
+    pub fn scan(&self) -> Vec<Finding> {
+        rules::scan_workspace(&self.files, &self.closure())
+    }
+}
 
 /// Everything one `check` run produced.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -52,13 +110,26 @@ pub struct ScanReport {
     pub files: usize,
     /// Stale allowlist entries (rule+path pairs that matched nothing).
     pub stale_allows: Vec<String>,
+    /// Declared entry points that resolved to no definition — the
+    /// closure would silently shrink, so these fail the check too.
+    pub unresolved_entries: Vec<String>,
 }
 
 impl ScanReport {
-    /// Whether the check passes.
+    /// Whether the check passes (stale allowlist entries are a separate,
+    /// CLI-level failure with its own escape hatch).
     pub fn is_clean(&self) -> bool {
-        self.findings.is_empty()
+        self.findings.is_empty() && self.unresolved_entries.is_empty()
     }
+}
+
+/// A full analysis: the report plus the computed closure behind it.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// The check outcome.
+    pub report: ScanReport,
+    /// The hot-path closure the panic rule ran on.
+    pub closure: Closure,
 }
 
 /// Collects every `.rs` file the policy covers: `crates/*/src/**` and the
@@ -105,32 +176,141 @@ fn relative(root: &Path, path: &Path) -> String {
     rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
 }
 
-/// Scans one file's raw source (comments/strings are stripped here).
+/// Scans one in-memory file (closure computed over just that file).
+/// Convenience for tests; real runs go through [`analyze`] so cross-file
+/// aliases and reachability are visible.
 pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
-    rules::scan_stripped(rel_path, &lexer::strip(source))
+    Workspace::from_sources(&[(rel_path, source)]).scan()
 }
 
-/// Runs the full check over `root` with `allow`, reading every covered
-/// source file.
-///
-/// # Errors
-///
-/// Propagates filesystem errors (unreadable tree).
-pub fn check(root: &Path, allow: &Allowlist) -> std::io::Result<ScanReport> {
-    let mut all = Vec::new();
-    let files = source_files(root)?;
-    let count = files.len();
-    for file in files {
-        let source = std::fs::read_to_string(&file)?;
-        all.extend(scan_source(&relative(root, &file), &source));
-    }
+/// Builds a report from an already-parsed workspace and an allowlist.
+pub fn analyze_workspace(ws: &Workspace, allow: &Allowlist) -> Analysis {
+    let closure = ws.closure();
+    let all = rules::scan_workspace(&ws.files, &closure);
     let stale = allow
         .unused(&all)
         .into_iter()
         .map(|e| format!("{} {} ({})", e.rule, e.path, e.justification))
         .collect();
     let (findings, exempted) = allow.filter(all);
-    Ok(ScanReport { findings, exempted, files: count, stale_allows: stale })
+    let unresolved = closure.unresolved_entries().iter().map(|s| s.to_string()).collect();
+    Analysis {
+        report: ScanReport {
+            findings,
+            exempted,
+            files: ws.files.len(),
+            stale_allows: stale,
+            unresolved_entries: unresolved,
+        },
+        closure,
+    }
+}
+
+/// Runs the full analysis over `root` with `allow`, reading every covered
+/// source file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unreadable tree).
+pub fn analyze(root: &Path, allow: &Allowlist) -> std::io::Result<Analysis> {
+    Ok(analyze_workspace(&Workspace::load(root)?, allow))
+}
+
+/// Runs the full check over `root` with `allow` (report only).
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unreadable tree).
+pub fn check(root: &Path, allow: &Allowlist) -> std::io::Result<ScanReport> {
+    Ok(analyze(root, allow)?.report)
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+        json_escape(f.rule),
+        json_escape(&f.path),
+        f.line,
+        json_escape(&f.message)
+    )
+}
+
+fn string_array_json(items: &[String]) -> String {
+    let inner: Vec<String> = items.iter().map(|s| format!("\"{}\"", json_escape(s))).collect();
+    format!("[{}]", inner.join(","))
+}
+
+/// Renders a [`ScanReport`] as a JSON document (hand-rolled: the
+/// workspace builds offline, no serde).
+pub fn report_json(report: &ScanReport) -> String {
+    let findings: Vec<String> = report.findings.iter().map(finding_json).collect();
+    let exempted: Vec<String> = report.exempted.iter().map(finding_json).collect();
+    format!(
+        "{{\"files\":{},\"clean\":{},\"findings\":[{}],\"exempted\":[{}],\
+         \"stale_allows\":{},\"unresolved_entries\":{}}}",
+        report.files,
+        report.is_clean(),
+        findings.join(","),
+        exempted.join(","),
+        string_array_json(&report.stale_allows),
+        string_array_json(&report.unresolved_entries)
+    )
+}
+
+fn fn_ref_json(m: &graph::FnRef) -> String {
+    let self_ty = match &m.self_ty {
+        Some(ty) => format!("\"{}\"", json_escape(ty)),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"path\":\"{}\",\"self_ty\":{},\"name\":\"{}\",\"line\":{}}}",
+        json_escape(&m.path),
+        self_ty,
+        json_escape(&m.name),
+        m.line
+    )
+}
+
+/// Renders the computed hot-path closure as a JSON document.
+pub fn closure_json(closure: &Closure) -> String {
+    let entries: Vec<String> = closure
+        .entries
+        .iter()
+        .map(|e| {
+            let resolved: Vec<String> = e.resolved.iter().map(fn_ref_json).collect();
+            format!(
+                "{{\"spec\":\"{}\",\"resolved\":[{}]}}",
+                json_escape(e.spec),
+                resolved.join(",")
+            )
+        })
+        .collect();
+    let members: Vec<String> = closure.members.iter().map(fn_ref_json).collect();
+    let files: Vec<String> =
+        closure.files().iter().map(|p| format!("\"{}\"", json_escape(p))).collect();
+    format!(
+        "{{\"entries\":[{}],\"members\":[{}],\"files\":[{}]}}",
+        entries.join(","),
+        members.join(","),
+        files.join(",")
+    )
 }
 
 #[cfg(test)]
@@ -150,5 +330,38 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "hashmap-in-sim");
         assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let report = ScanReport {
+            findings: vec![Finding {
+                rule: "wall-clock",
+                path: "crates/vm/src/x.rs".to_string(),
+                line: 3,
+                message: "Instant with \"quotes\"".to_string(),
+            }],
+            exempted: Vec::new(),
+            files: 1,
+            stale_allows: vec!["wall-clock crates/vm/src/y.rs (old)".to_string()],
+            unresolved_entries: Vec::new(),
+        };
+        let j = report_json(&report);
+        assert!(j.contains("\"files\":1"));
+        assert!(j.contains("\"clean\":false"));
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("\"line\":3"));
+    }
+
+    #[test]
+    fn closure_json_contains_entries_and_members() {
+        let ws = Workspace::from_sources(&[(
+            "crates/gpu/src/sm.rs",
+            "impl Sm { pub fn advance(&mut self) { self.pick(); } fn pick(&self) {} }\n",
+        )]);
+        let j = closure_json(&ws.closure());
+        assert!(j.contains("\"spec\":\"Sm::advance\""));
+        assert!(j.contains("\"name\":\"pick\""));
+        assert!(j.contains("crates/gpu/src/sm.rs"));
     }
 }

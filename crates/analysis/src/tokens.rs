@@ -1,0 +1,210 @@
+//! Layer 1 of the analyzer: a real token stream on top of
+//! [`crate::lexer::strip`].
+//!
+//! The lexer erases comment and literal *contents*; this module chops the
+//! surviving characters into identifiers, numbers, lifetimes, literal
+//! shells, and punctuation, each tagged with its 1-based source line.
+//! `::` is fused into a single token so the item parser and the rules can
+//! treat paths uniformly. Everything stays hand-rolled and
+//! dependency-free — the workspace builds offline.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `use`, ...).
+    Ident,
+    /// A lifetime (`'a`). The leading quote is part of the token.
+    Lifetime,
+    /// A numeric literal (`42`, `0xC0FFEE`, `1_000u64`).
+    Number,
+    /// The shell of a string/char literal whose contents the lexer
+    /// erased (`""`, `''`).
+    Literal,
+    /// A punctuation token: one character, except the fused `::`.
+    Punct,
+}
+
+/// One token of stripped source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token text. For [`TokKind::Literal`] this is the delimiter
+    /// only (contents were erased); for [`TokKind::Punct`] it is the
+    /// punctuation itself (`"::"` for the fused path separator).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes *stripped* source (see [`crate::lexer::strip`]). Feeding raw
+/// source through here would mis-lex comments and literal contents.
+pub fn tokenize(stripped: &str) -> Vec<Tok> {
+    let chars: Vec<char> = stripped.chars().collect();
+    let n = chars.len();
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            toks.push(Tok { kind: TokKind::Ident, text, line });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            toks.push(Tok { kind: TokKind::Number, text, line });
+            continue;
+        }
+        // A quote after stripping is either a lifetime (`'a`: ident char
+        // immediately after, no closing quote) or the erased shell of a
+        // char literal (`'   '`).
+        if c == '\'' {
+            if i + 1 < n && is_ident_start(chars[i + 1]) {
+                let start = i;
+                i += 1;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                toks.push(Tok { kind: TokKind::Lifetime, text, line });
+            } else {
+                i += 1;
+                while i < n && chars[i] != '\'' {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                toks.push(Tok { kind: TokKind::Literal, text: "'".to_string(), line });
+            }
+            continue;
+        }
+        // The erased shell of a (raw) string literal: everything up to
+        // the closing quote is spaces/newlines after stripping.
+        if c == '"' {
+            i += 1;
+            while i < n && chars[i] != '"' {
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(n);
+            toks.push(Tok { kind: TokKind::Literal, text: "\"".to_string(), line });
+            continue;
+        }
+        if c == ':' && i + 1 < n && chars[i + 1] == ':' {
+            toks.push(Tok { kind: TokKind::Punct, text: "::".to_string(), line });
+            i += 2;
+            continue;
+        }
+        toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::strip;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(&strip(src))
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        toks(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_paths_and_calls() {
+        assert_eq!(
+            texts("use std::collections::HashMap;"),
+            ["use", "std", "::", "collections", "::", "HashMap", ";"]
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let t = toks("a\n\nb();\n");
+        assert_eq!(t[0].line, 1);
+        assert_eq!(t[1].line, 3);
+        assert!(t[1].is_ident("b"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = toks("fn f<'a>(x: &'a str, c: char) { let _ = 'H'; }");
+        assert!(t.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(t.iter().any(|t| t.kind == TokKind::Literal && t.text == "'"));
+    }
+
+    #[test]
+    fn string_shells_collapse_to_one_token() {
+        let t = toks("let s = \"Instant::now() HashMap\"; done");
+        assert!(!t.iter().any(|t| t.is_ident("Instant")));
+        assert!(t.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn numbers_and_suffixes() {
+        let t = toks("let x = 0xC0FFEE_u64 + 12;");
+        assert_eq!(t.iter().filter(|t| t.kind == TokKind::Number).count(), 2);
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let t = toks("let s = \"a\nb\";\nnext");
+        let next = t.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn spaced_colons_are_not_fused() {
+        // `a: :b` is not valid Rust; we only fuse adjacent colons, which
+        // is what rustfmt-formatted paths always look like.
+        assert_eq!(texts("x: u64"), ["x", ":", "u64"]);
+        assert_eq!(texts("E::V"), ["E", "::", "V"]);
+    }
+}

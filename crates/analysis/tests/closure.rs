@@ -1,0 +1,95 @@
+//! Pins the computed hot-path closure against the real tree.
+//!
+//! The analyzer used to carry a hand-maintained `HOT_PATH_FILES` list of
+//! ten files. The closure is computed from the call graph now; these
+//! tests pin that the computation covers everything the old list did
+//! (the old list is frozen here as history — it must never be the
+//! implementation again) and that it finds the hot files the list
+//! missed, the whole point of computing it.
+
+use mosaic_audit::Workspace;
+use std::path::Path;
+
+/// The deleted `HOT_PATH_FILES` constant, frozen at its final value. The
+/// computed closure must always cover it: a regression here means the
+/// graph lost edges the old list knew about.
+const OLD_HOT_PATH_FILES: [&str; 10] = [
+    "crates/gpu/src/sm.rs",
+    "crates/gpu/src/warp.rs",
+    "crates/gpusim/src/system.rs",
+    "crates/iobus/src/lib.rs",
+    "crates/mem/src/cache.rs",
+    "crates/mem/src/dram.rs",
+    "crates/mem/src/xbar.rs",
+    "crates/vm/src/tlb.rs",
+    "crates/vm/src/walk_cache.rs",
+    "crates/vm/src/walker.rs",
+];
+
+fn real_workspace() -> Workspace {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap();
+    Workspace::load(&root).unwrap()
+}
+
+#[test]
+fn computed_closure_covers_the_old_hot_file_list() {
+    let closure = real_workspace().closure();
+    let files = closure.files();
+    for old in OLD_HOT_PATH_FILES {
+        assert!(
+            files.contains(&old),
+            "computed closure lost {old}, which the deleted HOT_PATH_FILES had;\nclosure files: {files:#?}"
+        );
+    }
+}
+
+#[test]
+fn computed_closure_finds_hot_files_the_old_list_missed() {
+    // The managers run inside warp_access (fault handling) and
+    // deallocate (compaction); the old list never covered them. If these
+    // drop out, the closure stopped seeing through the manager dispatch.
+    let closure = real_workspace().closure();
+    let files = closure.files();
+    for new in [
+        "crates/core/src/mosaic_mgr.rs",
+        "crates/core/src/cocoa.rs",
+        "crates/core/src/cac.rs",
+        "crates/sim-core/src/queue.rs",
+        "crates/vm/src/page_table.rs",
+    ] {
+        assert!(files.contains(&new), "{new} missing from closure: {files:#?}");
+    }
+}
+
+#[test]
+fn every_entry_point_resolves_on_the_real_tree() {
+    let closure = real_workspace().closure();
+    assert!(
+        closure.unresolved_entries().is_empty(),
+        "stale entry specs: {:#?}",
+        closure.unresolved_entries()
+    );
+    // Every entry also resolves to exactly one definition on this tree —
+    // a second match would mean the graph is merging unrelated types.
+    for entry in &closure.entries {
+        assert_eq!(entry.resolved.len(), 1, "{}: {:#?}", entry.spec, entry.resolved);
+    }
+}
+
+#[test]
+fn closure_is_substantial_but_not_everything() {
+    let ws = real_workspace();
+    let closure = ws.closure();
+    let total: usize = ws
+        .files
+        .iter()
+        .filter(|f| mosaic_audit::rules::is_cycle_crate(&f.path))
+        .map(|f| f.fns.len())
+        .sum();
+    assert!(closure.members.len() >= 100, "only {} members", closure.members.len());
+    assert!(
+        closure.members.len() < total,
+        "closure swallowed every one of the {total} cycle-crate functions — \
+         the over-approximation collapsed into 'everything is hot'"
+    );
+}

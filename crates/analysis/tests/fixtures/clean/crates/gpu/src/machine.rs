@@ -1,0 +1,30 @@
+// Fixture: minimal definitions of every per-cycle entry point, so the
+// computed closure resolves on this tree — a tree whose declared entry
+// points resolve to nothing fails the check (the closure would silently
+// shrink). Scanner input only; never compiled.
+impl Sm {
+    pub fn advance(&mut self) {}
+}
+impl GpuSystem {
+    pub fn warp_access(&mut self) {}
+    pub fn warp_access_timed(&mut self) {}
+    pub fn deallocate(&mut self) {}
+}
+impl PageTableWalker {
+    pub fn walk(&mut self) {}
+}
+impl Dram {
+    pub fn access(&mut self) {}
+    pub fn access_timed(&mut self) {}
+    pub fn narrow_page_copy(&mut self) {}
+    pub fn bulk_page_copy(&mut self) {}
+}
+impl Cache {
+    pub fn access(&mut self) {}
+}
+impl Crossbar {
+    pub fn traverse(&mut self) {}
+}
+impl IoBus {
+    pub fn transfer(&mut self) {}
+}

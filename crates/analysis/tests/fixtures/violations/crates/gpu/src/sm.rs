@@ -1,0 +1,13 @@
+// Fixture: the per-cycle entry point. `advance` reaches `Tlb::lookup`
+// through a method call, which is what puts tlb.rs's panics in the
+// computed hot-path closure. Scanner input only; never compiled.
+impl Sm {
+    pub fn advance(&mut self, tlb: &mut Tlb) {
+        let frame = tlb.lookup(self.page);
+        self.issue(frame);
+    }
+
+    fn issue(&mut self, frame: u64) {
+        self.last = frame;
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: telemetry outside the emit() closure gate in a cycle-level
+// crate. The gated emit at the end is the negative case. Scanner input
+// only; never compiled.
+use mosaic_telemetry::Event;
+
+pub fn step(cycle: u64) {
+    let early = Event::Epoch { cycle };
+    mosaic_telemetry::set_enabled(true);
+    drop(early);
+    mosaic_telemetry::emit(|| Event::Epoch { cycle });
+}

@@ -1,0 +1,10 @@
+// Fixture: interior mutability in a cycle-level crate. Scanner input
+// only; never compiled.
+use std::cell::{Cell, RefCell};
+
+pub struct Banks {
+    hint: Cell,
+    rows: RefCell,
+}
+
+static mut LAST_ROW: u64 = 0;

@@ -1,0 +1,8 @@
+// Fixture: relaxed atomics in a cycle-level crate. Scanner input only;
+// never compiled.
+use std::sync::atomic::AtomicU64;
+use std::sync::atomic::Ordering;
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}

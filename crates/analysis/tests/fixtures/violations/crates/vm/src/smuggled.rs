@@ -1,0 +1,11 @@
+// Fixture: the alias loopholes. `FastMap` is mosaic_workloads' re-export
+// of std::collections::HashMap — the name HashMap never appears in this
+// file, so the ident rule alone cannot see it. Scanner input only.
+use mosaic_workloads::FastMap;
+use std::collections::*;
+use std::time::SystemTime as Stamp;
+
+pub struct Residency {
+    pages: FastMap,
+    born: Stamp,
+}

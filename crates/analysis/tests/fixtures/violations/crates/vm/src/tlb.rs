@@ -1,10 +1,19 @@
-// Fixture: panics on the per-cycle hot path (this path IS in the
-// hot-path list). Scanner input only; never compiled.
-pub fn lookup(&mut self, page: u64) -> u64 {
-    let slot = self.sets.get(&page).unwrap();
-    let entry = slot.newest().expect("slot occupied");
-    if entry.page != page {
-        panic!("tag mismatch");
+// Fixture: panics in a function reachable from an entry point (the
+// closure pulls `Tlb::lookup` in through the method call in sm.rs —
+// there is no file list). Scanner input only; never compiled.
+impl Tlb {
+    pub fn lookup(&mut self, page: u64) -> u64 {
+        let slot = self.sets.get(&page).unwrap();
+        let entry = slot.newest().expect("slot occupied");
+        if entry.page != page {
+            panic!("tag mismatch");
+        }
+        entry.frame
     }
-    entry.frame
+
+    pub fn unreachable_helper(&self) {
+        // NOT in the closure (nothing calls it), so this panic is the
+        // closure boundary's negative case: it must not be flagged.
+        self.table.first().unwrap();
+    }
 }

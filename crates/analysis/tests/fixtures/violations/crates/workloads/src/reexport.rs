@@ -1,0 +1,4 @@
+// Fixture: a non-cycle crate re-exporting a banned container under a new
+// name. Nothing is wrong *here* (workloads is host-side); the smuggle is
+// flagged where a cycle crate imports it. Scanner input only.
+pub use std::collections::HashMap as FastMap;

@@ -1,0 +1,65 @@
+//! Property test for `lexer::strip`, run over every real workspace file:
+//! stripping must be offset-stable (1 char in, 1 char out; erased chars
+//! become spaces, everything else — newlines included — survives
+//! byte-identically), because every rule reports line numbers computed
+//! from the stripped text.
+
+use mosaic_audit::lexer::strip;
+use mosaic_audit::source_files;
+use std::path::Path;
+
+#[test]
+fn strip_is_offset_stable_on_every_workspace_file() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap();
+    let files = source_files(&root).unwrap();
+    assert!(files.len() > 50, "walked only {} files", files.len());
+    for file in files {
+        let src = std::fs::read_to_string(&file).unwrap();
+        let out = strip(&src);
+        assert_eq!(
+            out.chars().count(),
+            src.chars().count(),
+            "{}: strip changed the character count",
+            file.display()
+        );
+        assert_eq!(
+            out.lines().count(),
+            src.lines().count(),
+            "{}: strip changed the line count",
+            file.display()
+        );
+        for (idx, (a, b)) in src.chars().zip(out.chars()).enumerate() {
+            assert!(
+                b == a || b == ' ',
+                "{}: char {idx}: {a:?} became {b:?} (only erasure-to-space is allowed)",
+                file.display()
+            );
+            if a == '\n' {
+                assert_eq!(b, '\n', "{}: newline at {idx} was erased", file.display());
+            }
+        }
+    }
+}
+
+#[test]
+fn strip_is_offset_stable_on_adversarial_snippets() {
+    // The escape shapes that have historically broken hand-rolled
+    // lexers: escaped-quote char literals, byte chars, unicode escapes,
+    // raw strings with hashes, nested block comments.
+    let cases = [
+        "let q = '\\''; let h = HashMap::new();",
+        "let b = b'x'; let e = b'\\'';",
+        "let c = '\\u{1F600}'; done();",
+        "let r = r#\"quote \" inside\"#; after();",
+        "let s = \"esc \\\" and \\\\\"; after();",
+        "/* a /* nested */ b */ code();",
+        "let t = 'a'; let life: &'a str = x;",
+    ];
+    for src in cases {
+        let out = strip(src);
+        assert_eq!(out.chars().count(), src.chars().count(), "{src:?} -> {out:?}");
+        for (a, b) in src.chars().zip(out.chars()) {
+            assert!(b == a || b == ' ', "{src:?} -> {out:?}");
+        }
+    }
+}

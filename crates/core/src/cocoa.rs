@@ -158,7 +158,9 @@ impl CoCoA {
             // Push in reverse so allocation proceeds from index 0 upward.
             self.free_base[i].1.extend(lf.base_frames().rev());
         }
-        let pfn = self.free_base[i].1.pop().expect("list was just refilled");
+        // The list was refilled above when empty; an empty pop can only
+        // mean a frame with zero base pages, which reads as exhaustion.
+        let pfn = self.free_base[i].1.pop().ok_or(MemError::OutOfMemory)?;
         self.base_assigned.inc();
         Ok(pfn)
     }

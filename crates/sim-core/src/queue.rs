@@ -88,9 +88,12 @@ impl OccupancyPool {
         let start = if self.busy_until.len() < self.slots {
             now
         } else {
-            // All slots busy: wait for the earliest one.
-            let Reverse(free_at) = self.busy_until.pop().expect("pool non-empty");
-            free_at.max(now)
+            // All slots busy: wait for the earliest one. A zero-slot pool
+            // has nothing in flight to wait on and serves immediately.
+            match self.busy_until.pop() {
+                Some(Reverse(free_at)) => free_at.max(now),
+                None => now,
+            }
         };
         let done = start + service;
         self.busy_until.push(Reverse(done));

@@ -483,7 +483,12 @@ impl PageTable {
     /// Any [`CoalesceError`] from [`PageTable::can_coalesce`].
     pub fn coalesce(&mut self, lpn: LargePageNum) -> Result<LargeFrameNum, CoalesceError> {
         let lf = self.can_coalesce(lpn)?;
-        let region = self.region_mut(lpn).expect("checked by can_coalesce");
+        // A missing region means no base page is mapped; can_coalesce
+        // rejects that, so this branch is unreachable — but the rejection
+        // it would represent is NotFullyPopulated, not a crash.
+        let Some(region) = self.region_mut(lpn) else {
+            return Err(CoalesceError::NotFullyPopulated);
+        };
         region.large = true;
         region.large_frame = Some(lf);
         region.entries.set_all_disabled(true);
