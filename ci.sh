@@ -36,6 +36,9 @@ cargo run -q --release -p mosaic-conformance -- fuzz --cases 256 --seed 0xC0FFEE
 echo "==> smoke sweep (parallel reproduce run)"
 MOSAIC_SCOPE=smoke cargo run -q --release -p mosaic-experiments --bin reproduce -- fig03 fig08
 
+echo "==> oversubscription smoke (demand-paging engine: evict, write back, prefetch)"
+MOSAIC_SCOPE=smoke cargo run -q --release -p mosaic-experiments --bin reproduce -- oversub
+
 echo "==> trace-smoke (record a traced sweep, validate the JSONL, round-trip to Chrome)"
 MOSAIC_SCOPE=smoke cargo run -q --release -p mosaic-experiments --bin reproduce -- \
     --trace target/trace-smoke.jsonl --stall-report

@@ -49,6 +49,9 @@ pub const ENTRY_POINTS: &[&str] = &[
     "Cache::access",
     "Crossbar::traverse",
     "IoBus::transfer",
+    // The demand-paging eviction pump: fires on every out-of-memory
+    // fault under oversubscription (eviction, write-back, shootdowns).
+    "GpuSystem::evict_pressure",
 ];
 
 /// A function in the computed closure, addressable for humans.

@@ -9,6 +9,7 @@ impl GpuSystem {
     pub fn warp_access(&mut self) {}
     pub fn warp_access_timed(&mut self) {}
     pub fn deallocate(&mut self) {}
+    pub fn evict_pressure(&mut self) {}
 }
 impl PageTableWalker {
     pub fn walk(&mut self) {}

@@ -52,6 +52,7 @@ fn main() {
     figure!("fig15", exp::fig15::run(scope));
     figure!("fig16", exp::fig16::run(scope));
     figure!("table2", exp::table2::run(scope));
+    figure!("oversub", exp::oversub::run(scope));
     figure!("ablation_pwc", exp::ablations::pwc_vs_l2tlb(scope));
     figure!("ablation_walker", exp::ablations::walker_threads(scope));
     figure!("ablation_cac_threshold", exp::ablations::cac_threshold(scope));

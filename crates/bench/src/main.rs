@@ -136,6 +136,14 @@ fn sweep_run_workload() {
     black_box(run_workload(&w, sweep_cfg()));
 }
 
+fn sweep_oversubscribed() {
+    // The same inner loop under 2x memory oversubscription: the
+    // demand-paging engine's eviction, write-back, and prefetch paths
+    // dominate, which nothing else in the roster exercises.
+    let w = Workload::from_names(&["MM", "GUPS", "HS"]);
+    black_box(run_workload(&w, sweep_cfg().oversubscribed(2.0)));
+}
+
 fn figure(run: fn(Scope) -> String) {
     // Single-threaded so wall times measure the simulator, not the
     // executor's scheduling; Smoke keeps the sweep bounded.
@@ -155,6 +163,7 @@ fn scenarios() -> Vec<(&'static str, fn())> {
         ("micro/walker", micro_walker),
         ("micro/manager_touch", micro_manager_touch),
         ("sweep/run_workload", sweep_run_workload),
+        ("sweep/oversubscribed", sweep_oversubscribed),
         ("sweep/fig03", || figure(|s| exp::fig03::run(s).to_string())),
         ("sweep/fig08", || figure(|s| exp::fig08::run(s).to_string())),
         ("sweep/fig11", || figure(|s| exp::fig11::run(s).to_string())),

@@ -426,12 +426,22 @@ struct FrameLedger {
     reservations: Vec<(u16, u64, u64)>,
     touched: BTreeSet<(u16, u64)>,
     resident: BTreeSet<(u16, u64)>,
+    /// Pages a `Store` dirtied since they last became resident. Cleared
+    /// by deallocation and eviction — write-back accounting is derived
+    /// from this set alone.
+    dirty: BTreeSet<(u16, u64)>,
     far_faults: u64,
     transferred: u64,
+    evicted_pages: u64,
+    writeback: u64,
     coalesced_ev: u64,
     splintered_ev: u64,
     migrated_ev: u64,
     shootdown_ev: u64,
+    /// Shootdowns from `evict_for` outcomes, tallied separately: every
+    /// manager emits them under pressure, so they must not disturb the
+    /// flavor-specific pairings over `shootdown_ev`.
+    evict_shootdown_ev: u64,
     flush_all_ev: u64,
 }
 
@@ -471,6 +481,15 @@ fn ledger_check(kind: MgrKind, mgr: &RealMgr, ledger: &FrameLedger) -> Option<St
         return Some(format!(
             "transferred_bytes: real {} ledger {}",
             s.transferred_bytes, ledger.transferred
+        ));
+    }
+    if s.evictions != ledger.evicted_pages {
+        return Some(format!("evictions: real {} ledger {}", s.evictions, ledger.evicted_pages));
+    }
+    if s.writeback_bytes != ledger.writeback {
+        return Some(format!(
+            "writeback_bytes: real {} ledger {}",
+            s.writeback_bytes, ledger.writeback
         ));
     }
     let touched = ledger.touched.len() as u64 * mosaic_vm::BASE_PAGE_SIZE;
@@ -602,6 +621,7 @@ pub fn run_mgr_case(kind: MgrKind, frames: u64, ops: &[MgrOp]) -> Result<(), Div
                 ledger.tally(&events);
                 for vpn in start..start + pages {
                     ledger.resident.remove(&(asid, vpn));
+                    ledger.dirty.remove(&(asid, vpn));
                     let mapped = mgr
                         .as_dyn_ref()
                         .tables()
@@ -612,6 +632,24 @@ pub fn run_mgr_case(kind: MgrKind, frames: u64, ops: &[MgrOp]) -> Result<(), Div
                         break;
                     }
                 }
+            }
+            MgrOp::Store { asid, vpn } => {
+                // Resident stores feed the eviction policy's recency and
+                // dirty bits; non-resident stores are the fault path's
+                // problem (`Touch`), modeled as a no-op.
+                let frame = mgr
+                    .as_dyn_ref()
+                    .tables()
+                    .table(AppId(asid))
+                    .and_then(|t| t.translate(VirtPageNum(vpn).addr()).ok())
+                    .map(|t| t.frame);
+                if let Some(frame) = frame {
+                    mgr.as_dyn().note_use(frame, true);
+                    ledger.dirty.insert((asid, vpn));
+                }
+            }
+            MgrOp::Evict { bytes } => {
+                fail = step_evict(&mut mgr, &mut ledger, kind, bytes);
             }
         }
         let fail = fail.or_else(|| ledger_check(kind, &mgr, &ledger));
@@ -687,4 +725,72 @@ fn step_touch(mgr: &mut RealMgr, ledger: &mut FrameLedger, asid: u16, vpn: u64) 
             None
         }
     }
+}
+
+/// One `evict_for` call against the ledger's expectations: the outcome's
+/// pages, shootdowns, and write-back bytes must all be re-derivable from
+/// the op stream. Returns a failure detail on divergence.
+fn step_evict(
+    mgr: &mut RealMgr,
+    ledger: &mut FrameLedger,
+    kind: MgrKind,
+    bytes: u64,
+) -> Option<String> {
+    let out = mgr.as_dyn().evict_for(bytes);
+    // Events: TlbShootdowns covering exactly the evicted 2 MB regions,
+    // nothing else — eviction must not masquerade as coalescing policy.
+    // A region scattered across several victim frames may be shot down
+    // once per frame, so coverage is a set comparison, not a count.
+    let want_regions: BTreeSet<(u16, u64)> =
+        out.evicted.iter().map(|&(asid, vpn)| (asid.0, vpn.large_page().raw())).collect();
+    let mut got_regions: BTreeSet<(u16, u64)> = BTreeSet::new();
+    for e in &out.events {
+        match e {
+            MgmtEvent::TlbShootdown { asid, lpn } => {
+                got_regions.insert((asid.0, lpn.raw()));
+                ledger.evict_shootdown_ev += 1;
+            }
+            other => return Some(format!("eviction emitted a non-shootdown event: {other:?}")),
+        }
+    }
+    if got_regions != want_regions {
+        return Some(format!(
+            "eviction shootdowns {got_regions:?} do not match evicted regions {want_regions:?}"
+        ));
+    }
+    // Pages: evicted at most once, known-resident beforehand (for the
+    // managers that map exactly what was touched), and unmapped now.
+    let mut seen: BTreeSet<(u16, u64)> = BTreeSet::new();
+    let mut dirty_evicted = 0u64;
+    for &(asid, vpn) in &out.evicted {
+        let key = (asid.0, vpn.0);
+        if !seen.insert(key) {
+            return Some(format!("page {key:?} evicted twice in one call"));
+        }
+        if exact_resident(kind) && !ledger.resident.contains(&key) {
+            return Some(format!("evicted page {key:?} was never believed resident"));
+        }
+        let mapped = mgr.as_dyn_ref().tables().table(asid).is_some_and(|t| t.is_mapped(vpn));
+        if mapped {
+            return Some(format!("evicted page {key:?} is still mapped"));
+        }
+        if ledger.dirty.remove(&key) {
+            dirty_evicted += 1;
+        }
+        ledger.resident.remove(&key);
+    }
+    // Write-back: exactly the dirty pages among the evicted, nothing
+    // more (clean pages are free to drop) and nothing less (dirty data
+    // must not be lost).
+    let want_wb = dirty_evicted * mosaic_vm::BASE_PAGE_SIZE;
+    if out.writeback_bytes != want_wb {
+        return Some(format!(
+            "writeback_bytes {}: the ledger holds {dirty_evicted} dirty pages among the \
+             evicted ({want_wb} bytes)",
+            out.writeback_bytes
+        ));
+    }
+    ledger.evicted_pages += out.evicted.len() as u64;
+    ledger.writeback += out.writeback_bytes;
+    None
 }

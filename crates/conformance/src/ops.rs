@@ -148,6 +148,21 @@ pub enum MgrOp {
         /// Pages deallocated.
         pages: u64,
     },
+    /// Store to one page: marks it recently used and dirty when
+    /// resident, and is a no-op otherwise (the fault path is `Touch`'s
+    /// job), so any subsequence stays valid.
+    Store {
+        /// Address space.
+        asid: u16,
+        /// Base page stored to.
+        vpn: u64,
+    },
+    /// Demand eviction: free at least `bytes` of physical memory,
+    /// least-recently-used large frames first, writing dirty pages back.
+    Evict {
+        /// Bytes of physical memory to free.
+        bytes: u64,
+    },
 }
 
 /// A generated VM-suite case: a TLB geometry plus an op schedule.
@@ -225,7 +240,7 @@ const MGR_ASIDS: u16 = 2;
 fn mgr_op(rng: &mut SimRng) -> MgrOp {
     let asid = rng.below(u64::from(MGR_ASIDS)) as u16;
     let span = MGR_REGIONS * PAGES;
-    match rng.weighted(&[2, 6, 3, 4]) {
+    match rng.weighted(&[2, 6, 3, 4, 3, 2]) {
         0 => {
             // Half the reservations are chunk-aligned whole regions (the
             // en-masse cudaMalloc pattern CoCoA optimizes), half are
@@ -243,9 +258,15 @@ fn mgr_op(rng: &mut SimRng) -> MgrOp {
             let start = rng.below(span);
             MgrOp::TouchRange { asid, start, pages: rng.below(PAGES) + 1 }
         }
-        _ => {
+        3 => {
             let start = rng.below(span);
             MgrOp::Dealloc { asid, start, pages: rng.below(PAGES) + 1 }
+        }
+        4 => MgrOp::Store { asid, vpn: rng.below(span) },
+        _ => {
+            // From sub-frame requests (rounded up to one frame) to enough
+            // pressure to empty most of a small pool.
+            MgrOp::Evict { bytes: rng.below(2 * mosaic_vm::LARGE_PAGE_SIZE) + 1 }
         }
     }
 }

@@ -87,6 +87,42 @@ fn mutation_repro_replays() {
         .expect("the same schedule is clean without the fault");
 }
 
+/// The demand-paging ledger end to end, deterministically: touches make
+/// pages resident, stores dirty them, eviction unmaps whole frames and
+/// writes back exactly the dirty pages, and re-touching an evicted page
+/// far-faults it back in. The schedule is replayed against every manager
+/// flavor; the ledger re-derives residency, dirty state, write-back
+/// bytes, and shootdown coverage after every op.
+#[test]
+fn eviction_ledger_store_evict_refault_is_clean() {
+    let ops = vec![
+        MgrOp::Reserve { asid: 0, start: 0, pages: 512 },
+        MgrOp::Reserve { asid: 1, start: 512, pages: 512 },
+        MgrOp::TouchRange { asid: 0, start: 0, pages: 512 },
+        MgrOp::TouchRange { asid: 1, start: 512, pages: 512 },
+        MgrOp::Store { asid: 0, vpn: 17 },
+        MgrOp::Store { asid: 0, vpn: 211 },
+        MgrOp::Store { asid: 1, vpn: 700 },
+        MgrOp::Store { asid: 1, vpn: 2000 }, // unreserved: must be a no-op
+        MgrOp::Evict { bytes: 2 * 2048 * 1024 },
+        MgrOp::TouchRange { asid: 0, start: 0, pages: 64 },
+        MgrOp::Store { asid: 0, vpn: 17 },
+        MgrOp::Evict { bytes: 1 },
+        MgrOp::Evict { bytes: 64 * 2048 * 1024 }, // beyond capacity: drains what it can
+    ];
+    for kind in [
+        MgrKind::MosaicDefault,
+        MgrKind::MosaicBulk,
+        MgrKind::MosaicIdeal,
+        MgrKind::MosaicNoCac,
+        MgrKind::GpuMmuBase,
+        MgrKind::GpuMmuLarge,
+        MgrKind::Migrating,
+    ] {
+        run_mgr_case(kind, 4, &ops).unwrap_or_else(|d| panic!("{kind:?}: {d}"));
+    }
+}
+
 // ---------------------------------------------------------------------
 // Pinned regressions. Each schedule below is verbatim shrinker output
 // from a fuzz run against the buggy code; each now passes because the

@@ -164,8 +164,14 @@ impl Cac {
             match dst {
                 Some(dst) => {
                     table.remap_base(vpn, dst).expect("survivor is mapped");
+                    // The pending write-back obligation moves with the data.
+                    let dirty = pool.is_dirty(old);
                     pool.set_owner(old, None);
                     pool.set_owner(dst, Some(asid));
+                    pool.set_mapping(dst, vpn);
+                    if dirty {
+                        pool.mark_dirty(dst);
+                    }
                     if let Some(ev) = self.migrate_event(channel) {
                         events.push(ev);
                     }

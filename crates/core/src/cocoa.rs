@@ -202,6 +202,21 @@ impl CoCoA {
         before - list.len()
     }
 
+    /// Removes every free base frame living in `lf` from *all* free base
+    /// page lists. The eviction path needs this stronger form of
+    /// [`CoCoA::reclaim_base`]: the holes of a splintered emergency frame
+    /// may have been donated to a different address space than the one
+    /// owning the frame's resident pages. Returns how many were removed.
+    pub fn reclaim_frame(&mut self, lf: LargeFrameNum) -> usize {
+        let mut removed = 0;
+        for (_, list) in &mut self.free_base {
+            let before = list.len();
+            list.retain(|pfn| pfn.large_frame() != lf);
+            removed += before - list.len();
+        }
+        removed
+    }
+
     /// Parks a coalesced-but-fragmented page on the emergency frame list
     /// (Section 4.4): a failsafe source of base pages when memory runs
     /// out.

@@ -10,8 +10,13 @@
 //! only between large page frames in the same memory channel.
 
 use mosaic_sim_core::{AuditInvariants, AuditReport};
-use mosaic_vm::{AppId, LargeFrameNum, PhysFrameNum, BASE_PAGES_PER_LARGE_PAGE, LARGE_PAGE_SIZE};
+use mosaic_vm::{
+    AppId, LargeFrameNum, PhysFrameNum, VirtPageNum, BASE_PAGES_PER_LARGE_PAGE, LARGE_PAGE_SIZE,
+};
 use std::collections::BTreeSet;
+
+/// Words of 64 dirty bits covering the 512 base frames of a large frame.
+const DIRTY_WORDS: usize = (BASE_PAGES_PER_LARGE_PAGE as usize).div_ceil(64);
 
 /// The special owner recorded for data injected by fragmentation
 /// stress tests (Section 6.4): it belongs to no real address space and
@@ -23,16 +28,35 @@ pub const FRAG_OWNER: AppId = AppId(u16::MAX);
 pub struct FrameState {
     /// Owner of each of the 512 base frames (`None` = unallocated).
     owners: Vec<Option<AppId>>,
+    /// Virtual page each base frame currently backs (`None` when the slot
+    /// is unallocated or holds unmapped data such as injected
+    /// fragmentation). The eviction path uses this reverse map to find
+    /// the translations it must tear down.
+    mapped: Vec<Option<VirtPageNum>>,
+    /// Per-base-frame dirty bits: set by stores to resident pages,
+    /// cleared on deallocation/eviction. A dirty page must be written
+    /// back over the I/O bus before its frame is reused.
+    dirty: [u64; DIRTY_WORDS],
     /// Number of allocated base frames (cached).
     used: u16,
     /// Number of allocated base frames owned by real applications
     /// (excluding [`FRAG_OWNER`]).
     app_used: u16,
+    /// Pool-clock stamp of the most recent access (0 = never accessed).
+    /// Drives the LRU eviction order.
+    last_use: u64,
 }
 
 impl Default for FrameState {
     fn default() -> Self {
-        FrameState { owners: vec![None; BASE_PAGES_PER_LARGE_PAGE as usize], used: 0, app_used: 0 }
+        FrameState {
+            owners: vec![None; BASE_PAGES_PER_LARGE_PAGE as usize],
+            mapped: vec![None; BASE_PAGES_PER_LARGE_PAGE as usize],
+            dirty: [0; DIRTY_WORDS],
+            used: 0,
+            app_used: 0,
+            last_use: 0,
+        }
     }
 }
 
@@ -72,6 +96,66 @@ impl FrameState {
     pub fn holes(&self) -> impl Iterator<Item = u64> + '_ {
         self.owners.iter().enumerate().filter(|(_, o)| o.is_none()).map(|(i, _)| i as u64)
     }
+
+    /// Virtual page backed by base frame `i`, if any.
+    pub fn mapping(&self, i: u64) -> Option<VirtPageNum> {
+        self.mapped[i as usize]
+    }
+
+    /// Whether base frame `i` holds unwritten-back store data.
+    pub fn is_dirty(&self, i: u64) -> bool {
+        (self.dirty[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    fn set_dirty_bit(&mut self, i: u64, v: bool) {
+        let mask = 1u64 << (i % 64);
+        if v {
+            self.dirty[(i / 64) as usize] |= mask;
+        } else {
+            self.dirty[(i / 64) as usize] &= !mask;
+        }
+    }
+
+    /// Number of dirty base frames.
+    pub fn dirty_pages(&self) -> u64 {
+        self.dirty.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Pool-clock stamp of the most recent access (0 = never accessed).
+    pub fn last_use(&self) -> u64 {
+        self.last_use
+    }
+
+    /// Iterates `(index, owner, virtual page)` over base frames that are
+    /// both allocated and mapped — the pages eviction must tear down.
+    pub fn residents(&self) -> impl Iterator<Item = (u64, AppId, VirtPageNum)> + '_ {
+        self.owners
+            .iter()
+            .zip(&self.mapped)
+            .enumerate()
+            .filter_map(|(i, (o, m))| o.zip(*m).map(|(a, v)| (i as u64, a, v)))
+    }
+}
+
+/// Outcome of [`FramePool::pre_fragment`]: how much fragmentation was
+/// requested vs. actually injected. The free list can be shorter than
+/// the request, so drivers must check [`FragmentReport::shortfall`] and
+/// fail loudly rather than run an under-fragmented experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FragmentReport {
+    /// Frames the fragmentation index asked for.
+    pub requested_frames: u64,
+    /// Frames actually taken off the free list and fragmented.
+    pub fragmented_frames: u64,
+    /// Base pages injected with [`FRAG_OWNER`] data.
+    pub injected_pages: u64,
+}
+
+impl FragmentReport {
+    /// Frames requested but not injected (the free list was too short).
+    pub fn shortfall(&self) -> u64 {
+        self.requested_frames - self.fragmented_frames
+    }
 }
 
 /// All of GPU physical memory, at large-frame granularity.
@@ -109,6 +193,11 @@ pub struct FramePool {
     peak_app_frames: u64,
     /// High-water mark of tracked (reserved) frames.
     peak_tracked: u64,
+    /// Logical access clock: incremented on every [`FramePool::note_use`]
+    /// and stamped into the touched frame's `last_use`. A counter rather
+    /// than a cycle so recency ordering is total (no ties within a
+    /// simulation step) and independent of timing-model changes.
+    use_clock: u64,
 }
 
 impl FramePool {
@@ -136,6 +225,7 @@ impl FramePool {
             app_frames: 0,
             peak_app_frames: 0,
             peak_tracked: 0,
+            use_clock: 0,
         }
     }
 
@@ -211,6 +301,12 @@ impl FramePool {
             _ => {}
         }
         state.owners[idx] = owner;
+        if owner.is_none() {
+            // A freed base frame carries no translation and no
+            // unwritten-back data.
+            state.mapped[idx] = None;
+            state.set_dirty_bit(idx as u64, false);
+        }
         match (app_before, state.app_used) {
             (0, 1..) => self.app_frames += 1,
             (1.., 0) => self.app_frames -= 1,
@@ -226,6 +322,87 @@ impl FramePool {
             .get(pfn.large_frame().raw() as usize)
             .and_then(Option::as_ref)
             .and_then(|s| s.owner(pfn.index_in_large()))
+    }
+
+    /// Records the virtual page a base frame now backs. Managers call
+    /// this at every mapping/remapping site; [`FramePool::set_owner`]
+    /// with `None` clears it again. The reverse map is what lets the
+    /// eviction path find the translations behind a victim frame.
+    pub fn set_mapping(&mut self, pfn: PhysFrameNum, vpn: VirtPageNum) {
+        let lf = pfn.large_frame();
+        if let Some(state) = self.states.get_mut(lf.raw() as usize).and_then(Option::as_mut) {
+            state.mapped[pfn.index_in_large() as usize] = Some(vpn);
+        }
+    }
+
+    /// Virtual page a base frame currently backs, if any.
+    pub fn mapping(&self, pfn: PhysFrameNum) -> Option<VirtPageNum> {
+        self.states
+            .get(pfn.large_frame().raw() as usize)
+            .and_then(Option::as_ref)
+            .and_then(|s| s.mapping(pfn.index_in_large()))
+    }
+
+    /// Marks one base frame as recently used, and dirty when the access
+    /// is a store to an allocated slot. O(1); sits on the warp-access
+    /// hot path.
+    pub fn note_use(&mut self, pfn: PhysFrameNum, store: bool) {
+        let lf = pfn.large_frame();
+        if let Some(state) = self.states.get_mut(lf.raw() as usize).and_then(Option::as_mut) {
+            self.use_clock += 1;
+            state.last_use = self.use_clock;
+            let idx = pfn.index_in_large();
+            if store && state.owners[idx as usize].is_some() {
+                state.set_dirty_bit(idx, true);
+            }
+        }
+    }
+
+    /// Whether one base frame holds unwritten-back store data.
+    pub fn is_dirty(&self, pfn: PhysFrameNum) -> bool {
+        self.states
+            .get(pfn.large_frame().raw() as usize)
+            .and_then(Option::as_ref)
+            .is_some_and(|s| s.is_dirty(pfn.index_in_large()))
+    }
+
+    /// Marks one base frame dirty without touching recency — used to
+    /// carry the dirty bit across a page migration (the data moved, the
+    /// pending write-back obligation moves with it).
+    pub fn mark_dirty(&mut self, pfn: PhysFrameNum) {
+        let lf = pfn.large_frame();
+        if let Some(state) = self.states.get_mut(lf.raw() as usize).and_then(Option::as_mut) {
+            if state.owners[pfn.index_in_large() as usize].is_some() {
+                state.set_dirty_bit(pfn.index_in_large(), true);
+            }
+        }
+    }
+
+    /// Large frames eligible for wholesale eviction, least-recently-used
+    /// first (ties broken by frame number, so the order is deterministic):
+    /// tracked frames whose every allocated base frame belongs to a real
+    /// application and carries a live mapping — evicting one therefore
+    /// leaves it empty and releasable. Frames holding injected
+    /// fragmentation or owner-stamped-but-unmapped pages are excluded.
+    pub fn eviction_candidates(&self) -> Vec<LargeFrameNum> {
+        let mut cands: Vec<(u64, LargeFrameNum)> = self
+            .tracked()
+            .filter(|(_, s)| {
+                s.used > 0 && s.used == s.app_used && s.residents().count() == s.used as usize
+            })
+            .map(|(lf, s)| (s.last_use, lf))
+            .collect();
+        cands.sort_unstable();
+        cands.into_iter().map(|(_, lf)| lf).collect()
+    }
+
+    /// The `(base frame, owner, virtual page)` residents of one large
+    /// frame — the pages an eviction of that frame must tear down.
+    pub fn residents(&self, lf: LargeFrameNum) -> Vec<(PhysFrameNum, AppId, VirtPageNum)> {
+        match self.states.get(lf.raw() as usize).and_then(Option::as_ref) {
+            Some(state) => state.residents().map(|(i, a, v)| (lf.base_frame(i), a, v)).collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Iterates `(frame, state)` over frames with any allocation or
@@ -275,12 +452,17 @@ impl FramePool {
     /// randomly with `rng`.
     ///
     /// Fragmented frames are removed from the free-frame list.
+    ///
+    /// The free list can hold fewer frames than the index asks for (other
+    /// allocations got there first); the returned [`FragmentReport`] says
+    /// how many frames were requested vs. injected so callers can fail
+    /// loudly instead of running an under-fragmented experiment.
     pub fn pre_fragment(
         &mut self,
         fragmentation_index: f64,
         occupancy: f64,
         rng: &mut mosaic_sim_core::SimRng,
-    ) -> u64 {
+    ) -> FragmentReport {
         let index = fragmentation_index.clamp(0.0, 1.0);
         let occupancy = occupancy.clamp(0.0, 1.0);
         let n_frames = (self.total as f64 * index).round() as u64;
@@ -289,17 +471,21 @@ impl FramePool {
         let mut victims: Vec<LargeFrameNum> = self.free.clone();
         rng.shuffle(&mut victims);
         victims.truncate(n_frames as usize);
-        let mut injected = 0;
+        let mut report = FragmentReport {
+            requested_frames: n_frames,
+            fragmented_frames: victims.len() as u64,
+            injected_pages: 0,
+        };
         for lf in victims {
             self.free.retain(|&f| f != lf);
             let mut indices: Vec<u64> = (0..BASE_PAGES_PER_LARGE_PAGE).collect();
             rng.shuffle(&mut indices);
             for &i in indices.iter().take(per_frame as usize) {
                 self.set_owner(lf.base_frame(i), Some(FRAG_OWNER));
-                injected += 1;
+                report.injected_pages += 1;
             }
         }
-        injected
+        report
     }
 }
 
@@ -373,6 +559,27 @@ impl AuditInvariants for FramePool {
             if app_used > 0 {
                 app_frames += 1;
             }
+            report.check(c, state.mapped.len() as u64 == BASE_PAGES_PER_LARGE_PAGE, || {
+                format!(
+                    "{lf} tracks {} mappings, expected {}",
+                    state.mapped.len(),
+                    BASE_PAGES_PER_LARGE_PAGE
+                )
+            });
+            for i in 0..BASE_PAGES_PER_LARGE_PAGE {
+                report.check(c, state.mapping(i).is_none() || state.owner(i).is_some(), || {
+                    format!("{lf} base frame {i} is mapped but unallocated")
+                });
+                report.check(c, !state.is_dirty(i) || state.owner(i).is_some(), || {
+                    format!("{lf} base frame {i} is dirty but unallocated")
+                });
+            }
+            report.check(c, state.last_use <= self.use_clock, || {
+                format!(
+                    "{lf} last_use {} is ahead of the pool clock {}",
+                    state.last_use, self.use_clock
+                )
+            });
         }
         report.check(c, self.app_frames == app_frames, || {
             format!(
@@ -473,8 +680,11 @@ mod tests {
     fn pre_fragment_injects_requested_amounts() {
         let mut p = pool(100);
         let mut rng = SimRng::from_seed(1);
-        let injected = p.pre_fragment(0.5, 0.25, &mut rng);
-        assert_eq!(injected, 50 * 128);
+        let report = p.pre_fragment(0.5, 0.25, &mut rng);
+        assert_eq!(report.requested_frames, 50);
+        assert_eq!(report.fragmented_frames, 50);
+        assert_eq!(report.injected_pages, 50 * 128);
+        assert_eq!(report.shortfall(), 0);
         // Fragmented frames left the free list.
         assert_eq!(p.free_frames(), 50);
         // All injected pages belong to the pseudo-owner.
@@ -489,6 +699,98 @@ mod tests {
         let mut rng = SimRng::from_seed(2);
         p.pre_fragment(1.0, 0.5, &mut rng);
         assert_eq!(p.free_frames(), 0);
+    }
+
+    #[test]
+    fn pre_fragment_reports_shortfall_when_free_list_is_short() {
+        let mut p = pool(10);
+        // Occupy 6 frames so only 4 remain free; asking for 80% of the
+        // pool (8 frames) can only be half satisfied.
+        for _ in 0..6 {
+            p.take_free_frame().unwrap();
+        }
+        let mut rng = SimRng::from_seed(3);
+        let report = p.pre_fragment(0.8, 0.5, &mut rng);
+        assert_eq!(report.requested_frames, 8);
+        assert_eq!(report.fragmented_frames, 4);
+        assert_eq!(report.shortfall(), 4);
+        assert_eq!(report.injected_pages, 4 * 256);
+        assert_eq!(p.free_frames(), 0);
+    }
+
+    #[test]
+    fn note_use_orders_eviction_candidates_by_recency() {
+        let mut p = pool(4);
+        let a = p.take_free_frame().unwrap();
+        let b = p.take_free_frame().unwrap();
+        let c = p.take_free_frame().unwrap();
+        for (lf, vpn) in [(a, 100), (b, 200), (c, 300)] {
+            p.set_owner(lf.base_frame(0), Some(AppId(1)));
+            p.set_mapping(lf.base_frame(0), VirtPageNum(vpn));
+        }
+        // Touch b, then a; c is never touched (last_use 0 = coldest).
+        p.note_use(b.base_frame(0), false);
+        p.note_use(a.base_frame(0), false);
+        assert_eq!(p.eviction_candidates(), vec![c, b, a]);
+        // Re-touching c makes it the hottest.
+        p.note_use(c.base_frame(0), false);
+        assert_eq!(p.eviction_candidates(), vec![b, a, c]);
+    }
+
+    #[test]
+    fn eviction_candidates_skip_unmapped_and_fragmented_frames() {
+        let mut p = pool(4);
+        let clean = p.take_free_frame().unwrap();
+        p.set_owner(clean.base_frame(0), Some(AppId(1)));
+        p.set_mapping(clean.base_frame(0), VirtPageNum(1));
+        // Allocated but unmapped: evicting it could not tear down a
+        // translation, so it is not a candidate.
+        let unmapped = p.take_free_frame().unwrap();
+        p.set_owner(unmapped.base_frame(0), Some(AppId(1)));
+        // Fragmentation-owned data is never evicted.
+        let frag = p.take_free_frame().unwrap();
+        p.set_owner(frag.base_frame(0), Some(FRAG_OWNER));
+        // Reserved-but-empty frames have nothing to evict.
+        let _empty = p.take_free_frame().unwrap();
+        assert_eq!(p.eviction_candidates(), vec![clean]);
+    }
+
+    #[test]
+    fn dirty_bits_set_on_store_and_clear_on_free() {
+        let mut p = pool(2);
+        let lf = p.take_free_frame().unwrap();
+        let pfn = lf.base_frame(77);
+        p.set_owner(pfn, Some(AppId(1)));
+        p.set_mapping(pfn, VirtPageNum(42));
+        p.note_use(pfn, false);
+        assert!(!p.is_dirty(pfn));
+        p.note_use(pfn, true);
+        assert!(p.is_dirty(pfn));
+        assert_eq!(p.state(lf).dirty_pages(), 1);
+        // Freeing the slot clears both the mapping and the dirty bit.
+        p.set_owner(pfn, None);
+        assert!(!p.is_dirty(pfn));
+        assert_eq!(p.mapping(pfn), None);
+    }
+
+    #[test]
+    fn stores_to_unallocated_slots_do_not_dirty() {
+        let mut p = pool(2);
+        let lf = p.take_free_frame().unwrap();
+        p.note_use(lf.base_frame(0), true);
+        assert!(!p.is_dirty(lf.base_frame(0)));
+        assert_eq!(p.state(lf).dirty_pages(), 0);
+    }
+
+    #[test]
+    fn residents_report_owner_and_mapping() {
+        let mut p = pool(2);
+        let lf = p.take_free_frame().unwrap();
+        p.set_owner(lf.base_frame(3), Some(AppId(1)));
+        p.set_mapping(lf.base_frame(3), VirtPageNum(9));
+        p.set_owner(lf.base_frame(5), Some(AppId(2)));
+        assert_eq!(p.residents(lf), vec![(lf.base_frame(3), AppId(1), VirtPageNum(9))]);
+        assert_eq!(p.mapping(lf.base_frame(3)), Some(VirtPageNum(9)));
     }
 
     #[test]

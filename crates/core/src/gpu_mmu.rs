@@ -14,10 +14,10 @@
 //! latency and the memory bloat of large-page-only management.
 
 use crate::frames::FramePool;
-use crate::{ManagerStats, MemError, MemoryManager, MgmtEvent, TouchOutcome};
+use crate::{EvictOutcome, ManagerStats, MemError, MemoryManager, MgmtEvent, TouchOutcome};
 use mosaic_vm::{
-    AppId, LargeFrameNum, PageSize, PageTableSet, VirtPageNum, BASE_PAGES_PER_LARGE_PAGE,
-    BASE_PAGE_SIZE, LARGE_PAGE_SIZE,
+    AppId, LargeFrameNum, LargePageNum, PageSize, PageTableSet, PhysFrameNum, VirtPageNum,
+    BASE_PAGES_PER_LARGE_PAGE, BASE_PAGE_SIZE, LARGE_PAGE_SIZE,
 };
 use std::collections::BTreeSet;
 
@@ -99,6 +99,7 @@ impl GpuMmuManager {
         }
         let pfn = self.alloc_base_interleaved(asid)?;
         self.tables.table_mut(asid).map_base(vpn, pfn).expect("checked unmapped above");
+        self.pool.set_mapping(pfn, vpn);
         self.stats.far_faults += 1;
         self.stats.transferred_bytes += BASE_PAGE_SIZE;
         Ok(TouchOutcome { transfer_bytes: BASE_PAGE_SIZE, events: Vec::new() })
@@ -123,6 +124,7 @@ impl GpuMmuManager {
             let slot = neighbor.large_frame().base_frame(vpn.index_in_large());
             table.map_base(vpn, slot).expect("hole checked unmapped above");
             self.pool.set_owner(slot, Some(asid));
+            self.pool.set_mapping(slot, vpn);
             self.stats.far_faults += 1;
             self.stats.transferred_bytes += BASE_PAGE_SIZE;
             return Ok(TouchOutcome { transfer_bytes: BASE_PAGE_SIZE, events: Vec::new() });
@@ -134,6 +136,7 @@ impl GpuMmuManager {
         for i in 0..BASE_PAGES_PER_LARGE_PAGE {
             table.map_base(lpn.base_page(i), lf.base_frame(i)).expect("fresh region");
             self.pool.set_owner(lf.base_frame(i), Some(asid));
+            self.pool.set_mapping(lf.base_frame(i), lpn.base_page(i));
         }
         let table = self.tables.table_mut(asid);
         table.coalesce(lpn).expect("contiguous by construction");
@@ -212,6 +215,63 @@ impl MemoryManager for GpuMmuManager {
             }
         }
         events
+    }
+
+    fn note_use(&mut self, pfn: PhysFrameNum, store: bool) {
+        self.pool.note_use(pfn, store);
+    }
+
+    /// Evicts least-recently-used large frames wholesale: splinter any
+    /// coalesced region living in a victim, unmap every resident page,
+    /// and release the frame. The shared open frame is never a victim —
+    /// evicting the bump allocator's cursor would corrupt it.
+    fn evict_for(&mut self, bytes: u64) -> EvictOutcome {
+        let want = bytes.div_ceil(LARGE_PAGE_SIZE).max(1);
+        let mut out = EvictOutcome::default();
+        let mut freed = 0u64;
+        for lf in self.pool.eviction_candidates() {
+            if freed >= want {
+                break;
+            }
+            if self.open.is_some_and(|(open, _)| open == lf) {
+                continue;
+            }
+            let residents = self.pool.residents(lf);
+            if residents.is_empty() {
+                continue;
+            }
+            let mut regions: Vec<(AppId, LargePageNum)> = Vec::new();
+            for &(pfn, asid, vpn) in &residents {
+                if self.pool.is_dirty(pfn) {
+                    out.writeback_bytes += BASE_PAGE_SIZE;
+                }
+                let key = (asid, vpn.large_page());
+                if !regions.contains(&key) {
+                    regions.push(key);
+                }
+            }
+            // Splinter first: base unmaps inside a live coalesced large
+            // mapping would leave the region half torn down.
+            for &(asid, lpn) in &regions {
+                let table = self.tables.table_mut(asid);
+                if table.is_coalesced(lpn) {
+                    table.splinter(lpn);
+                }
+            }
+            for &(pfn, asid, vpn) in &residents {
+                self.tables.table_mut(asid).unmap_base(vpn);
+                self.pool.set_owner(pfn, None);
+                out.evicted.push((asid, vpn));
+            }
+            self.pool.release_frame(lf);
+            freed += 1;
+            for (asid, lpn) in regions {
+                out.events.push(MgmtEvent::TlbShootdown { asid, lpn });
+            }
+        }
+        self.stats.evictions += out.evicted.len() as u64;
+        self.stats.writeback_bytes += out.writeback_bytes;
+        out
     }
 
     fn tables(&self) -> &PageTableSet {
@@ -345,6 +405,66 @@ mod tests {
         // The frame is reusable.
         m.touch(AppId(0), VirtPageNum(512)).unwrap();
         m.touch(AppId(0), VirtPageNum(1024)).unwrap();
+    }
+
+    fn pfn_of(m: &GpuMmuManager, asid: AppId, vpn: VirtPageNum) -> PhysFrameNum {
+        m.tables().table(asid).unwrap().translate(vpn.addr()).unwrap().frame
+    }
+
+    #[test]
+    fn evict_frees_lru_frame_and_unmaps_residents() {
+        let mut m = mmu(4, PageSize::Base);
+        // Fill two frames exactly; the open-frame cursor is then retired.
+        for i in 0..2 * BASE_PAGES_PER_LARGE_PAGE {
+            m.touch(AppId(0), VirtPageNum(i)).unwrap();
+        }
+        // Dirty one page of the first frame, then make the second frame
+        // the more recently used one.
+        m.note_use(pfn_of(&m, AppId(0), VirtPageNum(0)), true);
+        m.note_use(pfn_of(&m, AppId(0), VirtPageNum(512)), false);
+        let out = m.evict_for(1);
+        assert_eq!(out.evicted.len(), BASE_PAGES_PER_LARGE_PAGE as usize);
+        assert_eq!(out.writeback_bytes, BASE_PAGE_SIZE);
+        assert_eq!(out.events.len(), 1, "one region, one shootdown");
+        assert!(matches!(out.events[0], MgmtEvent::TlbShootdown { .. }));
+        // The LRU frame's pages are gone; the recently-used one survives.
+        let table = m.tables().table(AppId(0)).unwrap();
+        assert!(!table.is_mapped(VirtPageNum(0)));
+        assert!(table.is_mapped(VirtPageNum(512)));
+        assert_eq!(m.stats().evictions, BASE_PAGES_PER_LARGE_PAGE);
+        assert_eq!(m.stats().writeback_bytes, BASE_PAGE_SIZE);
+        // Evicted pages refault back in.
+        let again = m.touch(AppId(0), VirtPageNum(0)).unwrap();
+        assert_eq!(again.transfer_bytes, BASE_PAGE_SIZE);
+        let mut report = mosaic_sim_core::AuditReport::new();
+        m.audit(&mut report);
+        report.assert_clean("gpu-mmu");
+    }
+
+    #[test]
+    fn evict_never_touches_the_open_frame() {
+        let mut m = mmu(4, PageSize::Base);
+        m.touch(AppId(0), VirtPageNum(0)).unwrap();
+        let out = m.evict_for(1);
+        assert!(out.is_empty(), "the only candidate is the open frame");
+        assert_eq!(m.stats().evictions, 0);
+    }
+
+    #[test]
+    fn evict_splinters_coalesced_large_pages() {
+        let mut m = mmu(2, PageSize::Large);
+        m.touch(AppId(0), VirtPageNum(0)).unwrap();
+        let out = m.evict_for(1);
+        assert_eq!(out.evicted.len(), BASE_PAGES_PER_LARGE_PAGE as usize);
+        let table = m.tables().table(AppId(0)).unwrap();
+        assert!(!table.is_coalesced(VirtPageNum(0).large_page()));
+        assert!(!table.is_mapped(VirtPageNum(0)));
+        // The region rematerializes on the next touch.
+        let again = m.touch(AppId(0), VirtPageNum(0)).unwrap();
+        assert_eq!(again.transfer_bytes, LARGE_PAGE_SIZE);
+        let mut report = mosaic_sim_core::AuditReport::new();
+        m.audit(&mut report);
+        report.assert_clean("gpu-mmu");
     }
 
     #[test]

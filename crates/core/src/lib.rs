@@ -49,13 +49,13 @@ pub mod mosaic_mgr;
 pub use cac::{Cac, CacConfig};
 pub use coalescer::InPlaceCoalescer;
 pub use cocoa::CoCoA;
-pub use frames::{FramePool, FrameState, FRAG_OWNER};
+pub use frames::{FragmentReport, FramePool, FrameState, FRAG_OWNER};
 pub use gpu_mmu::GpuMmuManager;
 pub use migrating::{MigratingConfig, MigratingManager};
 pub use mosaic_mgr::{MosaicConfig, MosaicManager};
 
 use mosaic_sim_core::AuditReport;
-use mosaic_vm::{AppId, LargePageNum, PageTableSet, VirtPageNum};
+use mosaic_vm::{AppId, LargePageNum, PageTableSet, PhysFrameNum, VirtPageNum};
 
 /// Cross-structure audit shared by every manager: each page-table
 /// mapping's physical frame must be owned *by that mapping's address
@@ -78,6 +78,15 @@ pub(crate) fn audit_mapping_ownership(
                         format!("{asid}/{vpn} maps {pfn}, but the pool says {other} owns it")
                     }
                     None => format!("{asid}/{vpn} maps {pfn}, but the pool says it is unowned"),
+                });
+                let back = pool.mapping(pfn);
+                report.check(component, back == Some(vpn), || match back {
+                    Some(other) => {
+                        format!("{asid}/{vpn} maps {pfn}, but the pool's reverse map says {other}")
+                    }
+                    None => {
+                        format!("{asid}/{vpn} maps {pfn}, but the pool's reverse map has no entry")
+                    }
                 });
             }
         }
@@ -167,6 +176,29 @@ pub struct TouchOutcome {
     pub events: Vec<MgmtEvent>,
 }
 
+/// Result of a [`MemoryManager::evict_for`] call: which pages left GPU
+/// memory and what the hardware must do about it. Like [`TouchOutcome`],
+/// this is pure data — the simulator charges the write-back transfer to
+/// the I/O bus and the shootdowns to the TLBs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvictOutcome {
+    /// Pages evicted, in eviction order. They are no longer mapped; a
+    /// future access far-faults them back in.
+    pub evicted: Vec<(AppId, VirtPageNum)>,
+    /// Bytes of dirty data that must be written back over the I/O bus
+    /// before the freed frames are reused.
+    pub writeback_bytes: u64,
+    /// Side effects to charge (TLB shootdowns for the evicted regions).
+    pub events: Vec<MgmtEvent>,
+}
+
+impl EvictOutcome {
+    /// Whether the call freed nothing (no evictable frames).
+    pub fn is_empty(&self) -> bool {
+        self.evicted.is_empty()
+    }
+}
+
 /// Memory-management failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemError {
@@ -202,6 +234,10 @@ pub struct ManagerStats {
     pub migrations: u64,
     /// Times the emergency-frame-list failsafe was exercised.
     pub emergency_allocations: u64,
+    /// Base pages evicted under memory pressure.
+    pub evictions: u64,
+    /// Bytes of dirty evicted data written back over the I/O bus.
+    pub writeback_bytes: u64,
 }
 
 /// The runtime interface between the GPU and a memory manager.
@@ -234,6 +270,22 @@ pub trait MemoryManager: std::fmt::Debug {
     /// Deallocates `pages` base pages starting at `start` (kernel
     /// completion), triggering splinter/compaction policies.
     fn deallocate(&mut self, asid: AppId, start: VirtPageNum, pages: u64) -> Vec<MgmtEvent>;
+
+    /// Marks a resident base frame as recently used — and dirty, when
+    /// the access is a store. This is the eviction policy's recency and
+    /// write-back signal; O(1), called on the warp-access hot path.
+    /// Default: no-op for managers without demand-eviction support.
+    fn note_use(&mut self, _pfn: PhysFrameNum, _store: bool) {}
+
+    /// Evicts resident pages to free at least `bytes` of physical
+    /// memory (rounded up to whole large frames), least-recently-used
+    /// first. Dirty pages contribute to
+    /// [`EvictOutcome::writeback_bytes`]; the simulator charges their
+    /// write-back over the I/O bus before reusing the freed frames.
+    /// Returns an empty outcome when nothing is evictable.
+    fn evict_for(&mut self, _bytes: u64) -> EvictOutcome {
+        EvictOutcome::default()
+    }
 
     /// The page tables, for translation and walk-path computation.
     fn tables(&self) -> &PageTableSet;

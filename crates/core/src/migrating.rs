@@ -23,7 +23,7 @@
 //!   shootdown of the region on every SM).
 
 use crate::frames::FramePool;
-use crate::{ManagerStats, MemError, MemoryManager, MgmtEvent, TouchOutcome};
+use crate::{EvictOutcome, ManagerStats, MemError, MemoryManager, MgmtEvent, TouchOutcome};
 use mosaic_vm::{
     AppId, LargeFrameNum, LargePageNum, PageTableSet, PhysFrameNum, VirtPageNum,
     BASE_PAGES_PER_LARGE_PAGE, BASE_PAGE_SIZE,
@@ -147,8 +147,14 @@ impl MigratingManager {
         for (vpn, old) in &moved {
             let slot = dest.base_frame(vpn.index_in_large());
             self.tables.table_mut(asid).remap_base(*vpn, slot).expect("mapped");
+            // The pending write-back obligation moves with the data.
+            let dirty = self.pool.is_dirty(*old);
             self.pool.set_owner(*old, None);
             self.pool.set_owner(slot, Some(asid));
+            self.pool.set_mapping(slot, *vpn);
+            if dirty {
+                self.pool.mark_dirty(slot);
+            }
             self.stats.migrations += 1;
             events.push(MgmtEvent::PageMigrated {
                 channel: self.pool.channel_of(dest),
@@ -169,6 +175,7 @@ impl MigratingManager {
             let slot = dest.base_frame(vpn.index_in_large());
             self.tables.table_mut(asid).map_base(vpn, slot).expect("hole");
             self.pool.set_owner(slot, Some(asid));
+            self.pool.set_mapping(slot, vpn);
         }
         self.stats.transferred_bytes += extra_bytes;
         self.tables.table_mut(asid).coalesce(lpn).expect("contiguous after migration");
@@ -211,6 +218,7 @@ impl MemoryManager for MigratingManager {
             let slot = lf.base_frame(vpn.index_in_large());
             self.tables.table_mut(asid).map_base(vpn, slot).expect("checked unmapped");
             self.pool.set_owner(slot, Some(asid));
+            self.pool.set_mapping(slot, vpn);
             self.touched.insert((asid, vpn));
             self.stats.far_faults += 1;
             self.stats.transferred_bytes += BASE_PAGE_SIZE;
@@ -218,6 +226,7 @@ impl MemoryManager for MigratingManager {
         }
         let pfn = self.alloc_base_interleaved(asid)?;
         self.tables.table_mut(asid).map_base(vpn, pfn).expect("checked unmapped");
+        self.pool.set_mapping(pfn, vpn);
         // Count the touch only now: a touch that failed to allocate must
         // not inflate touched_bytes (it never became resident).
         self.touched.insert((asid, vpn));
@@ -271,6 +280,62 @@ impl MemoryManager for MigratingManager {
             }
         }
         events
+    }
+
+    fn note_use(&mut self, pfn: PhysFrameNum, store: bool) {
+        self.pool.note_use(pfn, store);
+    }
+
+    /// Evicts least-recently-used large frames wholesale. Promoted
+    /// regions living in a victim are splintered and forgotten (a later
+    /// refault re-earns promotion); the shared open frame is never a
+    /// victim.
+    fn evict_for(&mut self, bytes: u64) -> EvictOutcome {
+        let want = bytes.div_ceil(mosaic_vm::LARGE_PAGE_SIZE).max(1);
+        let mut out = EvictOutcome::default();
+        let mut freed = 0u64;
+        for lf in self.pool.eviction_candidates() {
+            if freed >= want {
+                break;
+            }
+            if self.open.is_some_and(|(open, _)| open == lf) {
+                continue;
+            }
+            let residents = self.pool.residents(lf);
+            if residents.is_empty() {
+                continue;
+            }
+            let mut regions: Vec<(AppId, LargePageNum)> = Vec::new();
+            for &(pfn, asid, vpn) in &residents {
+                if self.pool.is_dirty(pfn) {
+                    out.writeback_bytes += BASE_PAGE_SIZE;
+                }
+                let key = (asid, vpn.large_page());
+                if !regions.contains(&key) {
+                    regions.push(key);
+                }
+            }
+            for &(asid, lpn) in &regions {
+                let table = self.tables.table_mut(asid);
+                if table.is_coalesced(lpn) {
+                    table.splinter(lpn);
+                    self.promoted.remove(&(asid, lpn));
+                }
+            }
+            for &(pfn, asid, vpn) in &residents {
+                self.tables.table_mut(asid).unmap_base(vpn);
+                self.pool.set_owner(pfn, None);
+                out.evicted.push((asid, vpn));
+            }
+            self.pool.release_frame(lf);
+            freed += 1;
+            for (asid, lpn) in regions {
+                out.events.push(MgmtEvent::TlbShootdown { asid, lpn });
+            }
+        }
+        self.stats.evictions += out.evicted.len() as u64;
+        self.stats.writeback_bytes += out.writeback_bytes;
+        out
     }
 
     fn tables(&self) -> &PageTableSet {
@@ -528,6 +593,46 @@ mod tests {
         assert!(
             matches!(events.last(), Some(MgmtEvent::TlbShootdown { asid: AppId(0), lpn }) if *lpn == LargePageNum(0))
         );
+    }
+
+    #[test]
+    fn evict_splinters_promoted_region_and_allows_repromotion() {
+        let mut m = mgr(16);
+        for i in 0..512 {
+            m.touch(AppId(0), VirtPageNum(i)).unwrap();
+        }
+        assert!(m.tables().table(AppId(0)).unwrap().is_coalesced(LargePageNum(0)));
+        let out = m.evict_for(LARGE_PAGE_SIZE);
+        assert_eq!(out.evicted.len(), 512, "the promoted region went");
+        assert!(out.events.iter().any(|e| matches!(e, MgmtEvent::TlbShootdown { .. })));
+        let table = m.tables().table(AppId(0)).unwrap();
+        assert!(!table.is_coalesced(LargePageNum(0)));
+        assert!(!m.promoted.contains(&(AppId(0), LargePageNum(0))));
+        let mut report = mosaic_sim_core::AuditReport::new();
+        m.audit(&mut report);
+        report.assert_clean("migrating");
+        // The region refaults and can promote again.
+        for i in 0..512 {
+            m.touch(AppId(0), VirtPageNum(i)).unwrap();
+        }
+        assert!(m.tables().table(AppId(0)).unwrap().is_coalesced(LargePageNum(0)));
+    }
+
+    #[test]
+    fn promotion_carries_dirty_bits_to_the_destination() {
+        let mut m = mgr(16);
+        m.touch(AppId(0), VirtPageNum(0)).unwrap();
+        let old = m.tables().table(AppId(0)).unwrap().translate(VirtPageNum(0).addr()).unwrap();
+        m.note_use(old.frame, true);
+        assert!(m.pool.is_dirty(old.frame));
+        for i in 1..512 {
+            m.touch(AppId(0), VirtPageNum(i)).unwrap();
+        }
+        // Promotion moved the page; the dirty bit must have moved too.
+        let new = m.tables().table(AppId(0)).unwrap().translate(VirtPageNum(0).addr()).unwrap();
+        assert_ne!(old.frame, new.frame);
+        assert!(m.pool.is_dirty(new.frame));
+        assert!(!m.pool.is_dirty(old.frame));
     }
 
     #[test]

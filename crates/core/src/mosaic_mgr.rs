@@ -16,12 +16,12 @@
 use crate::cac::{Cac, CacConfig};
 use crate::coalescer::InPlaceCoalescer;
 use crate::cocoa::CoCoA;
-use crate::frames::FramePool;
-use crate::{ManagerStats, MemError, MemoryManager, MgmtEvent, TouchOutcome};
+use crate::frames::{FragmentReport, FramePool};
+use crate::{EvictOutcome, ManagerStats, MemError, MemoryManager, MgmtEvent, TouchOutcome};
 use mosaic_sim_core::SimRng;
 use mosaic_vm::{
     AppId, LargePageNum, PageTableSet, PhysFrameNum, VirtPageNum, BASE_PAGES_PER_LARGE_PAGE,
-    BASE_PAGE_SIZE,
+    BASE_PAGE_SIZE, LARGE_PAGE_SIZE,
 };
 use std::collections::BTreeSet;
 
@@ -109,8 +109,10 @@ impl MosaicManager {
     }
 
     /// Pre-fragments physical memory for the Section 6.4 stress tests.
-    /// Call before any allocation.
-    pub fn pre_fragment(&mut self, index: f64, occupancy: f64, rng: &mut SimRng) -> u64 {
+    /// Call before any allocation. Callers must check the report's
+    /// shortfall: an under-fragmented run silently measures the wrong
+    /// experiment.
+    pub fn pre_fragment(&mut self, index: f64, occupancy: f64, rng: &mut SimRng) -> FragmentReport {
         self.pool.pre_fragment(index, occupancy, rng)
     }
 
@@ -233,6 +235,7 @@ impl MemoryManager for MosaicManager {
         };
         self.tables.table_mut(asid).map_base(vpn, pfn).expect("checked unmapped above");
         self.pool.set_owner(pfn, Some(asid));
+        self.pool.set_mapping(pfn, vpn);
         self.touched.insert((asid, vpn));
         self.stats.far_faults += 1;
         self.stats.transferred_bytes += BASE_PAGE_SIZE;
@@ -271,6 +274,65 @@ impl MemoryManager for MosaicManager {
             events.extend(ev);
         }
         events
+    }
+
+    fn note_use(&mut self, pfn: PhysFrameNum, store: bool) {
+        self.pool.note_use(pfn, store);
+    }
+
+    /// Evicts least-recently-used large frames wholesale. Besides the
+    /// page-table teardown every manager does, Mosaic must also scrub
+    /// the allocator: the victim's chunk binding is released, any
+    /// emergency parking of its regions is cancelled, and spare slots
+    /// that were donated to *any* app's free base page list are pulled
+    /// back before the frame returns to the pool.
+    fn evict_for(&mut self, bytes: u64) -> EvictOutcome {
+        let want = bytes.div_ceil(LARGE_PAGE_SIZE).max(1);
+        let mut out = EvictOutcome::default();
+        let mut freed = 0u64;
+        for lf in self.pool.eviction_candidates() {
+            if freed >= want {
+                break;
+            }
+            let residents = self.pool.residents(lf);
+            if residents.is_empty() {
+                continue;
+            }
+            let mut regions: Vec<(AppId, LargePageNum)> = Vec::new();
+            for &(pfn, asid, vpn) in &residents {
+                if self.pool.is_dirty(pfn) {
+                    out.writeback_bytes += BASE_PAGE_SIZE;
+                }
+                let key = (asid, vpn.large_page());
+                if !regions.contains(&key) {
+                    regions.push(key);
+                }
+            }
+            for &(asid, lpn) in &regions {
+                let table = self.tables.table_mut(asid);
+                if table.is_coalesced(lpn) {
+                    table.splinter(lpn);
+                }
+                self.cocoa.unpark_emergency(asid, lpn);
+                if self.cocoa.chunk_frame(asid, lpn) == Some(lf) {
+                    self.cocoa.unbind_chunk(asid, lpn);
+                }
+            }
+            for &(pfn, asid, vpn) in &residents {
+                self.tables.table_mut(asid).unmap_base(vpn);
+                self.pool.set_owner(pfn, None);
+                out.evicted.push((asid, vpn));
+            }
+            self.cocoa.reclaim_frame(lf);
+            self.pool.release_frame(lf);
+            freed += 1;
+            for (asid, lpn) in regions {
+                out.events.push(MgmtEvent::TlbShootdown { asid, lpn });
+            }
+        }
+        self.stats.evictions += out.evicted.len() as u64;
+        self.stats.writeback_bytes += out.writeback_bytes;
+        out
     }
 
     fn tables(&self) -> &PageTableSet {
@@ -495,6 +557,67 @@ mod tests {
             touch_chunk(&mut m, AppId(0), LargePageNum(lpn));
         }
         assert!(m.memory_bloat().abs() < 1e-9, "fully-touched chunks have no bloat");
+    }
+
+    #[test]
+    fn evict_scrubs_chunk_bindings_and_emergency_parking() {
+        let mut m = mosaic(4);
+        m.reserve(AppId(0), VirtPageNum(0), 2048);
+        touch_chunk(&mut m, AppId(0), LargePageNum(0));
+        touch_chunk(&mut m, AppId(0), LargePageNum(1));
+        let victim = m.cocoa().chunk_frame(AppId(0), LargePageNum(0)).unwrap();
+        let out = m.evict_for(LARGE_PAGE_SIZE);
+        assert_eq!(out.evicted.len(), 512);
+        assert!(out.events.iter().any(|e| matches!(e, MgmtEvent::TlbShootdown { .. })));
+        // The coalesced region is gone, its chunk binding released, and
+        // the frame is reusable.
+        let table = m.tables().table(AppId(0)).unwrap();
+        assert!(!table.is_coalesced(LargePageNum(0)));
+        assert!(!table.is_mapped(VirtPageNum(0)));
+        assert!(table.is_coalesced(LargePageNum(1)), "the survivor keeps its large mapping");
+        assert_eq!(m.cocoa().chunk_frame(AppId(0), LargePageNum(0)), None);
+        assert_eq!(m.stats().evictions, 512);
+        let mut report = mosaic_sim_core::AuditReport::new();
+        m.audit(&mut report);
+        report.assert_clean("mosaic");
+        // Refaulting rebuilds the chunk — possibly in the same frame.
+        touch_chunk(&mut m, AppId(0), LargePageNum(0));
+        assert!(m.tables().table(AppId(0)).unwrap().is_coalesced(LargePageNum(0)));
+        let _ = victim;
+    }
+
+    #[test]
+    fn oom_touch_succeeds_after_eviction() {
+        let mut m = mosaic(1);
+        m.reserve(AppId(0), VirtPageNum(0), 2048);
+        for i in 0..512 {
+            m.touch(AppId(0), VirtPageNum(i)).unwrap();
+        }
+        assert_eq!(m.touch(AppId(0), VirtPageNum(512)), Err(MemError::OutOfMemory));
+        let out = m.evict_for(1);
+        assert!(!out.is_empty());
+        let retry = m.touch(AppId(0), VirtPageNum(512));
+        assert!(retry.is_ok(), "{retry:?}");
+        let mut report = mosaic_sim_core::AuditReport::new();
+        m.audit(&mut report);
+        report.assert_clean("mosaic");
+    }
+
+    #[test]
+    fn evict_writes_back_only_dirty_pages() {
+        let mut m = mosaic(2);
+        m.reserve(AppId(0), VirtPageNum(0), 1024);
+        touch_chunk(&mut m, AppId(0), LargePageNum(0));
+        let table = m.tables().table(AppId(0)).unwrap();
+        let d0 = table.translate(VirtPageNum(0).addr()).unwrap().frame;
+        let d1 = table.translate(VirtPageNum(7).addr()).unwrap().frame;
+        m.note_use(d0, true);
+        m.note_use(d1, true);
+        m.note_use(d1, true); // re-dirtying is idempotent
+        let out = m.evict_for(1);
+        assert_eq!(out.evicted.len(), 512);
+        assert_eq!(out.writeback_bytes, 2 * BASE_PAGE_SIZE);
+        assert_eq!(m.stats().writeback_bytes, 2 * BASE_PAGE_SIZE);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use mosaic_experiments as exp;
 use mosaic_experiments::Scope;
 
-const ALL: [&str; 15] = [
+const ALL: [&str; 16] = [
     "fig03",
     "fig04",
     "bloat",
@@ -38,6 +38,7 @@ const ALL: [&str; 15] = [
     "fig16",
     "table2",
     "ablations",
+    "oversub",
 ];
 
 fn emit<T: std::fmt::Display>(name: &str, value: T, sink: &mut Vec<(String, String)>) {
@@ -179,6 +180,7 @@ fn main() {
             "fig15" => emit(name, exp::fig15::run(scope), &mut results),
             "fig16" => emit(name, exp::fig16::run(scope), &mut results),
             "table2" => emit(name, exp::table2::run(scope), &mut results),
+            "oversub" => emit(name, exp::oversub::run(scope), &mut results),
             "stall" => emit(name, exp::stall::run(scope), &mut results),
             "ablations" => {
                 emit("ablation_pwc", exp::ablations::pwc_vs_l2tlb(scope), &mut results);

@@ -22,6 +22,7 @@
 //! | [`table2`] | Table 2 — memory bloat vs frame occupancy |
 //! | [`ablations`] | §3.1 page-walk-cache ablation + walker/threshold sweeps |
 //! | [`stall`] | stall-cycle attribution by cause (`--stall-report`) |
+//! | [`oversub`] | memory oversubscription — Mosaic vs GPU-MMU at 1.5–4× pressure |
 //!
 //! Every driver takes a [`Scope`] that bounds how much of the paper's
 //! 235-workload evaluation it sweeps (`Smoke` for CI, `Default` for
@@ -53,6 +54,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod oversub;
 pub mod stall;
 pub mod sweep;
 pub mod table2;

@@ -10,7 +10,7 @@
 //! report (exact bucket decomposition on the always-on path).
 
 use mosaic_experiments::common::Scope;
-use mosaic_experiments::{ablations, fig03, fig08, fig11, stall, sweep};
+use mosaic_experiments::{ablations, fig03, fig08, fig11, oversub, stall, sweep};
 use std::sync::Mutex;
 
 /// Serializes tests: `sweep::set_jobs` is process-global, and these
@@ -45,7 +45,16 @@ const GOLDEN_FIG08_SMOKE_DIGEST: &str = "ad0fedc459c0afa6";
 const GOLDEN_FIG03_SMOKE_DIGEST: &str = "d3a367a2c8a59907";
 const GOLDEN_FIG11_SMOKE_DIGEST: &str = "f0bc1943ac8bc2e5";
 const GOLDEN_ABLATION_WALKER_SMOKE_DIGEST: &str = "3e03ad211b0a0142";
-const GOLDEN_STALL_SMOKE_DIGEST: &str = "aa8edc57e8f00200";
+// Re-pinned when the stall table grew `evict`/`writeback` columns for
+// the oversubscription work (the simulated behavior of fully-subscribed
+// runs did not move — every pre-existing percentage is unchanged).
+const GOLDEN_STALL_SMOKE_DIGEST: &str = "174dce1f1c6193c9";
+
+/// Pinned when the oversubscription figure landed. This one exercises
+/// the demand-paging engine end to end — LRU eviction, dirty write-back
+/// over the I/O bus, and sequential prefetch — so it is the determinism
+/// contract for the whole paging path, not just the report formatting.
+const GOLDEN_OVERSUB_SMOKE_DIGEST: &str = "34029bf26e3a411f";
 
 /// Renders `run` serially and at eight workers, asserts byte-identity,
 /// checks the serial rendering against `golden`, and returns the report.
@@ -107,6 +116,16 @@ fn walker_ablation_matches_golden_digest_at_any_jobs() {
     golden_check("ablation_walker", GOLDEN_ABLATION_WALKER_SMOKE_DIGEST, || {
         ablations::walker_threads(Scope::Smoke).to_string()
     });
+}
+
+#[test]
+fn oversubscribed_sweep_matches_golden_digest_at_any_jobs() {
+    let report = golden_check("oversub", GOLDEN_OVERSUB_SMOKE_DIGEST, || {
+        oversub::run(Scope::Smoke).to_string()
+    });
+    // The golden run must actually exercise the eviction engine, or the
+    // digest pins nothing interesting.
+    assert!(!report.contains("0 pages evicted"), "eviction engine engaged:\n{report}");
 }
 
 #[test]

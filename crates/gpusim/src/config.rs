@@ -148,6 +148,12 @@ pub struct RunConfig {
     /// Optional pre-fragmentation `(fragmentation_index, occupancy)` for
     /// the Section 6.4 stress tests (Mosaic only).
     pub fragmentation: Option<(f64, f64)>,
+    /// Optional memory oversubscription factor (working set ÷ GPU
+    /// memory). `Some(2.0)` shrinks GPU memory to half the workload's
+    /// total reservation (rounded up to a whole large frame), forcing the
+    /// demand-paging engine to evict and write back under pressure.
+    /// Requires [`DemandPagingMode::OnDemand`].
+    pub oversubscription: Option<f64>,
     /// Runtime invariant auditing: sweep every component's invariants
     /// (frame conservation, ownership agreement, TLB coherence — see
     /// `GpuSystem::audit`) each time the simulation crosses this many
@@ -172,6 +178,7 @@ impl RunConfig {
             paging: DemandPagingMode::OnDemand,
             seed: 42,
             fragmentation: None,
+            oversubscription: None,
             audit_every: None,
         }
     }
@@ -203,6 +210,20 @@ impl RunConfig {
     /// Same run with free preloading ("no demand paging overhead").
     pub fn preloaded(mut self) -> Self {
         self.paging = DemandPagingMode::PreloadedFree;
+        self
+    }
+
+    /// Same run with GPU memory shrunk so the workload oversubscribes it
+    /// by `factor` (e.g. `2.0` = working set twice the GPU memory). The
+    /// runner derives the actual memory size from the workload's
+    /// reservations at launch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0`.
+    pub fn oversubscribed(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "oversubscription factor must be >= 1.0, got {factor}");
+        self.oversubscription = Some(factor);
         self
     }
 
@@ -255,5 +276,18 @@ mod tests {
         let r = RunConfig::new(ManagerKind::GpuMmu4K).ideal_tlb().preloaded();
         assert!(r.system.ideal_tlb);
         assert_eq!(r.paging, DemandPagingMode::PreloadedFree);
+    }
+
+    #[test]
+    fn oversubscription_builder_sets_the_factor() {
+        let r = RunConfig::new(ManagerKind::GpuMmu4K).oversubscribed(2.0);
+        assert_eq!(r.oversubscription, Some(2.0));
+        assert!(RunConfig::new(ManagerKind::GpuMmu4K).oversubscription.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscription factor")]
+    fn oversubscription_below_one_is_rejected() {
+        let _ = RunConfig::new(ManagerKind::GpuMmu4K).oversubscribed(0.5);
     }
 }

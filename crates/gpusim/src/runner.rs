@@ -9,7 +9,7 @@
 //! deallocated — which is what drives CAC activity in long multi-app
 //! runs.
 
-use crate::config::{ManagerKind, RunConfig};
+use crate::config::{DemandPagingMode, ManagerKind, RunConfig};
 use crate::system::{GpuSystem, SystemStats};
 use mosaic_gpu::{Sm, SmConfig};
 use mosaic_sim_core::{Cycle, SimRng};
@@ -91,13 +91,32 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
     let n = workload.app_count();
     assert!(n >= 1, "empty workload");
     assert!(n <= cfg.system.sm_count, "more applications than SMs");
-    let mut system = GpuSystem::new(cfg);
-    let root = SimRng::from_seed(cfg.seed);
 
-    // Launch applications: register + reserve every allocation of each
-    // app's layout (+ preload when configured).
+    // Layouts come first: under oversubscription the GPU's memory size is
+    // derived from the workload's total reservation, so the system cannot
+    // be built until the reservations are known.
     let layouts: Vec<AppLayout> =
         workload.apps.iter().map(|p| AppLayout::build(p, &cfg.scale)).collect();
+    let mut cfg = cfg;
+    if let Some(factor) = cfg.oversubscription {
+        assert!(
+            cfg.paging == DemandPagingMode::OnDemand,
+            "oversubscription requires on-demand paging (preloading cannot exceed memory)"
+        );
+        assert!(factor >= 1.0, "oversubscription factor must be >= 1.0, got {factor}");
+        let reserved_bytes: u64 = layouts
+            .iter()
+            .flat_map(|l| l.reservations())
+            .map(|(_, pages)| pages * mosaic_vm::BASE_PAGE_SIZE)
+            .sum();
+        // Memory = reservation ÷ factor, rounded *up* to whole large
+        // frames with a one-frame floor so the pool is never empty.
+        let target = (reserved_bytes as f64 / factor).ceil() as u64;
+        cfg.system.memory_bytes =
+            target.div_ceil(mosaic_vm::LARGE_PAGE_SIZE).max(1) * mosaic_vm::LARGE_PAGE_SIZE;
+    }
+    let mut system = GpuSystem::new(cfg);
+    let root = SimRng::from_seed(cfg.seed);
     for (i, layout) in layouts.iter().enumerate() {
         let asid = AppId(i as u16);
         for (start, pages) in layout.reservations() {
@@ -434,6 +453,39 @@ mod tests {
         let r = run_workload(&w, tiny_cfg(ManagerKind::mosaic()).preloaded());
         assert!(r.stats.manager.coalesces > 0, "preloaded chunks coalesce");
         assert_eq!(r.stats.iobus_transfers, 0);
+    }
+
+    #[test]
+    fn oversubscribed_run_evicts_and_attributes_stalls() {
+        let w = Workload::from_names(&["GUPS"]);
+        let r = run_workload(&w, tiny_cfg(ManagerKind::mosaic()).oversubscribed(2.0));
+        assert!(r.stats.manager.evictions > 0, "2x oversubscription must evict");
+        assert!(r.stats.manager.writeback_bytes > 0, "dirty pages write back on eviction");
+        assert!(r.apps[0].instructions > 0, "the run completes despite the pressure");
+        let app = &r.apps[0];
+        assert!(app.stall.get(StallBucket::Evict) > 0, "evict bucket attributes");
+        assert!(app.stall.get(StallBucket::Writeback) > 0, "writeback bucket attributes");
+        assert_eq!(app.stall.total(), app.stall_cycles, "buckets still tile exactly");
+    }
+
+    #[test]
+    fn oversubscribed_runs_are_deterministic() {
+        let w = Workload::from_names(&["MM", "GUPS"]);
+        let cfg = tiny_cfg(ManagerKind::GpuMmu4K).oversubscribed(2.0);
+        let a = run_workload(&w, cfg);
+        assert!(a.stats.manager.evictions > 0);
+        assert_eq!(a, run_workload(&w, cfg));
+    }
+
+    #[test]
+    fn oversubscription_shrinks_memory_to_the_reservation_ratio() {
+        let w = Workload::from_names(&["MM"]);
+        let full = run_workload(&w, tiny_cfg(ManagerKind::GpuMmu4K));
+        let half = run_workload(&w, tiny_cfg(ManagerKind::GpuMmu4K).oversubscribed(2.0));
+        // Same work retires either way; the oversubscribed run pays for it
+        // in far-fault traffic (refaults re-cross the bus).
+        assert_eq!(full.apps[0].instructions, half.apps[0].instructions);
+        assert!(half.stats.iobus_transfers >= full.stats.iobus_transfers);
     }
 
     #[test]

@@ -36,6 +36,11 @@ const TLB_FLUSH_STALL: u64 = 1_000;
 /// uncontended latencies instead of perturbing shared port state.
 const LOOKAHEAD_WINDOW: u64 = 10_000;
 
+/// Pages pulled in sequentially behind each demand fault when the run is
+/// oversubscribed (UVM-style prefetch). Prefetches ride the bus after the
+/// demand transfer and never trigger eviction.
+const PREFETCH_DEGREE: u64 = 4;
+
 /// Aggregated end-of-run statistics.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SystemStats {
@@ -61,10 +66,17 @@ pub struct SystemStats {
     pub iobus_transfers: u64,
     /// Bytes moved over the I/O bus.
     pub iobus_bytes: u64,
-    /// Mean far-fault load-to-use latency in cycles.
-    pub iobus_latency_mean: f64,
-    /// Worst far-fault load-to-use latency in cycles.
-    pub iobus_latency_max: u64,
+    /// Mean cycles transfers waited for the bus (queueing only).
+    pub iobus_queue_mean: f64,
+    /// Worst bus-queueing wait in cycles.
+    pub iobus_queue_max: u64,
+    /// Mean pure transfer time (wire + fixed fault latency) in cycles.
+    pub iobus_service_mean: f64,
+    /// Worst pure transfer time in cycles.
+    pub iobus_service_max: u64,
+    /// Demand faults that re-touched a previously evicted page
+    /// (thrashing indicator; only counted in oversubscribed runs).
+    pub refaults: u64,
     /// Manager counters.
     pub manager: ManagerStats,
     /// Physical footprint at end of run (bytes).
@@ -121,6 +133,13 @@ pub struct GpuSystem {
     pending_stall: Cycle,
     coalesce_events: Counter,
     splinter_events: Counter,
+    /// Pages evicted and not yet refaulted (oversubscribed runs only);
+    /// a demand fault hitting this set is thrashing evidence.
+    evicted_pages: std::collections::BTreeSet<(AppId, VirtPageNum)>,
+    /// Demand faults serviced (oversubscribed runs only).
+    demand_faults: u64,
+    /// Demand faults that re-touched an evicted page.
+    refaults: u64,
 }
 
 impl GpuSystem {
@@ -146,7 +165,16 @@ impl GpuSystem {
                 });
                 if let Some((index, occupancy)) = cfg.fragmentation {
                     let mut rng = SimRng::from_seed(cfg.seed).fork("fragmentation", 0);
-                    m.pre_fragment(index, occupancy, &mut rng);
+                    let report = m.pre_fragment(index, occupancy, &mut rng);
+                    assert_eq!(
+                        report.shortfall(),
+                        0,
+                        "pre-fragmentation fell short: requested {} frames but the free list \
+                         supplied only {} — this run's fragmentation index/occupancy exceeds \
+                         the configured memory; its results would understate fragmentation",
+                        report.requested_frames,
+                        report.fragmented_frames
+                    );
                 }
                 Box::new(m)
             }
@@ -174,6 +202,9 @@ impl GpuSystem {
             pending_stall: Cycle::ZERO,
             coalesce_events: Counter::new(),
             splinter_events: Counter::new(),
+            evicted_pages: std::collections::BTreeSet::new(),
+            demand_faults: 0,
+            refaults: 0,
             cfg,
         }
     }
@@ -310,34 +341,176 @@ impl GpuSystem {
     }
 
     /// Services a far-fault for `vpn` discovered at `now`; returns when
-    /// the data is usable.
-    fn handle_fault(&mut self, now: Cycle, asid: AppId, vpn: VirtPageNum) -> Cycle {
-        let outcome = match self.manager.touch(asid, vpn) {
-            Ok(o) => o,
-            Err(e) => panic!(
-                "memory manager {} failed at {vpn}: {e} (configure more memory or fragmentation \
-                 headroom for this experiment)",
-                self.manager.name()
-            ),
+    /// the data is usable. Under oversubscription an out-of-memory touch
+    /// evicts least-recently-used frames (teardown and write-back time
+    /// land on `tl` as `Evict`/`Writeback`) and retries; each serviced
+    /// fault then prefetches the next pages of the stream.
+    fn handle_fault(
+        &mut self,
+        now: Cycle,
+        asid: AppId,
+        vpn: VirtPageNum,
+        tl: &mut AccessTimeline,
+    ) -> Cycle {
+        let oversubscribed = self.cfg.oversubscription.is_some();
+        if oversubscribed {
+            self.demand_faults += 1;
+            if self.evicted_pages.remove(&(asid, vpn)) {
+                self.refaults += 1;
+            }
+        }
+        let mut start = now;
+        let mut evict_cycles = 0u64;
+        let mut wb_cycles = 0u64;
+        let outcome = loop {
+            match self.manager.touch(asid, vpn) {
+                Ok(o) => break o,
+                Err(e) => {
+                    if !oversubscribed {
+                        panic!(
+                            "memory manager {} failed at {vpn}: {e} (configure more memory or \
+                             fragmentation headroom for this experiment)",
+                            self.manager.name()
+                        );
+                    }
+                    // Out of memory is the expected regime here: free a
+                    // frame's worth and retry once the pressure is
+                    // relieved. `evict_pressure` panics if nothing can be
+                    // freed, which bounds this loop.
+                    let (relieved, teardown, wb) =
+                        self.evict_pressure(start, mosaic_vm::LARGE_PAGE_SIZE);
+                    start = relieved;
+                    evict_cycles += teardown;
+                    wb_cycles += wb;
+                }
+            }
         };
         // If servicing this fault required compaction, the page's frame
         // only becomes usable once the migration copies finish. The I/O
         // transfer overlaps the migration (it is charged at fault time,
         // keeping the bus port's arrivals in order); the warp waits for
         // whichever finishes last.
-        let migrations_done = self.apply_events(now, &outcome.events);
+        let migrations_done = self.apply_events(start, &outcome.events);
         let done = if outcome.transfer_bytes > 0 && self.cfg.paging == DemandPagingMode::OnDemand {
-            self.iobus.transfer(now, outcome.transfer_bytes).max(migrations_done)
+            self.iobus.transfer(start, outcome.transfer_bytes).max(migrations_done)
         } else {
             migrations_done
         };
+        // Attribute the tail of the wait to the eviction machinery: the
+        // fault completed exactly `teardown + writeback` cycles later
+        // than it would have without pressure, and the tail of a warp's
+        // wait is what its SM's stall windows actually observe.
+        let pressure = evict_cycles + wb_cycles;
+        if pressure > 0 {
+            tl.mark(Cycle::new(done.as_u64() - pressure), StallBucket::Fault);
+            tl.mark(Cycle::new(done.as_u64() - wb_cycles), StallBucket::Evict);
+            tl.mark(done, StallBucket::Writeback);
+        }
         emit(|| Event::FarFault {
             asid: asid.0,
             vpn: vpn.raw(),
             cycle: now.as_u64(),
             done: done.as_u64(),
         });
+        if oversubscribed {
+            self.prefetch_after(done, asid, vpn);
+        }
         done
+    }
+
+    /// Relieves memory pressure discovered at `now`: asks the manager to
+    /// evict least-recently-used frames worth at least `bytes`, applies
+    /// the TLB teardown (shootdowns flow through the usual event path),
+    /// and writes dirty pages back over the I/O bus. Returns the cycle at
+    /// which the freed memory is reusable, plus the teardown and
+    /// write-back cycle counts for stall attribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager has nothing left to evict — the live working
+    /// set exceeds GPU memory even with demand paging.
+    pub fn evict_pressure(&mut self, now: Cycle, bytes: u64) -> (Cycle, u64, u64) {
+        let outcome = self.manager.evict_for(bytes);
+        assert!(
+            !outcome.is_empty(),
+            "memory manager {} is out of memory with nothing evictable (the live working set \
+             exceeds GPU memory; raise memory or lower the oversubscription factor)",
+            self.manager.name()
+        );
+        self.apply_events(now, &outcome.events);
+        if mosaic_telemetry::enabled() {
+            let mut per_region: std::collections::BTreeMap<(u16, u64), u32> =
+                std::collections::BTreeMap::new();
+            for &(asid, vpn) in &outcome.evicted {
+                *per_region.entry((asid.0, vpn.large_page().raw())).or_insert(0) += 1;
+            }
+            for ((asid, lpn), pages) in per_region {
+                emit(|| Event::PageEvict { asid, lpn, pages, cycle: now.as_u64() });
+            }
+        }
+        self.evicted_pages.extend(outcome.evicted.iter().copied());
+        // The faulting warp rides out the shootdown fence it just raised
+        // before its allocation can retry.
+        let teardown = now + TLB_FLUSH_STALL;
+        let mut done = teardown;
+        let mut wb_cycles = 0;
+        if outcome.writeback_bytes > 0 {
+            let wb = self.iobus.transfer(done, outcome.writeback_bytes);
+            emit(|| Event::PageWriteback {
+                bytes: outcome.writeback_bytes,
+                cycle: done.as_u64(),
+                done: wb.as_u64(),
+            });
+            wb_cycles = wb.since(done);
+            done = wb;
+        }
+        (done, TLB_FLUSH_STALL, wb_cycles)
+    }
+
+    /// UVM-style sequential prefetch behind a demand fault: pulls up to
+    /// [`PREFETCH_DEGREE`] following pages of the same reservation,
+    /// stopping at the reservation edge or any other manager refusal —
+    /// prefetches never evict. Throttled off while refault churn says the
+    /// run is thrashing, when speculative pull-ins only cause more
+    /// evictions. Prefetch transfers occupy the bus after the demand
+    /// transfer but do not extend the faulting warp's wait.
+    fn prefetch_after(&mut self, done: Cycle, asid: AppId, vpn: VirtPageNum) {
+        if self.thrashing() {
+            return;
+        }
+        for i in 1..=PREFETCH_DEGREE {
+            let next = VirtPageNum(vpn.raw() + i);
+            if self.manager.tables().table(asid).is_some_and(|t| t.is_mapped(next)) {
+                continue;
+            }
+            match self.manager.touch(asid, next) {
+                Ok(o) => {
+                    self.evicted_pages.remove(&(asid, next));
+                    let _ = self.apply_events(done, &o.events);
+                    if o.transfer_bytes > 0 {
+                        self.iobus.transfer(done, o.transfer_bytes);
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Evict-then-refault churn check: more than a quarter of demand
+    /// faults re-touching evicted pages marks the run as thrashing.
+    fn thrashing(&self) -> bool {
+        self.refaults * 4 > self.demand_faults
+    }
+
+    /// Deterministic store classification for dirty tracking, keyed on
+    /// the *virtual* page so the classification survives migration and
+    /// eviction; ~1/4 of pages are write targets.
+    fn is_store(asid: AppId, vpn: VirtPageNum) -> bool {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for w in [u64::from(asid.0), vpn.raw()] {
+            h = (h ^ w).wrapping_mul(0x100_0000_01b3);
+        }
+        h & 3 == 0
     }
 
     /// One page-table memory access for the walker: optionally through the
@@ -399,7 +572,7 @@ impl GpuSystem {
             // Every request is an L1 TLB hit; only residency is enforced.
             let faulted = self.manager.tables().table(asid).is_none_or(|t| !t.is_mapped(vpn));
             let ready = if faulted {
-                let done = self.handle_fault(now, asid, vpn);
+                let done = self.handle_fault(now, asid, vpn, tl);
                 tl.mark(done, StallBucket::Fault);
                 done
             } else {
@@ -484,7 +657,7 @@ impl GpuSystem {
         let mapped = self.manager.tables().table(asid).is_some_and(|t| t.translate(addr).is_ok());
         let faulted = !mapped;
         if faulted {
-            ready = self.handle_fault(ready, asid, vpn);
+            ready = self.handle_fault(ready, asid, vpn, tl);
             tl.mark(ready, StallBucket::Fault);
         }
         let t = self
@@ -649,8 +822,11 @@ impl GpuSystem {
             dram_row_hit_rate: self.dram.row_hit_rate().rate(),
             iobus_transfers: self.iobus.transfers(),
             iobus_bytes: self.iobus.bytes(),
-            iobus_latency_mean: self.iobus.latency().mean(),
-            iobus_latency_max: self.iobus.latency().max().unwrap_or(0),
+            iobus_queue_mean: self.iobus.queue().mean(),
+            iobus_queue_max: self.iobus.queue().max().unwrap_or(0),
+            iobus_service_mean: self.iobus.service().mean(),
+            iobus_service_max: self.iobus.service().max().unwrap_or(0),
+            refaults: self.refaults,
             manager: self.manager.stats(),
             footprint_bytes: self.manager.footprint_bytes(),
             app_footprint_bytes: self.manager.app_footprint_bytes(),
@@ -679,9 +855,15 @@ impl MemoryInterface for GpuSystem {
         // the slowest transaction's timeline is the one the stalled SM
         // is actually waiting on.
         *timeline = AccessTimeline::single(now, worst, StallBucket::Other);
+        // Recency/dirty tracking only pays its way when eviction can
+        // happen; fully-subscribed runs skip it (and stay digest-stable).
+        let track_use = self.cfg.oversubscription.is_some();
         for &addr in addresses {
             let mut tl = AccessTimeline::begin(now);
             let (translated, phys, faulted) = self.translate(now, sm, asid, addr, &mut tl);
+            if track_use {
+                self.manager.note_use(phys.base_frame(), Self::is_store(asid, addr.base_page()));
+            }
             let done = self.data_access(now, translated, sm, phys, faulted, &mut tl);
             tl.seal(done);
             if done > worst {

@@ -113,7 +113,8 @@ pub struct IoBus {
     port: ThroughputPort,
     transfers: Counter,
     bytes: Counter,
-    latency: Histogram,
+    queue: Histogram,
+    service: Histogram,
 }
 
 impl IoBus {
@@ -126,7 +127,8 @@ impl IoBus {
             port: ThroughputPort::serialized(1),
             transfers: Counter::new(),
             bytes: Counter::new(),
-            latency: Histogram::default(),
+            queue: Histogram::default(),
+            service: Histogram::default(),
         }
     }
 
@@ -145,7 +147,8 @@ impl IoBus {
         self.transfers.inc();
         self.bytes.add(bytes);
         if self.config.zero_overhead {
-            self.latency.record(0);
+            // Instant transfers have neither queue nor service time; the
+            // histograms stay empty rather than piling up zero samples.
             return now;
         }
         let wire_ns = bytes as f64 / self.config.bytes_per_ns;
@@ -154,7 +157,8 @@ impl IoBus {
         let done = grant.start
             + self.clock.cycles_for(Nanos(wire_ns))
             + self.clock.cycles_for(self.config.base_latency);
-        self.latency.record(done.since(now));
+        self.queue.record(grant.start.since(now));
+        self.service.record(done.since(grant.start));
         done
     }
 
@@ -168,9 +172,16 @@ impl IoBus {
         self.bytes.get()
     }
 
-    /// Distribution of observed load-to-use latency, in core cycles.
-    pub fn latency(&self) -> &Histogram {
-        &self.latency
+    /// Distribution of time spent waiting for the bus (fault observed to
+    /// transfer granted), in core cycles.
+    pub fn queue(&self) -> &Histogram {
+        &self.queue
+    }
+
+    /// Distribution of pure transfer time (grant to completion: wire plus
+    /// the fixed fault-handling latency), in core cycles.
+    pub fn service(&self) -> &Histogram {
+        &self.service
     }
 }
 
@@ -227,12 +238,28 @@ mod tests {
     }
 
     #[test]
-    fn latency_histogram_tracks_queueing() {
+    fn zero_overhead_mode_records_no_latency_samples() {
+        let mut bus = IoBus::new(IoBusConfig::paper_zero_overhead());
+        bus.transfer(Cycle::new(0), BASE_PAGE);
+        bus.transfer(Cycle::new(0), LARGE_PAGE);
+        assert_eq!(bus.queue().count(), 0, "instant transfers never queue");
+        assert_eq!(bus.service().count(), 0, "instant transfers have no service time");
+        assert_eq!(bus.transfers(), 2);
+    }
+
+    #[test]
+    fn queue_and_service_histograms_split_contention_from_wire_time() {
         let mut bus = IoBus::new(IoBusConfig::paper());
         bus.transfer(Cycle::new(0), BASE_PAGE);
         bus.transfer(Cycle::new(0), BASE_PAGE);
-        assert_eq!(bus.latency().count(), 2);
-        assert!(bus.latency().max().unwrap() > bus.latency().min().unwrap());
+        assert_eq!(bus.queue().count(), 2);
+        assert_eq!(bus.service().count(), 2);
+        // The first transfer finds the bus idle; the second waits its turn.
+        assert_eq!(bus.queue().min(), Some(0));
+        assert!(bus.queue().max().unwrap() > 0, "contended transfer shows queue time");
+        // Service time is pure wire + fixed latency: identical payloads
+        // take identical service time regardless of queueing.
+        assert_eq!(bus.service().min(), bus.service().max());
     }
 
     #[test]

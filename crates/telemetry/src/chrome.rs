@@ -143,6 +143,34 @@ pub fn jsonl_to_chrome(jsonl: &str) -> Result<String, String> {
                     &format!("\"asid\":{},\"lpn\":{}", num("asid"), num("lpn")),
                 ));
             }
+            "page_evict" => {
+                let ts = num("cycle");
+                cursor = cursor.max(ts);
+                push(instant(
+                    pid,
+                    "manager",
+                    "page_evict",
+                    ts,
+                    &format!(
+                        "\"asid\":{},\"lpn\":{},\"pages\":{}",
+                        num("asid"),
+                        num("lpn"),
+                        num("pages")
+                    ),
+                ));
+            }
+            "page_writeback" => {
+                let (ts, done) = (num("cycle"), num("done"));
+                cursor = cursor.max(done);
+                push(complete(
+                    pid,
+                    "iobus",
+                    "page_writeback",
+                    ts,
+                    done,
+                    &format!("\"bytes\":{}", num("bytes")),
+                ));
+            }
             "tlb_lookup" => {
                 let ts = num("cycle");
                 cursor = cursor.max(ts);

@@ -126,6 +126,26 @@ pub enum Event {
         /// Cycle the shootdown was raised.
         cycle: u64,
     },
+    /// One large frame was evicted under memory pressure.
+    PageEvict {
+        /// Address space that owned the evicted frame.
+        asid: u16,
+        /// Large-page number whose translations were torn down.
+        lpn: u64,
+        /// Base pages unmapped by the eviction.
+        pages: u32,
+        /// Cycle the eviction was performed.
+        cycle: u64,
+    },
+    /// Dirty evicted pages were written back over the I/O bus.
+    PageWriteback {
+        /// Bytes written back.
+        bytes: u64,
+        /// Cycle the write-back was enqueued.
+        cycle: u64,
+        /// Cycle the transfer completed on the wire.
+        done: u64,
+    },
 }
 
 impl Event {
@@ -144,6 +164,8 @@ impl Event {
             Event::Coalesce { .. } => "coalesce",
             Event::Splinter { .. } => "splinter",
             Event::Shootdown { .. } => "shootdown",
+            Event::PageEvict { .. } => "page_evict",
+            Event::PageWriteback { .. } => "page_writeback",
         }
     }
 
@@ -217,6 +239,17 @@ impl Event {
                 field("lpn", lpn.to_string());
                 field("cycle", cycle.to_string());
             }
+            Event::PageEvict { asid, lpn, pages, cycle } => {
+                field("asid", asid.to_string());
+                field("lpn", lpn.to_string());
+                field("pages", pages.to_string());
+                field("cycle", cycle.to_string());
+            }
+            Event::PageWriteback { bytes, cycle, done } => {
+                field("bytes", bytes.to_string());
+                field("cycle", cycle.to_string());
+                field("done", done.to_string());
+            }
         }
         s.push('}');
         s
@@ -240,6 +273,8 @@ pub const SCHEMA: &[(&str, &[&str])] = &[
     ("coalesce", &["asid", "lpn"]),
     ("splinter", &["asid", "lpn"]),
     ("shootdown", &["asid", "lpn", "cycle"]),
+    ("page_evict", &["asid", "lpn", "pages", "cycle"]),
+    ("page_writeback", &["bytes", "cycle", "done"]),
 ];
 
 /// Renders the `run_begin` metadata line that precedes each run's events
@@ -288,6 +323,8 @@ mod tests {
             Event::Coalesce { asid: 1, lpn: 2 },
             Event::Splinter { asid: 1, lpn: 2 },
             Event::Shootdown { asid: 1, lpn: 2, cycle: 3 },
+            Event::PageEvict { asid: 1, lpn: 2, pages: 512, cycle: 3 },
+            Event::PageWriteback { bytes: 4096, cycle: 1, done: 2 },
         ];
         for ev in samples {
             let line = ev.to_jsonl();
@@ -299,7 +336,7 @@ mod tests {
             let got: Vec<&str> = parsed.iter().skip(1).map(|(k, _)| k.as_str()).collect();
             assert_eq!(&got[..], *keys, "key order for {}", ev.type_tag());
         }
-        // SCHEMA covers exactly the 12 event types plus run_begin.
+        // SCHEMA covers exactly the 14 event types plus run_begin.
         assert_eq!(SCHEMA.len(), samples.len() + 1);
     }
 

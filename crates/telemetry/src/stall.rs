@@ -40,6 +40,12 @@ pub enum StallBucket {
     /// Kernel-phase synchronization fences (later phases start where the
     /// previous grid left off).
     Sync,
+    /// Eviction under memory pressure: tearing down victim translations
+    /// (page-table/TLB work) before a fault's allocation can retry.
+    Evict,
+    /// Write-back of dirty evicted pages over the I/O bus (queueing plus
+    /// wire time the triggering fault waits on).
+    Writeback,
     /// Residual cycles no timeline segment covers.
     #[default]
     Other,
@@ -47,7 +53,7 @@ pub enum StallBucket {
 
 impl StallBucket {
     /// Number of buckets.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 12;
 
     /// Every bucket, in display order.
     pub const ALL: [StallBucket; Self::COUNT] = [
@@ -60,6 +66,8 @@ impl StallBucket {
         StallBucket::DramService,
         StallBucket::Compute,
         StallBucket::Sync,
+        StallBucket::Evict,
+        StallBucket::Writeback,
         StallBucket::Other,
     ];
 
@@ -81,6 +89,8 @@ impl StallBucket {
             StallBucket::DramService => "dram-svc",
             StallBucket::Compute => "compute",
             StallBucket::Sync => "sync",
+            StallBucket::Evict => "evict",
+            StallBucket::Writeback => "writeback",
             StallBucket::Other => "other",
         }
     }

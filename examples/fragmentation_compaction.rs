@@ -15,10 +15,11 @@ fn main() {
     // holds immovable data in half of its slots.
     let mut mosaic = MosaicManager::new(MosaicConfig::with_memory(32 * LARGE_PAGE_SIZE));
     let mut rng = SimRng::from_seed(42);
-    let injected = mosaic.pre_fragment(1.0, 0.5, &mut rng);
+    let report = mosaic.pre_fragment(1.0, 0.5, &mut rng);
+    assert_eq!(report.shortfall(), 0, "the free list covers the requested fragmentation");
     println!(
         "pre-fragmented {} base pages across {} large frames (free frames: {})",
-        injected,
+        report.injected_pages,
         mosaic.pool().total_large_frames(),
         mosaic.pool().free_frames(),
     );

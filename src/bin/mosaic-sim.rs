@@ -165,11 +165,21 @@ fn main() {
             s.dram_row_hit_rate * 100.0
         );
         println!(
-            "  paging: {} far-faults, {:.1} MB over the I/O bus (mean load-to-use {:.0} cy)",
+            "  paging: {} far-faults, {:.1} MB over the I/O bus (mean queue {:.0} cy, \
+             mean service {:.0} cy)",
             s.iobus_transfers,
             s.iobus_bytes as f64 / (1024.0 * 1024.0),
-            s.iobus_latency_mean
+            s.iobus_queue_mean,
+            s.iobus_service_mean
         );
+        if s.manager.evictions > 0 {
+            println!(
+                "  pressure: {} pages evicted, {:.1} MB written back, {} refaults",
+                s.manager.evictions,
+                s.manager.writeback_bytes as f64 / (1024.0 * 1024.0),
+                s.refaults
+            );
+        }
         println!(
             "  manager: {} coalesces, {} splinters, {} migrations, {} emergency allocs, bloat {:.1}%",
             s.manager.coalesces,
