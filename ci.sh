@@ -36,6 +36,14 @@ cargo run -q --release -p mosaic-conformance -- fuzz --cases 256 --seed 0xC0FFEE
 echo "==> smoke sweep (parallel reproduce run)"
 MOSAIC_SCOPE=smoke cargo run -q --release -p mosaic-experiments --bin reproduce -- fig03 fig08
 
+echo "==> sim-threads-smoke (sharded engine bit-identity: fig08 at N=4 vs N=1)"
+MOSAIC_SCOPE=smoke cargo run -q --release -p mosaic-experiments --bin reproduce -- \
+    --sim-threads 1 fig08 > target/sim-threads-n1.txt
+MOSAIC_SCOPE=smoke cargo run -q --release -p mosaic-experiments --bin reproduce -- \
+    --sim-threads 4 fig08 > target/sim-threads-n4.txt
+diff target/sim-threads-n1.txt target/sim-threads-n4.txt
+echo "    fig08 byte-identical at --sim-threads 1 and 4"
+
 echo "==> oversubscription smoke (demand-paging engine: evict, write back, prefetch)"
 MOSAIC_SCOPE=smoke cargo run -q --release -p mosaic-experiments --bin reproduce -- oversub
 

@@ -144,6 +144,19 @@ fn sweep_oversubscribed() {
     black_box(run_workload(&w, sweep_cfg().oversubscribed(2.0)));
 }
 
+fn scaling_sim_threads() {
+    // The speculative sharded engine (DESIGN.md §12) at 4 workers on the
+    // same inner loop as sweep/run_workload. The pair measures intra-run
+    // scaling: on a multicore host this scenario should undercut
+    // sweep/run_workload; on a single hardware thread it instead prices
+    // the speculation overhead (journaling + rollback + thread scopes),
+    // which the 2x gate keeps bounded either way.
+    mosaic_gpusim::set_sim_threads(Some(4));
+    let w = Workload::from_names(&["MM", "GUPS", "HS"]);
+    black_box(run_workload(&w, sweep_cfg()));
+    mosaic_gpusim::set_sim_threads(None);
+}
+
 fn figure(run: fn(Scope) -> String) {
     // Single-threaded so wall times measure the simulator, not the
     // executor's scheduling; Smoke keeps the sweep bounded.
@@ -164,6 +177,7 @@ fn scenarios() -> Vec<(&'static str, fn())> {
         ("micro/manager_touch", micro_manager_touch),
         ("sweep/run_workload", sweep_run_workload),
         ("sweep/oversubscribed", sweep_oversubscribed),
+        ("scaling/sim_threads", scaling_sim_threads),
         ("sweep/fig03", || figure(|s| exp::fig03::run(s).to_string())),
         ("sweep/fig08", || figure(|s| exp::fig08::run(s).to_string())),
         ("sweep/fig11", || figure(|s| exp::fig11::run(s).to_string())),

@@ -1,0 +1,169 @@
+//! The engine suite: differential testing of the speculative sharded
+//! simulation engine (DESIGN.md §12) against the sequential engine.
+//!
+//! Unlike the VM and manager suites, the oracle here is not a separate
+//! reference model — it is the *sequential engine itself*. The sharded
+//! engine's whole contract is bit-identity at any worker count, so every
+//! case runs the same workload twice, once at `--sim-threads 1` and once
+//! at the campaign's [`FuzzConfig::sim_threads`](crate::FuzzConfig),
+//! and any difference in the full [`RunResult`] is a divergence.
+//!
+//! Cases are full-system configurations (manager flavor, app mix, seed,
+//! SM count, paging mode, oversubscription), not op schedules, so there
+//! is nothing for the shrinker to minimize: the repro regenerates the
+//! case from its `(seed, index)` pair.
+
+use crate::harness::Divergence;
+use mosaic_gpusim::{run_workload, set_sim_threads, ManagerKind, RunConfig, RunResult};
+use mosaic_sim_core::SimRng;
+use mosaic_workloads::{ScaleConfig, Workload};
+
+/// Workload names the engine suite samples mixes from — a spread of
+/// TLB-friendly and TLB-hostile access patterns.
+const ENGINE_APPS: &[&str] = &["MM", "GUPS", "HS", "CONS", "NN", "MUM", "BFS2", "RED"];
+
+/// A generated engine-suite case: one full-system configuration to run
+/// under both engines.
+#[derive(Debug, Clone)]
+pub struct EngineCase {
+    /// App mix (1–3 distinct workloads).
+    pub apps: Vec<&'static str>,
+    /// Memory manager flavor.
+    pub manager: ManagerKind,
+    /// Simulation master seed.
+    pub seed: u64,
+    /// SMs (= speculation lanes).
+    pub sm_count: usize,
+    /// Kernel phases (>1 forces mid-run commit barriers at phase ends).
+    pub phases: u32,
+    /// Free preloading instead of demand paging.
+    pub preloaded: bool,
+    /// Ideal (infinite, zero-latency) TLB reference.
+    pub ideal_tlb: bool,
+    /// Oversubscription factor in tenths (e.g. `Some(20)` = 2.0×);
+    /// `None` = fully subscribed. Mutually exclusive with `preloaded`.
+    pub oversub_tenths: Option<u32>,
+}
+
+impl EngineCase {
+    /// The [`RunConfig`] this case describes, at a scale small enough
+    /// that a debug-build campaign stays cheap.
+    pub fn run_config(&self) -> RunConfig {
+        let mut cfg = RunConfig::new(self.manager).with_scale(ScaleConfig {
+            ws_divisor: 64,
+            mem_ops_per_warp: 16,
+            warps_per_sm: 3,
+            phases: self.phases,
+        });
+        cfg.system.sm_count = self.sm_count;
+        cfg.seed = self.seed;
+        if self.preloaded {
+            cfg = cfg.preloaded();
+        }
+        if self.ideal_tlb {
+            cfg = cfg.ideal_tlb();
+        }
+        if let Some(t) = self.oversub_tenths {
+            cfg = cfg.oversubscribed(f64::from(t) / 10.0);
+        }
+        cfg
+    }
+}
+
+/// Generates the engine-suite case for `(seed, index)`. Deterministic:
+/// the same pair always yields the same case.
+pub fn gen_engine_case(seed: u64, index: u64) -> EngineCase {
+    let mut rng = SimRng::from_seed(seed).fork("conformance-engine", index);
+    let manager = match rng.below(6) {
+        0 => ManagerKind::GpuMmu4K,
+        1 => ManagerKind::GpuMmu2M,
+        2 => ManagerKind::migrating(),
+        // Weighted toward Mosaic: it has the richest management-event
+        // surface (coalesce, splinter, shootdown) crossing the barrier.
+        _ => ManagerKind::mosaic(),
+    };
+    let mut apps = ENGINE_APPS.to_vec();
+    rng.shuffle(&mut apps);
+    apps.truncate(1 + rng.below(3) as usize);
+    let preloaded = rng.chance(0.25);
+    // 1.2×–2.5× oversubscription on some on-demand cases: eviction and
+    // write-back are the paths most entangled with commit ordering.
+    let oversub_tenths = (!preloaded && rng.chance(0.3)).then(|| 12 + rng.below(14) as u32);
+    EngineCase {
+        apps,
+        manager,
+        seed: rng.below(1 << 16),
+        sm_count: 3 + rng.below(5) as usize,
+        phases: 1 + rng.below(2) as u32,
+        preloaded,
+        ideal_tlb: rng.chance(0.2),
+        oversub_tenths,
+    }
+}
+
+/// Summarizes the first field-level difference between two results.
+fn diff_results(sequential: &RunResult, sharded: &RunResult) -> String {
+    if sequential.apps.len() != sharded.apps.len() {
+        return format!(
+            "app count: sequential {} sharded {}",
+            sequential.apps.len(),
+            sharded.apps.len()
+        );
+    }
+    for (i, (a, b)) in sequential.apps.iter().zip(&sharded.apps).enumerate() {
+        if a != b {
+            return format!("app {i}: sequential {a:?} sharded {b:?}");
+        }
+    }
+    format!("system stats: sequential {sequential:?} sharded {sharded:?}")
+}
+
+/// Runs `case` under the sequential engine and under the sharded engine
+/// at `sim_threads` workers, demanding a bit-identical [`RunResult`].
+///
+/// Flips the process-global `set_sim_threads` knob (and restores the
+/// default before returning), so concurrent callers must serialize.
+///
+/// # Errors
+///
+/// A [`Divergence`] describing the first differing field, if any.
+pub fn run_engine_case(case: &EngineCase, sim_threads: usize) -> Result<(), Divergence> {
+    let workload = Workload::from_names(&case.apps);
+    let cfg = case.run_config();
+    set_sim_threads(Some(1));
+    let sequential = run_workload(&workload, cfg);
+    set_sim_threads(Some(sim_threads.max(2)));
+    let sharded = run_workload(&workload, cfg);
+    set_sim_threads(None);
+    if sequential == sharded {
+        Ok(())
+    } else {
+        Err(Divergence {
+            step: 0,
+            op: format!("sim_threads {}", sim_threads.max(2)),
+            detail: diff_results(&sequential, &sharded),
+        })
+    }
+}
+
+/// Renders an engine-suite failure as a copy-pasteable Rust test body.
+/// The case regenerates from `(seed, index)`, so no op dump is needed.
+pub fn render_engine_repro(
+    seed: u64,
+    index: u64,
+    case: &EngineCase,
+    sim_threads: usize,
+    detail: &str,
+) -> String {
+    let mut s = String::new();
+    s.push_str("// Repro emitted by the conformance engine suite.\n");
+    s.push_str("// Paste into crates/conformance/tests/ and adjust the test name.\n");
+    s.push_str("#[test]\nfn engine_divergence_repro() {\n");
+    s.push_str("    use mosaic_conformance::{gen_engine_case, run_engine_case};\n");
+    s.push_str(&format!("    let case = gen_engine_case({seed:#x}, {index});\n"));
+    s.push_str(&format!("    run_engine_case(&case, {sim_threads}).unwrap();\n"));
+    s.push_str("}\n");
+    s.push_str(&format!("// Case: {case:?}\n"));
+    s.push_str(&format!("// Original divergence: {detail}\n"));
+    s
+}

@@ -1,6 +1,7 @@
 //! The fuzz loop: generate cases, replay them in lockstep, and on
 //! divergence shrink to a minimal repro.
 
+use crate::engine::{gen_engine_case, render_engine_repro, run_engine_case};
 use crate::harness::{run_mgr_case, run_vm_case, Divergence, Mutation};
 use crate::ops::{gen_mgr_case, gen_vm_case, render_mgr_repro, render_vm_repro};
 use crate::shrink::shrink;
@@ -13,7 +14,9 @@ pub enum Suite {
     Vm,
     /// Memory managers vs the frame ledger.
     Mgr,
-    /// Both, alternating per case index.
+    /// The sharded simulation engine vs the sequential engine.
+    Engine,
+    /// Every suite, per case index.
     #[default]
     All,
 }
@@ -32,6 +35,10 @@ pub struct FuzzConfig {
     pub suite: Suite,
     /// Driver fault injection (harness self-test).
     pub mutation: Mutation,
+    /// Speculation worker count for the engine suite's sharded runs
+    /// (clamped to ≥ 2 — at 1 the suite would diff the sequential
+    /// engine against itself).
+    pub sim_threads: usize,
 }
 
 impl Default for FuzzConfig {
@@ -42,6 +49,7 @@ impl Default for FuzzConfig {
             max_ops: 120,
             suite: Suite::All,
             mutation: Mutation::None,
+            sim_threads: 4,
         }
     }
 }
@@ -80,6 +88,9 @@ pub struct FuzzStats {
     pub vm_cases: u64,
     /// Manager-suite cases run.
     pub mgr_cases: u64,
+    /// Engine-suite cases run (each is one sequential + one sharded
+    /// full-system simulation).
+    pub engine_cases: u64,
     /// Total ops replayed.
     pub total_ops: u64,
 }
@@ -131,6 +142,28 @@ pub fn run_fuzz(config: FuzzConfig) -> Result<FuzzStats, Box<FuzzFailure>> {
                     divergence: d,
                     shrunk_ops: small.len(),
                     repro: render_mgr_repro(case.kind, case.frames, &small, &detail.to_string()),
+                }));
+            }
+        }
+        if matches!(config.suite, Suite::Engine | Suite::All) {
+            let case = gen_engine_case(config.seed, index);
+            stats.engine_cases += 1;
+            if let Err(d) = run_engine_case(&case, config.sim_threads) {
+                // Nothing to shrink: the case is a configuration, not an
+                // op schedule, and regenerates from (seed, index).
+                let detail = d.detail.clone();
+                return Err(Box::new(FuzzFailure {
+                    suite: "engine",
+                    case_index: index,
+                    divergence: d,
+                    shrunk_ops: 0,
+                    repro: render_engine_repro(
+                        config.seed,
+                        index,
+                        &case,
+                        config.sim_threads.max(2),
+                        &detail,
+                    ),
                 }));
             }
         }

@@ -13,6 +13,12 @@
 //! sweep executor; the default is the machine's available parallelism.
 //! Output is byte-identical for every job count.
 //!
+//! `--sim-threads N` (or `MOSAIC_SIM_THREADS=N`) sets the speculation
+//! worker count *inside* each simulation (DESIGN.md §12). Where `--jobs`
+//! parallelises across sweep points, `--sim-threads` parallelises a
+//! single run; the two compose, and output stays byte-identical for
+//! every combination. The default is 1 (the serial engine).
+//!
 //! `--trace FILE` records every simulated event of every sweep run to
 //! `FILE` as JSONL (one `run_begin` line per run, then its events);
 //! validate or convert it with the `mosaic-trace` binary. `--stall-report`
@@ -109,6 +115,40 @@ fn take_jobs_flag(args: &mut Vec<String>) -> Option<usize> {
     jobs
 }
 
+/// Strips `--sim-threads N` / `--sim-threads=N` out of `args` and returns
+/// the parsed intra-run worker count, exiting with a usage error on a
+/// malformed value.
+fn take_sim_threads_flag(args: &mut Vec<String>) -> Option<usize> {
+    let mut threads = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = if args[i] == "--sim-threads" {
+            if i + 1 >= args.len() {
+                eprintln!("--sim-threads requires a worker count");
+                std::process::exit(2);
+            }
+            let v = args.remove(i + 1);
+            args.remove(i);
+            v
+        } else if let Some(v) = args[i].strip_prefix("--sim-threads=") {
+            let v = v.to_string();
+            args.remove(i);
+            v
+        } else {
+            i += 1;
+            continue;
+        };
+        match value.parse::<usize>() {
+            Ok(n) if n >= 1 => threads = Some(n),
+            _ => {
+                eprintln!("--sim-threads expects a positive integer, got {value:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    threads
+}
+
 /// Strips `--trace FILE` / `--trace=FILE` out of `args` and returns the
 /// output path, exiting with a usage error on a missing value.
 fn take_trace_flag(args: &mut Vec<String>) -> Option<String> {
@@ -136,6 +176,7 @@ fn main() {
     let scope = Scope::from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     exp::sweep::set_jobs(take_jobs_flag(&mut args));
+    mosaic_gpusim::set_sim_threads(take_sim_threads_flag(&mut args));
     let trace_path = take_trace_flag(&mut args);
     let stall_report = {
         let before = args.len();
@@ -160,6 +201,11 @@ fn main() {
     eprintln!(
         "jobs: {} (set with --jobs N or MOSAIC_JOBS=N; output is identical at any count)",
         exp::Executor::from_env().jobs()
+    );
+    eprintln!(
+        "sim-threads: {} (set with --sim-threads N or MOSAIC_SIM_THREADS=N; \
+         intra-run speculation workers, output is identical at any count)",
+        mosaic_gpusim::sim_threads()
     );
 
     let mut results = Vec::new();

@@ -1,21 +1,60 @@
 //! The determinism contract of the sweep executor: a figure driver's
 //! rendered output is byte-identical at any worker count.
 //!
-//! Each test drives a real figure once serially and once with multiple
-//! workers, compares the rendered reports byte for byte, and pins the
-//! serial report to a golden FNV-1a digest. The golden tier covers
-//! fig08 (job-list refactor + `AloneCache` prefetch + ordered
-//! collection), fig03 (single-app sweeps), fig11 (per-app normalized
-//! IPC sort), the walker-threads ablation, and the stall-attribution
-//! report (exact bucket decomposition on the always-on path).
+//! Each test compares a figure rendered with multiple workers against a
+//! shared serial fixture and pins the serial report to a golden FNV-1a
+//! digest. The serial renderings are computed exactly once per process
+//! (in [`fixture`]) — previously every test re-ran its full workload
+//! serially, roughly doubling the tier's wall-clock for no extra
+//! coverage. The golden tier covers fig08 (job-list refactor +
+//! `AloneCache` prefetch + ordered collection), fig03 (single-app
+//! sweeps), fig11 (per-app normalized IPC sort), the walker-threads
+//! ablation, and the stall-attribution report (exact bucket
+//! decomposition on the always-on path).
 
 use mosaic_experiments::common::Scope;
 use mosaic_experiments::{ablations, fig03, fig08, fig11, oversub, stall, sweep};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Serializes tests: `sweep::set_jobs` is process-global, and these
 /// tests each claim a specific worker count, so they must not overlap.
 static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Serial (jobs = 1) renderings of every report in the golden tier,
+/// computed once and shared by all tests in this binary.
+struct Fixture {
+    fig08: String,
+    fig03: String,
+    fig11: String,
+    walker: String,
+    oversub: String,
+    stall: String,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        // Takes JOBS_LOCK itself — callers must not hold it across this
+        // call (std Mutex is not reentrant).
+        let _guard = lock();
+        sweep::set_jobs(Some(1));
+        let f = Fixture {
+            fig08: fig08::run(Scope::Smoke).to_string(),
+            fig03: fig03::run(Scope::Smoke).to_string(),
+            fig11: fig11::run(Scope::Smoke).to_string(),
+            walker: ablations::walker_threads(Scope::Smoke).to_string(),
+            oversub: oversub::run(Scope::Smoke).to_string(),
+            stall: stall::run(Scope::Smoke).to_string(),
+        };
+        sweep::set_jobs(None);
+        f
+    })
+}
 
 /// FNV-1a (64-bit) over the rendered report. Small and dependency-free;
 /// collision resistance is irrelevant here — any accidental change to
@@ -56,15 +95,16 @@ const GOLDEN_STALL_SMOKE_DIGEST: &str = "174dce1f1c6193c9";
 /// contract for the whole paging path, not just the report formatting.
 const GOLDEN_OVERSUB_SMOKE_DIGEST: &str = "34029bf26e3a411f";
 
-/// Renders `run` serially and at eight workers, asserts byte-identity,
-/// checks the serial rendering against `golden`, and returns the report.
-fn golden_check(name: &str, golden: &str, run: impl Fn() -> String) -> String {
-    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    sweep::set_jobs(Some(1));
-    let serial = run();
-    sweep::set_jobs(Some(8));
-    let parallel = run();
-    sweep::set_jobs(None);
+/// Renders `run` at eight workers, asserts byte-identity against the
+/// shared serial fixture rendering, and checks it against `golden`.
+fn golden_check(name: &str, golden: &str, serial: &str, run: impl Fn() -> String) {
+    let parallel = {
+        let _guard = lock();
+        sweep::set_jobs(Some(8));
+        let p = run();
+        sweep::set_jobs(None);
+        p
+    };
     assert!(!serial.is_empty());
     assert_eq!(serial, parallel, "{name}: parallel output must match serial byte-for-byte");
     let digest = format!("{:016x}", fnv1a(serial.as_bytes()));
@@ -72,16 +112,17 @@ fn golden_check(name: &str, golden: &str, run: impl Fn() -> String) -> String {
         digest, golden,
         "{name} smoke report drifted from the golden digest; report was:\n{serial}"
     );
-    serial
 }
 
 #[test]
 fn smoke_report_matches_golden_digest() {
-    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let serial = &fixture().fig08;
+    let _guard = lock();
     sweep::set_jobs(Some(2));
     let report = fig08::run(Scope::Smoke).to_string();
     sweep::set_jobs(None);
     assert!(!report.is_empty());
+    assert_eq!(serial, &report, "two-worker output must match serial byte-for-byte");
     let digest = format!("{:016x}", fnv1a(report.as_bytes()));
     assert_eq!(
         digest, GOLDEN_FIG08_SMOKE_DIGEST,
@@ -91,36 +132,40 @@ fn smoke_report_matches_golden_digest() {
 
 #[test]
 fn serial_vs_parallel_sweeps_are_bit_identical() {
-    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    sweep::set_jobs(Some(1));
-    let serial = fig08::run(Scope::Smoke).to_string();
+    let serial = &fixture().fig08;
+    let _guard = lock();
     sweep::set_jobs(Some(4));
     let parallel = fig08::run(Scope::Smoke).to_string();
     sweep::set_jobs(None);
     assert!(!serial.is_empty());
-    assert_eq!(serial, parallel, "parallel output must match serial byte-for-byte");
+    assert_eq!(serial, &parallel, "parallel output must match serial byte-for-byte");
 }
 
 #[test]
 fn fig03_matches_golden_digest_at_any_jobs() {
-    golden_check("fig03", GOLDEN_FIG03_SMOKE_DIGEST, || fig03::run(Scope::Smoke).to_string());
+    golden_check("fig03", GOLDEN_FIG03_SMOKE_DIGEST, &fixture().fig03, || {
+        fig03::run(Scope::Smoke).to_string()
+    });
 }
 
 #[test]
 fn fig11_matches_golden_digest_at_any_jobs() {
-    golden_check("fig11", GOLDEN_FIG11_SMOKE_DIGEST, || fig11::run(Scope::Smoke).to_string());
+    golden_check("fig11", GOLDEN_FIG11_SMOKE_DIGEST, &fixture().fig11, || {
+        fig11::run(Scope::Smoke).to_string()
+    });
 }
 
 #[test]
 fn walker_ablation_matches_golden_digest_at_any_jobs() {
-    golden_check("ablation_walker", GOLDEN_ABLATION_WALKER_SMOKE_DIGEST, || {
+    golden_check("ablation_walker", GOLDEN_ABLATION_WALKER_SMOKE_DIGEST, &fixture().walker, || {
         ablations::walker_threads(Scope::Smoke).to_string()
     });
 }
 
 #[test]
 fn oversubscribed_sweep_matches_golden_digest_at_any_jobs() {
-    let report = golden_check("oversub", GOLDEN_OVERSUB_SMOKE_DIGEST, || {
+    let report = &fixture().oversub;
+    golden_check("oversub", GOLDEN_OVERSUB_SMOKE_DIGEST, report, || {
         oversub::run(Scope::Smoke).to_string()
     });
     // The golden run must actually exercise the eviction engine, or the
@@ -130,8 +175,10 @@ fn oversubscribed_sweep_matches_golden_digest_at_any_jobs() {
 
 #[test]
 fn stall_report_matches_golden_digest_at_any_jobs() {
-    let report =
-        golden_check("stall", GOLDEN_STALL_SMOKE_DIGEST, || stall::run(Scope::Smoke).to_string());
+    let report = &fixture().stall;
+    golden_check("stall", GOLDEN_STALL_SMOKE_DIGEST, report, || {
+        stall::run(Scope::Smoke).to_string()
+    });
     // The report must cover both ends of the TLB-sensitivity spectrum.
     assert!(report.contains("MM "), "TLB-friendly workload present:\n{report}");
     assert!(report.contains("GUPS "), "TLB-sensitive workload present:\n{report}");

@@ -1,0 +1,153 @@
+//! The determinism tier for intra-run parallelism (DESIGN.md §12): the
+//! speculative sharded engine behind `--sim-threads N` must reproduce
+//! every golden report of the sequential engine byte for byte, at every
+//! worker count, composed with every sweep-executor job count.
+//!
+//! Two layers:
+//!
+//! * **Golden matrix** — the pre-existing golden digests (fig08, fig03,
+//!   fig11, walker ablation, stall attribution, oversubscription) are
+//!   re-verified with the sharded engine. fig08 and oversub — the two
+//!   reports that exercise the widest slice of the memory/VM stack — run
+//!   the full `--sim-threads {1,2,4,8} × --jobs {1,4}` matrix; the rest
+//!   run a reduced `--sim-threads {2,8}` pass (their jobs-axis coverage
+//!   lives in `parallel_determinism.rs`, and the sim-threads axis is
+//!   independent of it by construction).
+//! * **Seed smoke** — eight seeds diffing the sequential engine against
+//!   the sharded engine at the `run_workload` level, pinning equality of
+//!   the full `RunResult` (not just the rendered report).
+//!
+//! The golden constants are deliberately duplicated from
+//! `parallel_determinism.rs` rather than shared through a helper crate:
+//! if either tier's pin moves, both files must be touched, which is
+//! exactly the friction the update policy wants.
+
+use mosaic_experiments::common::Scope;
+use mosaic_experiments::{ablations, fig03, fig08, fig11, oversub, stall, sweep};
+use mosaic_gpusim::{set_sim_threads, ManagerKind, RunConfig};
+use mosaic_workloads::{ScaleConfig, Workload};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests: both `sweep::set_jobs` and `set_sim_threads` are
+/// process-global knobs, so tests claiming specific counts must not
+/// overlap.
+static KNOB_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// FNV-1a (64-bit), matching `parallel_determinism.rs`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// Golden smoke-scope digests, pinned by `parallel_determinism.rs` (see
+// the update policy there). The sharded engine must hit the *same*
+// digests — a new engine does not get new goldens.
+const GOLDEN_FIG08_SMOKE_DIGEST: &str = "ad0fedc459c0afa6";
+const GOLDEN_FIG03_SMOKE_DIGEST: &str = "d3a367a2c8a59907";
+const GOLDEN_FIG11_SMOKE_DIGEST: &str = "f0bc1943ac8bc2e5";
+const GOLDEN_ABLATION_WALKER_SMOKE_DIGEST: &str = "3e03ad211b0a0142";
+const GOLDEN_STALL_SMOKE_DIGEST: &str = "174dce1f1c6193c9";
+const GOLDEN_OVERSUB_SMOKE_DIGEST: &str = "34029bf26e3a411f";
+
+/// Renders `run` under each `(sim_threads, jobs)` pair and asserts the
+/// golden digest every time.
+fn golden_matrix(name: &str, golden: &str, matrix: &[(usize, usize)], run: impl Fn() -> String) {
+    let _guard = lock();
+    for &(threads, jobs) in matrix {
+        set_sim_threads(Some(threads));
+        sweep::set_jobs(Some(jobs));
+        let report = run();
+        set_sim_threads(None);
+        sweep::set_jobs(None);
+        assert!(!report.is_empty());
+        let digest = format!("{:016x}", fnv1a(report.as_bytes()));
+        assert_eq!(
+            digest, golden,
+            "{name} drifted from the golden digest at --sim-threads {threads} \
+             --jobs {jobs}; report was:\n{report}"
+        );
+    }
+}
+
+/// Full matrix for the two widest-coverage reports.
+const FULL: &[(usize, usize)] = &[(1, 1), (2, 1), (4, 1), (8, 1), (1, 4), (2, 4), (4, 4), (8, 4)];
+
+/// Reduced pass for the rest: the sharded engine at low and high worker
+/// counts, single job (the jobs axis is covered by the full matrix and
+/// by `parallel_determinism.rs`).
+const REDUCED: &[(usize, usize)] = &[(2, 1), (8, 1)];
+
+#[test]
+fn fig08_matches_golden_digest_across_sim_threads_and_jobs() {
+    golden_matrix("fig08", GOLDEN_FIG08_SMOKE_DIGEST, FULL, || {
+        fig08::run(Scope::Smoke).to_string()
+    });
+}
+
+#[test]
+fn oversub_matches_golden_digest_across_sim_threads_and_jobs() {
+    golden_matrix("oversub", GOLDEN_OVERSUB_SMOKE_DIGEST, FULL, || {
+        oversub::run(Scope::Smoke).to_string()
+    });
+}
+
+#[test]
+fn fig03_matches_golden_digest_under_sharded_engine() {
+    golden_matrix("fig03", GOLDEN_FIG03_SMOKE_DIGEST, REDUCED, || {
+        fig03::run(Scope::Smoke).to_string()
+    });
+}
+
+#[test]
+fn fig11_matches_golden_digest_under_sharded_engine() {
+    golden_matrix("fig11", GOLDEN_FIG11_SMOKE_DIGEST, REDUCED, || {
+        fig11::run(Scope::Smoke).to_string()
+    });
+}
+
+#[test]
+fn walker_ablation_matches_golden_digest_under_sharded_engine() {
+    golden_matrix("ablation_walker", GOLDEN_ABLATION_WALKER_SMOKE_DIGEST, REDUCED, || {
+        ablations::walker_threads(Scope::Smoke).to_string()
+    });
+}
+
+#[test]
+fn stall_report_matches_golden_digest_under_sharded_engine() {
+    golden_matrix("stall", GOLDEN_STALL_SMOKE_DIGEST, REDUCED, || {
+        stall::run(Scope::Smoke).to_string()
+    });
+}
+
+#[test]
+fn eight_seed_smoke_diffs_sequential_vs_sharded_engine() {
+    let _guard = lock();
+    let w = Workload::from_names(&["MM", "GUPS", "HS"]);
+    for seed in 0..8u64 {
+        let mut cfg = RunConfig::new(ManagerKind::mosaic()).with_scale(ScaleConfig {
+            ws_divisor: 64,
+            mem_ops_per_warp: 24,
+            warps_per_sm: 4,
+            phases: 1,
+        });
+        cfg.system.sm_count = 6;
+        cfg.seed = seed;
+        set_sim_threads(None);
+        let sequential = mosaic_gpusim::run_workload(&w, cfg);
+        set_sim_threads(Some(4));
+        let sharded = mosaic_gpusim::run_workload(&w, cfg);
+        set_sim_threads(None);
+        assert_eq!(
+            sequential, sharded,
+            "seed {seed}: sharded engine diverged from the sequential engine"
+        );
+    }
+}

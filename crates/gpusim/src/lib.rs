@@ -26,16 +26,23 @@
 //! * [`runner`] — workload execution: SM partitioning, the
 //!   smallest-clock-first scheduling loop, per-application IPC, and the
 //!   weighted-speedup metric of Section 5.
+//! * [`shard`] — intra-run parallelism (`--sim-threads N`): lanes of
+//!   (SM, L1 TLB, L1 cache) speculate ahead on worker threads with undo
+//!   journals, and their effects commit to the single-threaded shared
+//!   stack in canonical scheduling order — bit-identical to the serial
+//!   engine at any worker count (DESIGN.md §12).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod config;
 pub mod runner;
+pub mod shard;
 pub mod system;
 
 pub use config::{DemandPagingMode, ManagerKind, RunConfig, SystemConfig};
 pub use runner::{
     run_alone_baselines, run_workload, sm_share, weighted_speedup, AppResult, RunResult,
 };
+pub use shard::{set_sim_threads, sim_threads};
 pub use system::{GpuSystem, SystemStats};

@@ -24,6 +24,6 @@ pub mod cache;
 pub mod dram;
 pub mod xbar;
 
-pub use cache::{Cache, CacheConfig};
+pub use cache::{Cache, CacheAccessUndo, CacheConfig};
 pub use dram::{Dram, DramConfig};
 pub use xbar::{Crossbar, CrossbarConfig};
