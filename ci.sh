@@ -25,10 +25,29 @@ echo "==> cargo test"
 cargo test -q --workspace
 
 echo "==> cargo build --release"
-cargo build -q --release
+cargo build -q --release --workspace
 
 echo "==> bench-smoke (wall-time regression gate vs committed BENCH.json)"
 cargo run -q --release -p mosaic-bench -- --quick --no-out --check BENCH.json
+
+echo "==> campaign-smoke (run cache: cold/warm/no-cache byte-identity and warm speedup)"
+rm -rf target/campaign-cache
+t0=$(date +%s%N)
+target/release/reproduce --jobs 1 --cache-dir target/campaign-cache \
+    campaign run campaigns/smoke.toml > target/campaign-cold.txt 2> target/campaign-cold.err
+t1=$(date +%s%N)
+target/release/reproduce --jobs 1 --cache-dir target/campaign-cache \
+    campaign run campaigns/smoke.toml > target/campaign-warm.txt 2> target/campaign-warm.err
+t2=$(date +%s%N)
+target/release/reproduce --jobs 1 --no-cache \
+    campaign run campaigns/smoke.toml > target/campaign-nocache.txt
+diff target/campaign-cold.txt target/campaign-warm.txt
+diff target/campaign-cold.txt target/campaign-nocache.txt
+grep -Eq '[1-9][0-9]* hits, 0 misses' target/campaign-warm.err
+cold_ms=$(( (t1 - t0) / 1000000 ))
+warm_ms=$(( (t2 - t1) / 1000000 ))
+echo "    cold ${cold_ms}ms, warm ${warm_ms}ms (100% hits), reports byte-identical"
+test "$cold_ms" -ge $(( warm_ms * 10 ))
 
 echo "==> conformance fuzz (differential oracles, bounded deterministic run)"
 cargo run -q --release -p mosaic-conformance -- fuzz --cases 256 --seed 0xC0FFEE

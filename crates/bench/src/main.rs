@@ -1,11 +1,12 @@
 //! The `mosaic-bench` harness: the repo's benchmark trajectory point.
 //!
 //! Runs a fixed roster of scenarios — microbenches of the hot data
-//! structures plus a bounded figure-driver sweep — and emits `BENCH.json`
-//! with the median-of-N wall time per scenario. The committed
-//! `BENCH.json` is the performance baseline; CI re-runs the harness in a
-//! reduced configuration and fails when any scenario regresses more than
-//! 2x against it (`--check`).
+//! structures, a bounded figure-driver sweep, and a warm re-run of the
+//! smoke campaign through the persistent run cache — and emits
+//! `BENCH.json` with the median-of-N wall time per scenario. The
+//! committed `BENCH.json` is the performance baseline; CI re-runs the
+//! harness in a reduced configuration and fails when any scenario
+//! regresses past its per-scenario `max_ratio` limit (`--check`).
 //!
 //! ```text
 //! cargo run --release -p mosaic-bench                  # full samples, write BENCH.json
@@ -16,10 +17,16 @@
 //!
 //! Scenario wall times are medians, each sample rebuilds its structures
 //! from scratch, and every simulated run is seeded — so times vary only
-//! with host load, never with simulated behavior. The 2x gate is loose
-//! enough for shared-runner noise while still catching the accidental
-//! O(n^2) or re-introduced allocation churn this harness exists to pin.
+//! with host load, never with simulated behavior. Each scenario carries
+//! its own regression limit (schema v2): tight for long, stable
+//! scenarios; looser where small absolute times make IO and scheduler
+//! noise proportionally large. The limits stay loose enough for
+//! shared-runner noise while still catching the accidental O(n^2) or
+//! re-introduced allocation churn this harness exists to pin. Baselines
+//! written by the v1 harness (no per-scenario limit) still check, at the
+//! historical global 2x.
 
+use mosaic_campaign::{Spec, Store};
 use mosaic_core::{MemoryManager, MosaicConfig, MosaicManager};
 use mosaic_experiments as exp;
 use mosaic_experiments::Scope;
@@ -31,6 +38,8 @@ use mosaic_vm::{
 };
 use mosaic_workloads::{ScaleConfig, Workload};
 use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Samples per scenario (median reported). `--quick` halves the work for
@@ -165,22 +174,66 @@ fn figure(run: fn(Scope) -> String) {
     exp::sweep::set_jobs(None);
 }
 
+fn campaign_cached_rerun() {
+    // Warm re-run of the smoke campaign through the persistent run
+    // cache. The untimed warm-up call populates the store cold (real
+    // simulation); every timed sample then re-runs the identical matrix
+    // and must be served entirely from disk, so the recorded median is
+    // the cached-replay cost the campaign engine promises (well under
+    // a tenth of the cold time — see DESIGN.md §13).
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    let dir = DIR.get_or_init(|| {
+        let d = std::env::temp_dir().join(format!("mosaic-bench-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    });
+    let spec = Spec::parse(include_str!("../../../campaigns/smoke.toml"))
+        .expect("committed smoke campaign parses");
+    let campaign = spec.expand();
+    exp::sweep::set_cache(Some(Store::open(dir).expect("open bench run cache")));
+    for point in &campaign.points {
+        black_box(exp::sweep::run_workload_cached(&point.workload, point.cfg));
+    }
+    exp::sweep::set_cache(None);
+}
+
+/// One roster entry: a stable scenario name (the committed BENCH.json
+/// and the CI gate key on it), the per-scenario regression limit
+/// written into the baseline, and the body to time.
+struct Scenario {
+    name: &'static str,
+    max_ratio: f64,
+    run: fn(),
+}
+
+/// Per-scenario regression limits. Long simulator-bound scenarios get
+/// the historical 2x; the tens-of-milliseconds microbenches are stable
+/// enough for a tighter gate — except `page_table_map_unmap`, whose ~3 ms
+/// absolute cost makes one scheduler preemption read as a 1.6x+ swing;
+/// the cached re-run is sub-millisecond file IO, where page-cache and
+/// scheduler noise are proportionally huge.
+const MICRO_RATIO: f64 = 1.6;
+const SWEEP_RATIO: f64 = 2.0;
+const CACHED_RATIO: f64 = 4.0;
+
 /// The scenario roster. Names are stable identifiers: the committed
 /// BENCH.json and the CI gate key on them.
-fn scenarios() -> Vec<(&'static str, fn())> {
+fn scenarios() -> Vec<Scenario> {
+    let s = |name, max_ratio, run: fn()| Scenario { name, max_ratio, run };
     vec![
-        ("micro/tlb_lookup", micro_tlb_lookup),
-        ("micro/tlb_fill_evict", micro_tlb_fill_evict),
-        ("micro/page_table_translate", micro_page_table_translate),
-        ("micro/page_table_map_unmap", micro_page_table_map_unmap),
-        ("micro/walker", micro_walker),
-        ("micro/manager_touch", micro_manager_touch),
-        ("sweep/run_workload", sweep_run_workload),
-        ("sweep/oversubscribed", sweep_oversubscribed),
-        ("scaling/sim_threads", scaling_sim_threads),
-        ("sweep/fig03", || figure(|s| exp::fig03::run(s).to_string())),
-        ("sweep/fig08", || figure(|s| exp::fig08::run(s).to_string())),
-        ("sweep/fig11", || figure(|s| exp::fig11::run(s).to_string())),
+        s("micro/tlb_lookup", MICRO_RATIO, micro_tlb_lookup),
+        s("micro/tlb_fill_evict", MICRO_RATIO, micro_tlb_fill_evict),
+        s("micro/page_table_translate", MICRO_RATIO, micro_page_table_translate),
+        s("micro/page_table_map_unmap", SWEEP_RATIO, micro_page_table_map_unmap),
+        s("micro/walker", MICRO_RATIO, micro_walker),
+        s("micro/manager_touch", MICRO_RATIO, micro_manager_touch),
+        s("sweep/run_workload", SWEEP_RATIO, sweep_run_workload),
+        s("sweep/oversubscribed", SWEEP_RATIO, sweep_oversubscribed),
+        s("scaling/sim_threads", SWEEP_RATIO, scaling_sim_threads),
+        s("sweep/fig03", SWEEP_RATIO, || figure(|s| exp::fig03::run(s).to_string())),
+        s("sweep/fig08", SWEEP_RATIO, || figure(|s| exp::fig08::run(s).to_string())),
+        s("sweep/fig11", SWEEP_RATIO, || figure(|s| exp::fig11::run(s).to_string())),
+        s("campaign/cached_rerun", CACHED_RATIO, campaign_cached_rerun),
     ]
 }
 
@@ -196,17 +249,19 @@ fn median(samples: &mut [f64]) -> f64 {
 
 struct Measurement {
     name: &'static str,
+    max_ratio: f64,
     median_ms: f64,
     samples_ms: Vec<f64>,
 }
 
 fn run_scenarios(samples: usize, filter: &[String]) -> Vec<Measurement> {
     let mut out = Vec::new();
-    for (name, run) in scenarios() {
+    for Scenario { name, max_ratio, run } in scenarios() {
         if !filter.is_empty() && !filter.iter().any(|f| name.contains(f.as_str())) {
             continue;
         }
-        // One untimed warm-up (page faults, lazy init, branch history).
+        // One untimed warm-up (page faults, lazy init, branch history —
+        // and for campaign/cached_rerun, the cold store population).
         run();
         let mut samples_ms = Vec::with_capacity(samples);
         for _ in 0..samples {
@@ -216,7 +271,7 @@ fn run_scenarios(samples: usize, filter: &[String]) -> Vec<Measurement> {
         }
         let median_ms = median(&mut samples_ms.clone());
         eprintln!("# {name:<28} median {median_ms:>10.2} ms over {samples} samples");
-        out.push(Measurement { name, median_ms, samples_ms });
+        out.push(Measurement { name, max_ratio, median_ms, samples_ms });
     }
     out
 }
@@ -224,15 +279,16 @@ fn run_scenarios(samples: usize, filter: &[String]) -> Vec<Measurement> {
 fn render_json(samples: usize, results: &[Measurement]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"mosaic-bench/v1\",\n");
+    s.push_str("  \"schema\": \"mosaic-bench/v2\",\n");
     s.push_str(&format!("  \"samples\": {samples},\n"));
     s.push_str("  \"scenarios\": [\n");
     for (i, m) in results.iter().enumerate() {
         let list = m.samples_ms.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>().join(", ");
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"median_ms\": {:.3}, \"samples_ms\": [{}]}}{}\n",
+            "    {{\"name\": \"{}\", \"median_ms\": {:.3}, \"max_ratio\": {:.1}, \"samples_ms\": [{}]}}{}\n",
             m.name,
             m.median_ms,
+            m.max_ratio,
             list,
             if i + 1 == results.len() { "" } else { "," }
         ));
@@ -241,13 +297,37 @@ fn render_json(samples: usize, results: &[Measurement]) -> String {
     s
 }
 
-/// Extracts `(name, median_ms)` pairs from a BENCH.json document.
+/// One baseline row: scenario name, committed median, regression limit.
+struct BaselineEntry {
+    name: String,
+    median_ms: f64,
+    max_ratio: f64,
+}
+
+/// Parses one numeric field (`"tag": 12.3`) out of a scenario line.
+fn parse_number(line: &str, name: &str, tag: &str) -> Result<Option<f64>, String> {
+    let full = format!("\"{tag}\": ");
+    let Some(pos) = line.find(&full) else { return Ok(None) };
+    let after = &line[pos + full.len()..];
+    let num_end = after
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .ok_or_else(|| format!("{name}: unterminated {tag}"))?;
+    let value: f64 =
+        after[..num_end].parse().map_err(|e| format!("{name}: bad {tag} number: {e}"))?;
+    Ok(Some(value))
+}
+
+/// Extracts the baseline entries from a BENCH.json document.
 ///
 /// Deliberately schema-specific rather than a general JSON parser: the
 /// harness is the only writer, so any deviation from the expected shape
-/// *is* malformation and must fail the gate.
-fn parse_baseline(text: &str) -> Result<Vec<(String, f64)>, String> {
-    if !text.contains("\"schema\": \"mosaic-bench/v1\"") {
+/// *is* malformation and must fail the gate. Accepts both the current v2
+/// schema (per-scenario `max_ratio`) and the original v1 schema, whose
+/// entries all check at the historical global 2x limit.
+fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    if !text.contains("\"schema\": \"mosaic-bench/v1\"")
+        && !text.contains("\"schema\": \"mosaic-bench/v2\"")
+    {
         return Err("missing or unknown \"schema\" marker".into());
     }
     let mut out = Vec::new();
@@ -256,20 +336,22 @@ fn parse_baseline(text: &str) -> Result<Vec<(String, f64)>, String> {
         rest = &rest[pos + "{\"name\": \"".len()..];
         let name_end = rest.find('"').ok_or("unterminated scenario name")?;
         let name = rest[..name_end].to_string();
-        let rest2 = &rest[name_end..];
-        let tag = "\"median_ms\": ";
-        let mpos = rest2.find(tag).ok_or_else(|| format!("{name}: no median_ms field"))?;
-        let after = &rest2[mpos + tag.len()..];
-        let num_end = after
-            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
-            .ok_or_else(|| format!("{name}: unterminated median_ms"))?;
-        let value: f64 =
-            after[..num_end].parse().map_err(|e| format!("{name}: bad median_ms number: {e}"))?;
-        if !value.is_finite() || value <= 0.0 {
-            return Err(format!("{name}: median_ms {value} is not a positive finite number"));
+        // Each scenario is one line of the writer's output; confining the
+        // field search to it keeps a missing max_ratio from silently
+        // borrowing the next scenario's.
+        let line =
+            &rest[name_end..rest[name_end..].find('\n').map_or(rest.len(), |p| name_end + p)];
+        let median_ms = parse_number(line, &name, "median_ms")?
+            .ok_or_else(|| format!("{name}: no median_ms field"))?;
+        if !median_ms.is_finite() || median_ms <= 0.0 {
+            return Err(format!("{name}: median_ms {median_ms} is not a positive finite number"));
         }
-        out.push((name, value));
-        rest = after;
+        let max_ratio = parse_number(line, &name, "max_ratio")?.unwrap_or(2.0);
+        if !max_ratio.is_finite() || max_ratio < 1.0 {
+            return Err(format!("{name}: max_ratio {max_ratio} must be a finite number >= 1"));
+        }
+        out.push(BaselineEntry { name, median_ms, max_ratio });
+        rest = &rest[name_end..];
     }
     if out.is_empty() {
         return Err("no scenarios found".into());
@@ -278,23 +360,24 @@ fn parse_baseline(text: &str) -> Result<Vec<(String, f64)>, String> {
 }
 
 /// Compares current medians to the committed baseline: any scenario more
-/// than `limit`x slower fails. Scenarios present on only one side are
-/// reported but tolerated (the roster may grow between commits).
-fn check_regressions(results: &[Measurement], baseline: &[(String, f64)], limit: f64) -> bool {
+/// than its baseline `max_ratio` slower fails. Scenarios present on only
+/// one side are reported but tolerated (the roster may grow between
+/// commits).
+fn check_regressions(results: &[Measurement], baseline: &[BaselineEntry]) -> bool {
     let mut ok = true;
     for m in results {
-        match baseline.iter().find(|(n, _)| n == m.name) {
-            Some((_, base)) => {
-                let ratio = m.median_ms / base;
-                let verdict = if ratio > limit {
+        match baseline.iter().find(|b| b.name == m.name) {
+            Some(b) => {
+                let ratio = m.median_ms / b.median_ms;
+                let verdict = if ratio > b.max_ratio {
                     ok = false;
                     "REGRESSION"
                 } else {
                     "ok"
                 };
                 eprintln!(
-                    "# check {:<28} {:>8.2} ms vs baseline {:>8.2} ms ({:>5.2}x) {}",
-                    m.name, m.median_ms, base, ratio, verdict
+                    "# check {:<28} {:>8.2} ms vs baseline {:>8.2} ms ({:>5.2}x, limit {:.1}x) {}",
+                    m.name, m.median_ms, b.median_ms, ratio, b.max_ratio, verdict
                 );
             }
             None => eprintln!("# check {:<28} no baseline entry (new scenario)", m.name),
@@ -328,8 +411,8 @@ fn main() {
         }
     }
     if list {
-        for (name, _) in scenarios() {
-            println!("{name}");
+        for s in scenarios() {
+            println!("{}", s.name);
         }
         return;
     }
@@ -354,7 +437,7 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        if !check_regressions(&results, &baseline, 2.0) {
+        if !check_regressions(&results, &baseline) {
             eprintln!("# benchmark regression gate FAILED (see above)");
             std::process::exit(1);
         }
@@ -372,17 +455,52 @@ mod tests {
         assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
     }
 
+    fn m(name: &'static str, max_ratio: f64, median_ms: f64) -> Measurement {
+        Measurement { name, max_ratio, median_ms, samples_ms: vec![median_ms] }
+    }
+
+    fn b(name: &str, median_ms: f64, max_ratio: f64) -> BaselineEntry {
+        BaselineEntry { name: name.to_string(), median_ms, max_ratio }
+    }
+
     #[test]
     fn json_round_trips_through_parser() {
         let results = vec![
-            Measurement { name: "micro/a", median_ms: 1.5, samples_ms: vec![1.4, 1.5, 1.6] },
-            Measurement { name: "sweep/b", median_ms: 250.0, samples_ms: vec![250.0] },
+            Measurement {
+                name: "micro/a",
+                max_ratio: 1.6,
+                median_ms: 1.5,
+                samples_ms: vec![1.4, 1.5, 1.6],
+            },
+            Measurement {
+                name: "sweep/b",
+                max_ratio: 2.0,
+                median_ms: 250.0,
+                samples_ms: vec![250.0],
+            },
         ];
         let json = render_json(3, &results);
         let parsed = parse_baseline(&json).unwrap();
         assert_eq!(parsed.len(), 2);
-        assert_eq!(parsed[0], ("micro/a".to_string(), 1.5));
-        assert_eq!(parsed[1], ("sweep/b".to_string(), 250.0));
+        assert_eq!(
+            (parsed[0].name.as_str(), parsed[0].median_ms, parsed[0].max_ratio),
+            ("micro/a", 1.5, 1.6)
+        );
+        assert_eq!(
+            (parsed[1].name.as_str(), parsed[1].median_ms, parsed[1].max_ratio),
+            ("sweep/b", 250.0, 2.0)
+        );
+    }
+
+    #[test]
+    fn v1_baselines_check_at_the_historical_global_limit() {
+        let v1 = "{\"schema\": \"mosaic-bench/v1\", \"scenarios\": [\n\
+             {\"name\": \"micro/a\", \"median_ms\": 1.500, \"samples_ms\": [1.5]},\n\
+             {\"name\": \"sweep/b\", \"median_ms\": 250.000, \"samples_ms\": [250.0]}]}";
+        let parsed = parse_baseline(v1).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed.iter().all(|e| e.max_ratio == 2.0), "v1 entries default to 2x");
+        assert_eq!(parsed[1].median_ms, 250.0);
     }
 
     #[test]
@@ -392,18 +510,40 @@ mod tests {
         let bad_number = "{\"schema\": \"mosaic-bench/v1\", \"scenarios\": [\n\
              {\"name\": \"x\", \"median_ms\": -3.0, \"samples_ms\": []}]}";
         assert!(parse_baseline(bad_number).is_err());
+        let bad_ratio = "{\"schema\": \"mosaic-bench/v2\", \"scenarios\": [\n\
+             {\"name\": \"x\", \"median_ms\": 3.0, \"max_ratio\": 0.5, \"samples_ms\": []}]}";
+        assert!(parse_baseline(bad_ratio).is_err(), "a limit below 1x would always fail");
     }
 
     #[test]
-    fn regression_gate_trips_at_limit() {
-        let results =
-            vec![Measurement { name: "micro/a", median_ms: 10.0, samples_ms: vec![10.0] }];
-        let base = vec![("micro/a".to_string(), 6.0)];
-        assert!(check_regressions(&results, &base, 2.0), "1.67x is within 2x");
-        let base = vec![("micro/a".to_string(), 4.0)];
-        assert!(!check_regressions(&results, &base, 2.0), "2.5x must fail");
+    fn regression_gate_trips_at_each_scenarios_own_limit() {
+        let results = vec![m("micro/a", 1.6, 10.0)];
+        assert!(check_regressions(&results, &[b("micro/a", 6.0, 2.0)]), "1.67x is within 2x");
+        assert!(!check_regressions(&results, &[b("micro/a", 4.0, 2.0)]), "2.5x must fail");
+        // The baseline's limit governs, not a global constant: the same
+        // 1.67x ratio fails a 1.6x scenario...
+        assert!(!check_regressions(&results, &[b("micro/a", 6.0, 1.6)]));
+        // ...while 2.5x passes a loose 4x scenario.
+        assert!(check_regressions(&results, &[b("micro/a", 4.0, 4.0)]));
         // Unknown scenarios are tolerated.
-        let base = vec![("micro/other".to_string(), 1.0)];
-        assert!(check_regressions(&results, &base, 2.0));
+        assert!(check_regressions(&results, &[b("micro/other", 1.0, 2.0)]));
+    }
+
+    #[test]
+    fn roster_limits_cover_every_scenario_family() {
+        for s in scenarios() {
+            let expected = if s.name == "micro/page_table_map_unmap" {
+                // The documented exception: ~3 ms absolute, so one
+                // scheduler preemption reads as a 1.6x+ swing.
+                SWEEP_RATIO
+            } else if s.name.starts_with("micro/") {
+                MICRO_RATIO
+            } else if s.name.starts_with("campaign/") {
+                CACHED_RATIO
+            } else {
+                SWEEP_RATIO
+            };
+            assert_eq!(s.max_ratio, expected, "{} carries its family's limit", s.name);
+        }
     }
 }

@@ -1,0 +1,90 @@
+//! Computes the workspace *code digest* baked into `mosaic-campaign`.
+//!
+//! The content-addressed run cache keys every entry on, among other
+//! things, a digest of the workspace's Rust sources plus `Cargo.lock`.
+//! Any source change — a simulator fix, a new stall bucket, a dependency
+//! bump — therefore changes every cache key, so entries computed by an
+//! older build can never be served to a newer one. Over-invalidation
+//! (hashing sources that cannot affect simulated output, e.g. tests) is
+//! deliberate: a stale hit corrupts golden output, a spurious miss only
+//! costs a re-run.
+//!
+//! The digest is FNV-1a (128-bit) over `(relative path, file bytes)`
+//! pairs in sorted path order, so it is independent of directory walk
+//! order and of the absolute checkout location.
+
+use std::path::{Path, PathBuf};
+
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+fn fnv1a(hash: &mut u128, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u128::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Collects every `.rs` file under `dir`, recursively, skipping hidden
+/// entries and anything named `target`.
+fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    let manifest_dir = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").expect("set by cargo"));
+    let workspace = manifest_dir
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/campaign sits two levels below the workspace root")
+        .to_path_buf();
+
+    let mut files = Vec::new();
+    collect_sources(&workspace.join("crates"), &mut files);
+    collect_sources(&workspace.join("src"), &mut files);
+    let lock = workspace.join("Cargo.lock");
+    if lock.is_file() {
+        files.push(lock);
+    }
+    // Sort by workspace-relative path so the digest is stable across walk
+    // orders and checkout locations.
+    let mut keyed: Vec<(String, PathBuf)> = files
+        .into_iter()
+        .map(|p| {
+            let rel = p.strip_prefix(&workspace).unwrap_or(&p).to_string_lossy().replace('\\', "/");
+            (rel, p)
+        })
+        .collect();
+    keyed.sort();
+
+    let mut hash = FNV_OFFSET;
+    for (rel, path) in &keyed {
+        let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("reading {rel}: {e}"));
+        fnv1a(&mut hash, rel.as_bytes());
+        fnv1a(&mut hash, &[0]);
+        fnv1a(&mut hash, &bytes);
+        fnv1a(&mut hash, &[0xff]);
+    }
+
+    println!("cargo:rustc-env=MOSAIC_CODE_DIGEST={hash:032x}");
+    // Directory paths are tracked recursively by cargo; any source edit
+    // anywhere in the workspace re-runs this script and moves the digest.
+    println!("cargo:rerun-if-changed={}", workspace.join("crates").display());
+    println!("cargo:rerun-if-changed={}", workspace.join("src").display());
+    println!("cargo:rerun-if-changed={}", workspace.join("Cargo.lock").display());
+}

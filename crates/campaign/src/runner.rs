@@ -1,0 +1,211 @@
+//! Campaign report surfaces: deterministic renderings of expansion,
+//! results, and resumable-progress status.
+//!
+//! Everything here is a pure function of its inputs, so `campaign run`
+//! output is byte-identical whether points were simulated or served from
+//! the cache — the invariant the CI `campaign-smoke` step diffs for.
+//! Cache accounting (hits/misses/ETA) goes to stderr in the driver, never
+//! into these renderings.
+
+use crate::matrix::Campaign;
+use crate::store::Store;
+use mosaic_gpusim::RunResult;
+use mosaic_telemetry::progress::fmt_duration;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Renders `campaign expand`: the deterministic job list a spec expands
+/// into, with per-point cache keys elided (they depend on the code
+/// digest, which would make the expansion listing unstable across
+/// builds).
+pub fn render_expand(c: &Campaign) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "campaign {:?}: {} points ({} skipped), scope {:?}",
+        c.name,
+        c.points.len(),
+        c.skipped.len(),
+        c.scope
+    );
+    for (i, p) in c.points.iter().enumerate() {
+        let _ = writeln!(s, "  [{i:>4}] {}", p.label);
+    }
+    render_skipped(&mut s, c);
+    s
+}
+
+/// Renders `campaign run` results — one row per point, in expansion
+/// order, from the [`RunResult`]s alone.
+pub fn render_results(c: &Campaign, results: &[RunResult]) -> String {
+    assert_eq!(c.points.len(), results.len(), "one result per point");
+    let mut s = String::new();
+    let _ = writeln!(s, "campaign {:?}: {} points, scope {:?}", c.name, c.points.len(), c.scope);
+    let _ = writeln!(
+        s,
+        "{:<44} {:>12} {:>8} {:>8} {:>8} {:>10}",
+        "point", "cycles", "l1-tlb", "l2-tlb", "ipc", "far-fault"
+    );
+    for (p, r) in c.points.iter().zip(results) {
+        let ipc: f64 = r.apps.iter().map(|a| a.ipc).sum();
+        let _ = writeln!(
+            s,
+            "{:<44} {:>12} {:>7.1}% {:>7.1}% {:>8.3} {:>10}",
+            p.label,
+            r.total_cycles,
+            100.0 * r.stats.l1_tlb_hit_rate(),
+            100.0 * r.stats.l2_tlb_hit_rate(),
+            ipc,
+            r.stats.manager.far_faults,
+        );
+    }
+    render_skipped(&mut s, c);
+    s
+}
+
+fn render_skipped(s: &mut String, c: &Campaign) {
+    for sk in &c.skipped {
+        let _ = writeln!(s, "  skipped: {} ({})", sk.label, sk.reason);
+    }
+}
+
+/// Resumable-progress snapshot of a campaign against a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignStatus {
+    /// Points in the campaign.
+    pub total: usize,
+    /// Points already present in the store (would be cache hits).
+    pub cached: usize,
+    /// Sum of original wall times of the cached points, in ms.
+    pub cached_wall_ms: u64,
+}
+
+impl CampaignStatus {
+    /// Points still to simulate.
+    pub fn pending(&self) -> usize {
+        self.total - self.cached
+    }
+
+    /// Estimated serial wall time for the pending points, extrapolated
+    /// from the mean wall time of the cached ones. `None` until at least
+    /// one point is cached.
+    pub fn estimated_remaining(&self) -> Option<Duration> {
+        if self.cached == 0 || self.pending() == 0 {
+            return (self.cached > 0).then_some(Duration::ZERO);
+        }
+        let per_point = self.cached_wall_ms as f64 / self.cached as f64;
+        Some(Duration::from_secs_f64(per_point * self.pending() as f64 / 1000.0))
+    }
+}
+
+/// Probes the store for every point of a campaign (without touching the
+/// store's hit/miss accounting).
+pub fn status(c: &Campaign, store: &Store) -> CampaignStatus {
+    let mut cached = 0;
+    let mut cached_wall_ms = 0;
+    for p in &c.points {
+        if let Some(hit) = store.peek(store.run_key(&p.workload, &p.cfg)) {
+            cached += 1;
+            cached_wall_ms += hit.wall_ms;
+        }
+    }
+    CampaignStatus { total: c.points.len(), cached, cached_wall_ms }
+}
+
+/// Renders `campaign status`: per-point cached/pending markers plus the
+/// serial-time estimate for what remains.
+pub fn render_status(c: &Campaign, store: &Store) -> String {
+    let st = status(c, store);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "campaign {:?}: {}/{} points cached, {} pending (store {}, code {})",
+        c.name,
+        st.cached,
+        st.total,
+        st.pending(),
+        store.root().display(),
+        store.code_digest().short(),
+    );
+    for p in &c.points {
+        let mark = if store.peek(store.run_key(&p.workload, &p.cfg)).is_some() {
+            "cached "
+        } else {
+            "pending"
+        };
+        let _ = writeln!(s, "  [{mark}] {}", p.label);
+    }
+    render_skipped(&mut s, c);
+    match st.estimated_remaining() {
+        Some(d) if st.pending() > 0 => {
+            let _ = writeln!(s, "estimated serial time remaining: {}", fmt_duration(d));
+        }
+        Some(_) => {
+            let _ = writeln!(s, "campaign complete; re-run is all cache hits");
+        }
+        None => {
+            let _ = writeln!(s, "no points cached yet; no time estimate");
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Spec;
+    use mosaic_gpusim::run_workload;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("mosaic-campaign-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const SPEC: &str = "name = \"s\"\nscope = \"smoke\"\n[matrix]\nworkloads = [\"MM\"]\nmanagers = [\"gpu-mmu\", \"mosaic\"]";
+
+    #[test]
+    fn expand_listing_is_deterministic() {
+        let c = Spec::parse(SPEC).unwrap().expand();
+        let a = render_expand(&c);
+        let b = render_expand(&c);
+        assert_eq!(a, b);
+        assert!(a.contains("2 points"));
+        assert!(a.contains("MM mosaic"));
+    }
+
+    #[test]
+    fn status_tracks_the_store_and_results_render_identically() {
+        let c = Spec::parse(SPEC).unwrap().expand();
+        let dir = tmpdir("status");
+        let store = Store::open(&dir).unwrap();
+        let st = status(&c, &store);
+        assert_eq!(st, CampaignStatus { total: 2, cached: 0, cached_wall_ms: 0 });
+        assert_eq!(st.estimated_remaining(), None);
+        assert!(render_status(&c, &store).contains("0/2 points cached"));
+
+        // Simulate and store the first point only.
+        let p = &c.points[0];
+        let r0 = run_workload(&p.workload, p.cfg);
+        store.insert(store.run_key(&p.workload, &p.cfg), &r0, 30);
+        let st = status(&c, &store);
+        assert_eq!(st.cached, 1);
+        assert_eq!(st.pending(), 1);
+        assert_eq!(st.estimated_remaining(), Some(Duration::from_millis(30)));
+        let rendered = render_status(&c, &store);
+        assert!(rendered.contains("1/2 points cached"));
+        assert!(rendered.contains("[cached ] MM gpu-mmu"));
+        assert!(rendered.contains("[pending] MM mosaic"));
+
+        // Results render identically from fresh and cached copies.
+        let p1 = &c.points[1];
+        let r1 = run_workload(&p1.workload, p1.cfg);
+        let fresh = render_results(&c, &[r0.clone(), r1.clone()]);
+        let cached = store.lookup(store.run_key(&p.workload, &p.cfg)).unwrap().result;
+        let warm = render_results(&c, &[cached, r1]);
+        assert_eq!(fresh, warm, "cache hit must not change rendered output");
+        assert!(fresh.contains("MM gpu-mmu"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -24,7 +24,21 @@
 //! validate or convert it with the `mosaic-trace` binary. `--stall-report`
 //! appends the stall-cycle attribution report to the requested
 //! experiments. Both are deterministic: byte-identical at any `--jobs`.
+//!
+//! `--cache-dir DIR` (or `MOSAIC_CACHE_DIR=DIR`) installs the persistent
+//! content-addressed run cache (DESIGN.md §13): completed simulations are
+//! checkpointed to disk and served on re-runs, with byte-identical
+//! output. `--no-cache` forces straight simulation. Figure drivers cache
+//! only when a directory is given; the `campaign` subcommand defaults to
+//! `target/mosaic-cache`:
+//!
+//! ```text
+//! reproduce campaign run    FILE   # simulate a scenario matrix (resumable)
+//! reproduce campaign expand FILE   # list the points a matrix expands to
+//! reproduce campaign status FILE   # cached/pending per point + ETA
+//! ```
 
+use mosaic_campaign::{render_expand, render_results, render_status, Spec, Store};
 use mosaic_experiments as exp;
 use mosaic_experiments::Scope;
 
@@ -172,12 +186,160 @@ fn take_trace_flag(args: &mut Vec<String>) -> Option<String> {
     path
 }
 
+/// Strips `--cache-dir DIR` / `--cache-dir=DIR` out of `args` and returns
+/// the store directory, exiting with a usage error on a missing value.
+fn take_cache_dir_flag(args: &mut Vec<String>) -> Option<String> {
+    let mut dir = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--cache-dir" {
+            if i + 1 >= args.len() {
+                eprintln!("--cache-dir requires a directory");
+                std::process::exit(2);
+            }
+            dir = Some(args.remove(i + 1));
+            args.remove(i);
+        } else if let Some(v) = args[i].strip_prefix("--cache-dir=") {
+            dir = Some(v.to_string());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    dir
+}
+
+/// Where the run cache lives: `--cache-dir`, then `MOSAIC_CACHE_DIR`,
+/// then (only if `default` is set) the campaign default directory.
+/// `--no-cache` wins over everything.
+fn resolve_cache_dir(
+    flag: Option<String>,
+    no_cache: bool,
+    default: Option<&str>,
+) -> Option<String> {
+    if no_cache {
+        return None;
+    }
+    flag.or_else(|| std::env::var("MOSAIC_CACHE_DIR").ok().filter(|s| !s.is_empty()))
+        .or_else(|| default.map(str::to_string))
+}
+
+/// Opens the store, exiting on failure (an unreadable cache directory is
+/// a configuration error, not something to silently run without).
+fn open_store(dir: &str) -> Store {
+    Store::open(dir).unwrap_or_else(|e| {
+        eprintln!("cannot open cache directory {dir}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Prints the cache accounting line for whatever ran, if a cache was
+/// installed.
+fn report_cache_stats() {
+    if let Some(store) = exp::sweep::cache() {
+        let st = store.stats();
+        eprintln!(
+            "[cache] {} hits, {} misses, {} stored, {} failures; {} of simulation served from {}",
+            st.hits,
+            st.misses,
+            st.stores,
+            st.failures,
+            mosaic_telemetry::progress::fmt_duration(std::time::Duration::from_millis(st.saved_ms)),
+            store.root().display(),
+        );
+    }
+}
+
+/// The `campaign run|expand|status FILE` subcommand.
+fn run_campaign(sub: &[String], cache_dir: Option<String>, no_cache: bool) {
+    let (action, file) = match sub {
+        [action, file] if matches!(action.as_str(), "run" | "expand" | "status") => {
+            (action.as_str(), file.as_str())
+        }
+        _ => {
+            eprintln!(
+                "usage: reproduce campaign run|expand|status FILE [--cache-dir DIR] [--no-cache]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("cannot read campaign file {file}: {e}");
+        std::process::exit(1);
+    });
+    let spec = Spec::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{file}: {e}");
+        std::process::exit(2);
+    });
+    let campaign = spec.expand();
+    match action {
+        "expand" => print!("{}", render_expand(&campaign)),
+        "status" => {
+            let Some(dir) = resolve_cache_dir(cache_dir, no_cache, Some(DEFAULT_CACHE_DIR)) else {
+                eprintln!("campaign status needs a cache (drop --no-cache)");
+                std::process::exit(2);
+            };
+            print!("{}", render_status(&campaign, &open_store(&dir)));
+        }
+        "run" => {
+            if let Some(dir) = resolve_cache_dir(cache_dir, no_cache, Some(DEFAULT_CACHE_DIR)) {
+                exp::sweep::set_cache(Some(open_store(&dir)));
+            } else {
+                eprintln!("[campaign] cache disabled (--no-cache)");
+            }
+            let exec = exp::Executor::from_env();
+            eprintln!(
+                "[campaign] {:?}: {} points ({} skipped), {} workers",
+                campaign.name,
+                campaign.points.len(),
+                campaign.skipped.len(),
+                exec.jobs()
+            );
+            let jobs: Vec<_> =
+                campaign.points.iter().map(|p| (p.workload.clone(), p.cfg)).collect();
+            let t0 = std::time::Instant::now();
+            let results = exp::sweep::run_workloads(&exec, jobs);
+            print!("{}", render_results(&campaign, &results));
+            report_cache_stats();
+            eprintln!("[campaign] finished in {:.1?}", t0.elapsed());
+        }
+        _ => unreachable!("validated above"),
+    }
+}
+
+/// Default store location for the `campaign` subcommand (figure drivers
+/// only cache when a directory is given explicitly).
+const DEFAULT_CACHE_DIR: &str = "target/mosaic-cache";
+
 fn main() {
     let scope = Scope::from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     exp::sweep::set_jobs(take_jobs_flag(&mut args));
     mosaic_gpusim::set_sim_threads(take_sim_threads_flag(&mut args));
+    let cache_dir = take_cache_dir_flag(&mut args);
+    let no_cache = {
+        let before = args.len();
+        args.retain(|a| a != "--no-cache");
+        args.len() != before
+    };
     let trace_path = take_trace_flag(&mut args);
+    if args.first().map(String::as_str) == Some("campaign") {
+        if trace_path.is_some() {
+            exp::sweep::set_trace(true);
+        }
+        run_campaign(&args[1..], cache_dir, no_cache);
+        if let Some(path) = trace_path {
+            let chunks = exp::sweep::take_trace();
+            let events: usize = chunks.iter().map(|c| c.events.len()).sum();
+            std::fs::write(&path, exp::sweep::render_trace(&chunks))
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {events} events from {} runs to {path}", chunks.len());
+        }
+        return;
+    }
+    if let Some(dir) = resolve_cache_dir(cache_dir, no_cache, None) {
+        exp::sweep::set_cache(Some(open_store(&dir)));
+    }
     let stall_report = {
         let before = args.len();
         args.retain(|a| a != "--stall-report");
@@ -254,6 +416,7 @@ fn main() {
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {events} events from {} runs to {path}", chunks.len());
     }
+    report_cache_stats();
 
     if let Ok(path) = std::env::var("MOSAIC_JSON") {
         std::fs::write(&path, to_json(&results))

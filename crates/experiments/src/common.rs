@@ -1,7 +1,7 @@
 //! Shared experiment machinery: sweep scopes, alone-baseline caching, and
 //! small statistics helpers.
 
-use mosaic_gpusim::{run_workload, sm_share, ManagerKind, RunConfig, RunResult};
+use mosaic_gpusim::{sm_share, ManagerKind, RunConfig, RunResult};
 use mosaic_workloads::{heterogeneous_suite, homogeneous_suite, AppProfile, ScaleConfig, Workload};
 use std::collections::HashMap;
 
@@ -157,7 +157,7 @@ impl AloneCache {
         let key = Self::key(profile, &alone_cfg);
         let result = self.cache.entry(key).or_insert_with(|| {
             let solo = Workload { name: profile.name.to_string(), apps: vec![profile] };
-            run_workload(&solo, alone_cfg)
+            crate::sweep::run_workload_cached(&solo, alone_cfg)
         });
         result.apps[0].ipc
     }
@@ -266,6 +266,7 @@ pub fn fmt_row(label: &str, values: &[f64]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mosaic_gpusim::run_workload;
 
     #[test]
     fn scope_subsets_shrink() {

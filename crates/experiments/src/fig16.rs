@@ -16,9 +16,9 @@
 //! paper's 3 GB configuration.
 
 use crate::common::{fmt_row, Scope};
-use crate::sweep::{run_workloads, Executor};
+use crate::sweep::{run_workload_cached, run_workloads, Executor};
 use mosaic_core::cac::CacConfig;
-use mosaic_gpusim::{run_workload, ManagerKind, RunConfig};
+use mosaic_gpusim::{ManagerKind, RunConfig};
 use mosaic_workloads::Workload;
 use std::fmt;
 
@@ -75,7 +75,7 @@ fn sweep(scope: Scope, points: &[f64], fragment: impl Fn(f64) -> (f64, f64)) -> 
     let exec = Executor::from_env();
     let (w, base_cfg) = stress_setup(scope);
     // Normalization: default CAC, no fragmentation.
-    let baseline = run_workload(&w, base_cfg).total_cycles as f64;
+    let baseline = run_workload_cached(&w, base_cfg).total_cycles as f64;
     // One job per (design, point) grid cell.
     let jobs: Vec<_> = DESIGNS
         .iter()

@@ -22,14 +22,20 @@
 //! 2. the `MOSAIC_JOBS` environment variable,
 //! 3. [`std::thread::available_parallelism`].
 
+use mosaic_campaign::Store;
 use mosaic_gpusim::{run_workload, RunConfig, RunResult};
-use mosaic_telemetry::{Event, TraceSession};
+use mosaic_telemetry::{Eta, Event, TraceSession};
 use mosaic_workloads::Workload;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Process-wide `--jobs` override; `0` means "not set".
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide persistent run cache; when set, [`run_workloads`] and
+/// [`run_workload_cached`] consult it before simulating and checkpoint
+/// every fresh result into it.
+static CACHE: Mutex<Option<Arc<Store>>> = Mutex::new(None);
 
 /// Whether [`run_workloads`] wraps each simulation in a [`TraceSession`].
 static TRACE_REQUESTED: AtomicBool = AtomicBool::new(false);
@@ -95,6 +101,50 @@ pub fn render_trace(chunks: &[TraceChunk]) -> String {
         }
     }
     out
+}
+
+/// Installs (or with `None` removes) the process-wide persistent run
+/// cache. While installed, every simulation routed through
+/// [`run_workloads`] or [`run_workload_cached`] becomes
+/// lookup-before-simulate with per-job checkpointing: each fresh result
+/// is stored the moment its job finishes, so an interrupted campaign
+/// keeps everything it completed.
+///
+/// Traced sweeps (see [`set_trace`]) bypass the cache in both
+/// directions — a cache hit would produce an event-free trace, and an
+/// entry inserted by a traced run would be fine, but symmetry keeps the
+/// rule simple: tracing means "really simulate".
+pub fn set_cache(store: Option<Store>) {
+    *CACHE.lock().expect("cache slot poisoned") = store.map(Arc::new);
+}
+
+/// The currently installed run cache, if any.
+pub fn cache() -> Option<Arc<Store>> {
+    CACHE.lock().expect("cache slot poisoned").clone()
+}
+
+/// Runs one simulation through the installed cache (straight simulation
+/// when no cache is installed or tracing is on). The serial counterpart
+/// of [`run_workloads`], for drivers that need a single result inline.
+pub fn run_workload_cached(workload: &Workload, cfg: RunConfig) -> RunResult {
+    match cache() {
+        Some(store) if !trace_requested() => cached_run(&store, workload, cfg),
+        _ => run_workload(workload, cfg),
+    }
+}
+
+/// Lookup-before-simulate with insert-on-miss. The insert happens here,
+/// inside the calling job, not after the enclosing sweep — that per-job
+/// checkpointing is what makes campaigns resumable.
+fn cached_run(store: &Store, workload: &Workload, cfg: RunConfig) -> RunResult {
+    let key = store.run_key(workload, &cfg);
+    if let Some(hit) = store.lookup(key) {
+        return hit.result;
+    }
+    let t0 = std::time::Instant::now();
+    let result = run_workload(workload, cfg);
+    store.insert(key, &result, t0.elapsed().as_millis() as u64);
+    result
 }
 
 /// Sets (or with `None` clears) the process-wide worker-count override.
@@ -227,23 +277,30 @@ impl Default for Executor {
     }
 }
 
-/// Completion counter behind the per-job stderr progress lines.
+/// Completion counter behind the per-job stderr progress lines, with an
+/// ETA extrapolated from jobs done over batch elapsed time.
 #[derive(Debug)]
 struct Progress {
     done: AtomicUsize,
     total: usize,
+    eta: Eta,
 }
 
 impl Progress {
     fn new(total: usize) -> Self {
-        Progress { done: AtomicUsize::new(0), total }
+        Progress { done: AtomicUsize::new(0), total, eta: Eta::start(total) }
     }
 
     fn report(&self, label: &str, started: std::time::Instant) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         if !label.is_empty() {
+            let eta = if done < self.total {
+                format!(" {}", self.eta.render(done))
+            } else {
+                String::new()
+            };
             eprintln!(
-                "[sweep {done}/{total}] {label} ({elapsed:.1?})",
+                "[sweep {done}/{total}] {label} ({elapsed:.1?}){eta}",
                 total = self.total,
                 elapsed = started.elapsed()
             );
@@ -258,6 +315,7 @@ impl Progress {
 /// progress label is `workload [manager]`.
 pub fn run_workloads(exec: &Executor, jobs: Vec<(Workload, RunConfig)>) -> Vec<RunResult> {
     let tracing = trace_requested();
+    let store = if tracing { None } else { cache() };
     let seq_base =
         if tracing { TRACE_SEQ.fetch_add(jobs.len() as u64, Ordering::SeqCst) } else { 0 };
     exec.run_labeled(
@@ -266,9 +324,13 @@ pub fn run_workloads(exec: &Executor, jobs: Vec<(Workload, RunConfig)>) -> Vec<R
             .map(|(i, (w, cfg))| {
                 let manager = cfg.manager.label().to_string();
                 let label = format!("{} [{manager}]", w.name);
+                let store = store.clone();
                 let task = move || {
                     if !tracing {
-                        return run_workload(&w, cfg);
+                        return match &store {
+                            Some(store) => cached_run(store, &w, cfg),
+                            None => run_workload(&w, cfg),
+                        };
                     }
                     // Sequence numbers are assigned at submission, on the
                     // submitting thread, so chunk order is independent of

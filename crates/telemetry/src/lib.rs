@@ -27,9 +27,11 @@
 pub mod chrome;
 pub mod event;
 pub mod json;
+pub mod progress;
 pub mod stall;
 
 pub use event::{escape_json, run_begin_jsonl, Event, SCHEMA};
+pub use progress::Eta;
 pub use stall::{AccessTimeline, StallBreakdown, StallBucket, MAX_TIMELINE_SEGS};
 
 use std::cell::{Cell, RefCell};

@@ -1,0 +1,103 @@
+//! Progress/ETA estimation for long sweeps and campaigns.
+//!
+//! The estimator is deliberately simple — linear extrapolation of
+//! elapsed wall time over completed jobs — because simulation points in
+//! one sweep are similarly sized and the audience is a human watching
+//! stderr, not a scheduler. The pure core ([`remaining`]) is separated
+//! from the wall-clock wrapper ([`Eta`]) so it can be unit-tested
+//! without sleeping.
+
+use std::time::{Duration, Instant};
+
+/// Estimated time remaining after `done` of `total` jobs took `elapsed`.
+///
+/// Returns `None` while no job has finished (nothing to extrapolate
+/// from) and `Some(0)` once `done >= total`.
+pub fn remaining(total: usize, done: usize, elapsed: Duration) -> Option<Duration> {
+    if done == 0 {
+        return None;
+    }
+    if done >= total {
+        return Some(Duration::ZERO);
+    }
+    let per_job = elapsed.as_secs_f64() / done as f64;
+    Some(Duration::from_secs_f64(per_job * (total - done) as f64))
+}
+
+/// Renders a duration as a compact human figure: `~950ms`, `~12s`,
+/// `~3m40s`, `~2h05m`.
+pub fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs();
+    if secs == 0 {
+        format!("~{}ms", d.as_millis())
+    } else if secs < 100 {
+        format!("~{secs}s")
+    } else if secs < 6000 {
+        format!("~{}m{:02}s", secs / 60, secs % 60)
+    } else {
+        format!("~{}h{:02}m", secs / 3600, (secs % 3600) / 60)
+    }
+}
+
+/// Wall-clock ETA tracker for a fixed-size batch of jobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Eta {
+    total: usize,
+    started: Instant,
+}
+
+impl Eta {
+    /// Starts the clock for a batch of `total` jobs.
+    pub fn start(total: usize) -> Self {
+        Eta { total, started: Instant::now() }
+    }
+
+    /// Time elapsed since [`Eta::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Estimated time remaining with `done` jobs finished.
+    pub fn remaining(&self, done: usize) -> Option<Duration> {
+        remaining(self.total, done, self.elapsed())
+    }
+
+    /// Renders `"ETA ~12s"`, or `""` while no estimate exists yet.
+    pub fn render(&self, done: usize) -> String {
+        match self.remaining(done) {
+            Some(left) => format!("ETA {}", fmt_duration(left)),
+            None => String::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_extrapolates_linearly() {
+        assert_eq!(remaining(10, 0, Duration::from_secs(5)), None);
+        assert_eq!(remaining(10, 5, Duration::from_secs(5)), Some(Duration::from_secs(5)));
+        assert_eq!(remaining(10, 10, Duration::from_secs(5)), Some(Duration::ZERO));
+        assert_eq!(remaining(10, 12, Duration::from_secs(5)), Some(Duration::ZERO));
+        let left = remaining(4, 1, Duration::from_secs(3)).unwrap();
+        assert_eq!(left, Duration::from_secs(9));
+    }
+
+    #[test]
+    fn durations_render_compactly() {
+        assert_eq!(fmt_duration(Duration::from_millis(950)), "~950ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "~12s");
+        assert_eq!(fmt_duration(Duration::from_secs(220)), "~3m40s");
+        assert_eq!(fmt_duration(Duration::from_secs(7500)), "~2h05m");
+    }
+
+    #[test]
+    fn eta_renders_once_jobs_complete() {
+        let eta = Eta::start(4);
+        assert_eq!(eta.render(0), "");
+        let rendered = eta.render(2);
+        assert!(rendered.starts_with("ETA ~"), "got {rendered:?}");
+    }
+}
