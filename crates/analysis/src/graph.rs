@@ -52,6 +52,12 @@ pub const ENTRY_POINTS: &[&str] = &[
     // The demand-paging eviction pump: fires on every out-of-memory
     // fault under oversubscription (eviction, write-back, shootdowns).
     "GpuSystem::evict_pressure",
+    // The multi-GPU fleet path: placement resolution on every L1-missing
+    // access, and the inter-GPU link fabric it charges remote requests
+    // and migration/replication payloads through.
+    "PlacementMap::access",
+    "Interconnect::traverse",
+    "Interconnect::transfer",
 ];
 
 /// A function in the computed closure, addressable for humans.

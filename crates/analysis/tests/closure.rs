@@ -56,6 +56,10 @@ fn computed_closure_finds_hot_files_the_old_list_missed() {
         "crates/core/src/cac.rs",
         "crates/sim-core/src/queue.rs",
         "crates/vm/src/page_table.rs",
+        // The multi-GPU fleet path: placement decides residency on every
+        // L1-missing access, and remote traffic rides the interconnect.
+        "crates/core/src/placement.rs",
+        "crates/mem/src/interconnect.rs",
     ] {
         assert!(files.contains(&new), "{new} missing from closure: {files:#?}");
     }

@@ -29,3 +29,10 @@ impl Crossbar {
 impl IoBus {
     pub fn transfer(&mut self) {}
 }
+impl PlacementMap {
+    pub fn access(&mut self) {}
+}
+impl Interconnect {
+    pub fn traverse(&mut self) {}
+    pub fn transfer(&mut self) {}
+}

@@ -30,7 +30,7 @@ use mosaic_campaign::{Spec, Store};
 use mosaic_core::{MemoryManager, MosaicConfig, MosaicManager};
 use mosaic_experiments as exp;
 use mosaic_experiments::Scope;
-use mosaic_gpusim::{run_workload, ManagerKind, RunConfig};
+use mosaic_gpusim::{run_workload, ManagerKind, RunConfig, Topology};
 use mosaic_sim_core::Cycle;
 use mosaic_vm::{
     AppId, LargeFrameNum, LargePageNum, PageSize, PageTable, PageTableWalker, PhysAddr,
@@ -166,6 +166,14 @@ fn scaling_sim_threads() {
     mosaic_gpusim::set_sim_threads(None);
 }
 
+fn scaling_multi_gpu() {
+    // The same inner loop on a 2-GPU fleet: placement resolution on
+    // every L1 miss, interconnect queueing, and migration payloads all
+    // ride the shared serial path, which no single-GPU scenario prices.
+    let w = Workload::from_names(&["MM", "GUPS", "HS"]);
+    black_box(run_workload(&w, sweep_cfg().multi_gpu(2, Topology::FullyConnected)));
+}
+
 fn figure(run: fn(Scope) -> String) {
     // Single-threaded so wall times measure the simulator, not the
     // executor's scheduling; Smoke keeps the sweep bounded.
@@ -230,6 +238,7 @@ fn scenarios() -> Vec<Scenario> {
         s("sweep/run_workload", SWEEP_RATIO, sweep_run_workload),
         s("sweep/oversubscribed", SWEEP_RATIO, sweep_oversubscribed),
         s("scaling/sim_threads", SWEEP_RATIO, scaling_sim_threads),
+        s("scaling/multi_gpu", SWEEP_RATIO, scaling_multi_gpu),
         s("sweep/fig03", SWEEP_RATIO, || figure(|s| exp::fig03::run(s).to_string())),
         s("sweep/fig08", SWEEP_RATIO, || figure(|s| exp::fig08::run(s).to_string())),
         s("sweep/fig11", SWEEP_RATIO, || figure(|s| exp::fig11::run(s).to_string())),

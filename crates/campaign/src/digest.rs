@@ -171,6 +171,7 @@ pub fn run_key(workload: &Workload, cfg: &RunConfig, code: Digest) -> Digest {
         .field("workload", &workload.name)
         .field("apps", apps.join(","))
         .field("manager", format!("{:?}", cfg.manager))
+        .field("fleet", format!("{:?}", cfg.fleet))
         .field("system", format!("{:?}", cfg.system))
         .field("scale", format!("{:?}", cfg.scale))
         .field("paging", format!("{:?}", cfg.paging))

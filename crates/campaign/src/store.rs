@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Entry format version; bump on any layout change. Participates in the
 /// cache key, so a version bump invalidates every existing entry.
-pub const ENTRY_VERSION: &str = "mosaic-campaign entry v1";
+pub const ENTRY_VERSION: &str = "mosaic-campaign entry v2";
 
 /// The workspace code digest this binary was built from, as computed by
 /// `build.rs` over every workspace `.rs` file plus `Cargo.lock`.
@@ -274,6 +274,11 @@ fn render_entry(key: Digest, code: Digest, result: &RunResult, wall_ms: u64) -> 
     let _ = writeln!(s, "app_footprint_bytes={}", st.app_footprint_bytes);
     let _ = writeln!(s, "touched_bytes={}", st.touched_bytes);
     let _ = writeln!(s, "memory_bloat={:?}", st.memory_bloat);
+    let _ = writeln!(s, "remote_accesses={}", st.remote_accesses);
+    let _ = writeln!(s, "interconnect_bytes={}", st.interconnect_bytes);
+    let _ = writeln!(s, "fleet_migrations={}", st.fleet_migrations);
+    let _ = writeln!(s, "fleet_replications={}", st.fleet_replications);
+    let _ = writeln!(s, "fleet_copy_bytes={}", st.fleet_copy_bytes);
     let _ = writeln!(s, "end");
     s
 }
@@ -366,6 +371,11 @@ fn parse_entry(text: &str, expect_key: Digest, expect_code: Digest) -> Option<Ca
         app_footprint_bytes: c.u64("app_footprint_bytes")?,
         touched_bytes: c.u64("touched_bytes")?,
         memory_bloat: c.f64("memory_bloat")?,
+        remote_accesses: c.u64("remote_accesses")?,
+        interconnect_bytes: c.u64("interconnect_bytes")?,
+        fleet_migrations: c.u64("fleet_migrations")?,
+        fleet_replications: c.u64("fleet_replications")?,
+        fleet_copy_bytes: c.u64("fleet_copy_bytes")?,
     };
     if c.lines.next()? != "end" {
         return None;

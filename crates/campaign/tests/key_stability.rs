@@ -12,7 +12,7 @@
 use mosaic_campaign::digest::{run_key, Digest};
 use mosaic_core::cac::CacConfig;
 use mosaic_core::migrating::MigratingConfig;
-use mosaic_gpusim::{DemandPagingMode, ManagerKind, RunConfig};
+use mosaic_gpusim::{DemandPagingMode, ManagerKind, PlacementPolicy, RunConfig, Topology};
 use mosaic_workloads::Workload;
 
 fn base() -> (Workload, RunConfig) {
@@ -180,6 +180,54 @@ fn every_output_affecting_field_moves_the_key() {
             c
         }),
     ];
+    // Every multi-GPU axis must move the key: fleet size, both
+    // interconnect wire parameters, the topology, and the placement
+    // policy (including the migrate threshold) all change simulated
+    // output, so a cache entry from one fleet shape must never serve
+    // another.
+    mutations.extend([
+        ("fleet.gpus", {
+            let mut c = cfg;
+            c.fleet.gpus = 2;
+            c
+        }),
+        ("fleet.topology", {
+            let mut c = cfg;
+            c.fleet.gpus = 2;
+            c.fleet.interconnect.topology = Topology::Ring;
+            c
+        }),
+        ("fleet.link_latency", {
+            let mut c = cfg;
+            c.fleet.gpus = 2;
+            c.fleet.interconnect.link_latency *= 2;
+            c
+        }),
+        ("fleet.cycles_per_flit", {
+            let mut c = cfg;
+            c.fleet.gpus = 2;
+            c.fleet.interconnect.cycles_per_flit += 1;
+            c
+        }),
+        ("fleet.placement=replicate", {
+            let mut c = cfg;
+            c.fleet.gpus = 2;
+            c.fleet.placement = PlacementPolicy::ReplicateReadOnly;
+            c
+        }),
+        ("fleet.placement=migrate", {
+            let mut c = cfg;
+            c.fleet.gpus = 2;
+            c.fleet.placement = PlacementPolicy::MigrateOnThreshold { threshold: 8 };
+            c
+        }),
+        ("fleet.placement=migrate(threshold)", {
+            let mut c = cfg;
+            c.fleet.gpus = 2;
+            c.fleet.placement = PlacementPolicy::MigrateOnThreshold { threshold: 16 };
+            c
+        }),
+    ]);
     // Variation inside a manager's policy config must also move the key.
     mutations.push(("manager=mosaic(threshold)", {
         let mut c = cfg;

@@ -3,6 +3,10 @@
 
 use crate::engine::{gen_engine_case, render_engine_repro, run_engine_case};
 use crate::harness::{run_mgr_case, run_vm_case, Divergence, Mutation};
+use crate::multigpu::{
+    gen_multigpu_case, render_multigpu_repro, run_multigpu_case, run_multigpu_system_case,
+    MultiGpuCase,
+};
 use crate::ops::{gen_mgr_case, gen_vm_case, render_mgr_repro, render_vm_repro};
 use crate::shrink::shrink;
 use std::fmt;
@@ -16,6 +20,8 @@ pub enum Suite {
     Mgr,
     /// The sharded simulation engine vs the sequential engine.
     Engine,
+    /// Multi-GPU placement vs the frame-residency oracle.
+    MultiGpu,
     /// Every suite, per case index.
     #[default]
     All,
@@ -57,7 +63,7 @@ impl Default for FuzzConfig {
 /// A fuzz run's failure: the divergence plus its minimized repro.
 #[derive(Debug, Clone)]
 pub struct FuzzFailure {
-    /// `"vm"` or `"mgr"`.
+    /// `"vm"`, `"mgr"`, `"engine"`, or `"multigpu"`.
     pub suite: &'static str,
     /// Index of the failing case (rerun with `--cases 1` after skipping,
     /// or just paste the repro).
@@ -91,6 +97,9 @@ pub struct FuzzStats {
     /// Engine-suite cases run (each is one sequential + one sharded
     /// full-system simulation).
     pub engine_cases: u64,
+    /// Multi-GPU-suite cases run (placement schedules vs the residency
+    /// oracle; every eighth case adds an audited-vs-plain fleet run).
+    pub multigpu_cases: u64,
     /// Total ops replayed.
     pub total_ops: u64,
 }
@@ -143,6 +152,45 @@ pub fn run_fuzz(config: FuzzConfig) -> Result<FuzzStats, Box<FuzzFailure>> {
                     shrunk_ops: small.len(),
                     repro: render_mgr_repro(case.kind, case.frames, &small, &detail.to_string()),
                 }));
+            }
+        }
+        if matches!(config.suite, Suite::MultiGpu | Suite::All) {
+            let case = gen_multigpu_case(config.seed, index, config.max_ops);
+            stats.multigpu_cases += 1;
+            stats.total_ops += case.ops.len() as u64;
+            if let Err(d) = run_multigpu_case(&case) {
+                let small = shrink(&case.ops, |ops| {
+                    let sub =
+                        MultiGpuCase { gpus: case.gpus, policy: case.policy, ops: ops.to_vec() };
+                    run_multigpu_case(&sub).is_err()
+                });
+                let sub = MultiGpuCase { gpus: case.gpus, policy: case.policy, ops: small };
+                let detail = run_multigpu_case(&sub).expect_err("shrunk schedule must still fail");
+                return Err(Box::new(FuzzFailure {
+                    suite: "multigpu",
+                    case_index: index,
+                    divergence: d,
+                    shrunk_ops: sub.ops.len(),
+                    repro: render_multigpu_repro(&sub, &sub.ops, &detail.to_string()),
+                }));
+            }
+            // Full-system fleet runs are ~1000× the cost of an op-stream
+            // replay, so subsample them: one audited-vs-plain simulation
+            // pair every eighth case.
+            if index % 8 == 0 {
+                if let Err(d) = run_multigpu_system_case(config.seed, index) {
+                    return Err(Box::new(FuzzFailure {
+                        suite: "multigpu",
+                        case_index: index,
+                        shrunk_ops: 0,
+                        repro: format!(
+                            "// Regenerate with run_multigpu_system_case({:#x}, {index})\n\
+                             // Divergence: {}\n",
+                            config.seed, d.detail
+                        ),
+                        divergence: d,
+                    }));
+                }
             }
         }
         if matches!(config.suite, Suite::Engine | Suite::All) {

@@ -12,7 +12,13 @@
 //! * the sequential simulation engine itself, as the oracle for the
 //!   speculative sharded engine — [`run_engine_case`] runs each generated
 //!   full-system configuration at `--sim-threads 1` and at the campaign's
-//!   worker count and demands bit-identical results ([`engine`] module).
+//!   worker count and demands bit-identical results ([`engine`] module);
+//! * a frame-residency oracle for multi-GPU placement — [`run_multigpu_case`]
+//!   replays randomized fleet access schedules through
+//!   [`mosaic_core::PlacementMap`] and a naive set-based residency model
+//!   in lockstep,
+//!   pinning the no-region-resident-on-two-devices invariant ([`multigpu`]
+//!   module).
 //!
 //! A deterministic generator ([`gen_vm_case`] / [`gen_mgr_case`], seeded
 //! via [`mosaic_sim_core::SimRng::fork`]) drives both sides through
@@ -32,6 +38,7 @@
 pub mod engine;
 pub mod fuzz;
 pub mod harness;
+pub mod multigpu;
 pub mod ops;
 pub mod oracle;
 pub mod shrink;
@@ -39,6 +46,10 @@ pub mod shrink;
 pub use engine::{gen_engine_case, render_engine_repro, run_engine_case, EngineCase};
 pub use fuzz::{run_fuzz, FuzzConfig, FuzzFailure, FuzzStats, Suite};
 pub use harness::{run_mgr_case, run_vm_case, Divergence, MgrKind, Mutation, VmConfigKind};
+pub use multigpu::{
+    gen_multigpu_case, render_multigpu_repro, run_multigpu_case, run_multigpu_system_case,
+    MultiGpuCase, MultiGpuOp,
+};
 pub use ops::{
     gen_mgr_case, gen_vm_case, render_mgr_repro, render_vm_repro, MgrCase, MgrOp, VmCase, VmOp,
 };

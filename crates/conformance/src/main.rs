@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! mosaic-conformance fuzz [--cases N] [--seed S] [--max-ops K]
-//!                         [--suite vm|mgr|engine|all] [--mutate MUTATION]
-//!                         [--sim-threads N]
+//!                         [--suite vm|mgr|engine|multigpu|all]
+//!                         [--mutate MUTATION] [--sim-threads N]
 //! ```
 //!
 //! Exit status: 0 on a clean run, 1 on divergence (minimized repro on
@@ -20,7 +20,7 @@ fn usage() -> ! {
          \x20 --cases N       cases per suite (default 256)\n\
          \x20 --seed S        master seed, decimal or 0x-hex (default 0xC0FFEE)\n\
          \x20 --max-ops K     upper bound on ops per case (default 120)\n\
-         \x20 --suite WHICH   vm | mgr | engine | all (default all)\n\
+         \x20 --suite WHICH   vm | mgr | engine | multigpu | all (default all)\n\
          \x20 --mutate FAULT  inject a driver fault to self-test the harness:\n\
          \x20                 skip-flush-large | fill-ignores-size | lookup-skips-recency\n\
          \x20 --sim-threads N speculation workers for the engine suite's sharded\n\
@@ -65,6 +65,7 @@ fn main() {
                     "vm" => Suite::Vm,
                     "mgr" => Suite::Mgr,
                     "engine" => Suite::Engine,
+                    "multigpu" => Suite::MultiGpu,
                     "all" => Suite::All,
                     _ => usage(),
                 }
@@ -88,8 +89,13 @@ fn main() {
         Ok(stats) => {
             println!(
                 "mosaic-conformance: clean — {} vm case(s), {} mgr case(s), {} engine case(s), \
-                 {} ops replayed (seed {:#x})",
-                stats.vm_cases, stats.mgr_cases, stats.engine_cases, stats.total_ops, config.seed
+                 {} multigpu case(s), {} ops replayed (seed {:#x})",
+                stats.vm_cases,
+                stats.mgr_cases,
+                stats.engine_cases,
+                stats.multigpu_cases,
+                stats.total_ops,
+                config.seed
             );
         }
         Err(failure) => {

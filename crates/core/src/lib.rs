@@ -45,6 +45,7 @@ pub mod frames;
 pub mod gpu_mmu;
 pub mod migrating;
 pub mod mosaic_mgr;
+pub mod placement;
 
 pub use cac::{Cac, CacConfig};
 pub use coalescer::InPlaceCoalescer;
@@ -53,6 +54,7 @@ pub use frames::{FragmentReport, FramePool, FrameState, FRAG_OWNER};
 pub use gpu_mmu::GpuMmuManager;
 pub use migrating::{MigratingConfig, MigratingManager};
 pub use mosaic_mgr::{MosaicConfig, MosaicManager};
+pub use placement::{PlacementMap, PlacementOutcome, PlacementPolicy, PlacementStats, MAX_GPUS};
 
 use mosaic_sim_core::AuditReport;
 use mosaic_vm::{AppId, LargePageNum, PageTableSet, PhysFrameNum, VirtPageNum};

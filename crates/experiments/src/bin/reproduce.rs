@@ -25,6 +25,11 @@
 //! appends the stall-cycle attribution report to the requested
 //! experiments. Both are deterministic: byte-identical at any `--jobs`.
 //!
+//! `--digest` appends one `digest NAME XXXXXXXXXXXXXXXX` line per
+//! experiment (FNV-1a 64-bit over the rendered report) after all
+//! reports — the same digest the golden determinism tests pin, so shell
+//! gates can compare a run against a pinned value with `grep`.
+//!
 //! `--cache-dir DIR` (or `MOSAIC_CACHE_DIR=DIR`) installs the persistent
 //! content-addressed run cache (DESIGN.md §13): completed simulations are
 //! checkpointed to disk and served on re-runs, with byte-identical
@@ -42,7 +47,7 @@ use mosaic_campaign::{render_expand, render_results, render_status, Spec, Store}
 use mosaic_experiments as exp;
 use mosaic_experiments::Scope;
 
-const ALL: [&str; 16] = [
+const ALL: [&str; 17] = [
     "fig03",
     "fig04",
     "bloat",
@@ -59,12 +64,25 @@ const ALL: [&str; 16] = [
     "table2",
     "ablations",
     "oversub",
+    "multigpu",
 ];
 
 fn emit<T: std::fmt::Display>(name: &str, value: T, sink: &mut Vec<(String, String)>) {
     println!("{:=<66}", format!("== {name} "));
     println!("{value}");
     sink.push((name.to_string(), value.to_string()));
+}
+
+/// FNV-1a (64-bit) over a rendered report — the same function the golden
+/// determinism tests use, so `--digest` output is directly comparable to
+/// the pinned constants in `tests/parallel_determinism.rs`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Escapes `s` for use inside a JSON string literal.
@@ -345,6 +363,11 @@ fn main() {
         args.retain(|a| a != "--stall-report");
         args.len() != before
     };
+    let digest = {
+        let before = args.len();
+        args.retain(|a| a != "--digest");
+        args.len() != before
+    };
     if trace_path.is_some() {
         exp::sweep::set_trace(true);
     }
@@ -389,6 +412,7 @@ fn main() {
             "fig16" => emit(name, exp::fig16::run(scope), &mut results),
             "table2" => emit(name, exp::table2::run(scope), &mut results),
             "oversub" => emit(name, exp::oversub::run(scope), &mut results),
+            "multigpu" => emit(name, exp::multigpu::run(scope), &mut results),
             "stall" => emit(name, exp::stall::run(scope), &mut results),
             "ablations" => {
                 emit("ablation_pwc", exp::ablations::pwc_vs_l2tlb(scope), &mut results);
@@ -407,6 +431,12 @@ fn main() {
             }
         }
         eprintln!("[{name} done in {:.1?}]", t0.elapsed());
+    }
+
+    if digest {
+        for (name, text) in &results {
+            println!("digest {name} {:016x}", fnv1a(text.as_bytes()));
+        }
     }
 
     if let Some(path) = trace_path {

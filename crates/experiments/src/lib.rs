@@ -23,6 +23,7 @@
 //! | [`ablations`] | §3.1 page-walk-cache ablation + walker/threshold sweeps |
 //! | [`stall`] | stall-cycle attribution by cause (`--stall-report`) |
 //! | [`oversub`] | memory oversubscription — Mosaic vs GPU-MMU at 1.5–4× pressure |
+//! | [`multigpu`] | multi-GPU scale-out — fleet weak scaling + placement policies |
 //!
 //! Every driver takes a [`Scope`] that bounds how much of the paper's
 //! 235-workload evaluation it sweeps (`Smoke` for CI, `Default` for
@@ -54,6 +55,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod multigpu;
 pub mod oversub;
 pub mod stall;
 pub mod sweep;

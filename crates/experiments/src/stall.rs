@@ -84,15 +84,24 @@ pub fn run(scope: Scope) -> StallReport {
 
 impl fmt::Display for StallReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The fleet-only buckets appear only when some row actually
+        // charged them, so single-GPU reports render exactly as they did
+        // before the multi-GPU work (the golden digests pin this).
+        let shown = |bucket: StallBucket| {
+            !matches!(bucket, StallBucket::Remote | StallBucket::Migrate)
+                || self.rows.iter().any(|r| r.stall.get(bucket) > 0)
+        };
+        let buckets: Vec<StallBucket> =
+            StallBucket::ALL.iter().copied().filter(|&b| shown(b)).collect();
         writeln!(f, "Stall attribution: % of each app's stall cycles, by cause")?;
         write!(f, "{:<6} {:<20} {:>12}", "app", "manager", "stall-cyc")?;
-        for bucket in StallBucket::ALL {
+        for &bucket in &buckets {
             write!(f, " {:>9}", bucket.label())?;
         }
         writeln!(f)?;
         for row in &self.rows {
             write!(f, "{:<6} {:<20} {:>12}", row.workload, row.manager, row.stall_cycles)?;
-            for bucket in StallBucket::ALL {
+            for &bucket in &buckets {
                 let pct = if row.stall_cycles == 0 {
                     0.0
                 } else {

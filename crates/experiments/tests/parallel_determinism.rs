@@ -13,7 +13,7 @@
 //! decomposition on the always-on path).
 
 use mosaic_experiments::common::Scope;
-use mosaic_experiments::{ablations, fig03, fig08, fig11, oversub, stall, sweep};
+use mosaic_experiments::{ablations, fig03, fig08, fig11, multigpu, oversub, stall, sweep};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Serializes tests: `sweep::set_jobs` is process-global, and these
@@ -33,6 +33,7 @@ struct Fixture {
     walker: String,
     oversub: String,
     stall: String,
+    multigpu: String,
 }
 
 static FIXTURE: OnceLock<Fixture> = OnceLock::new();
@@ -50,6 +51,7 @@ fn fixture() -> &'static Fixture {
             walker: ablations::walker_threads(Scope::Smoke).to_string(),
             oversub: oversub::run(Scope::Smoke).to_string(),
             stall: stall::run(Scope::Smoke).to_string(),
+            multigpu: multigpu::run(Scope::Smoke).to_string(),
         };
         sweep::set_jobs(None);
         f
@@ -94,6 +96,13 @@ const GOLDEN_STALL_SMOKE_DIGEST: &str = "174dce1f1c6193c9";
 /// over the I/O bus, and sequential prefetch — so it is the determinism
 /// contract for the whole paging path, not just the report formatting.
 const GOLDEN_OVERSUB_SMOKE_DIGEST: &str = "34029bf26e3a411f";
+
+/// Pinned when the multi-GPU fleet landed. The figure sweeps 1/2/4-GPU
+/// fleets under both managers plus every placement policy, so this is
+/// the determinism contract for the whole scale-out path: placement
+/// decisions, interconnect queueing, migration/replication payloads, and
+/// the remote/migrate stall attribution.
+const GOLDEN_MULTIGPU_SMOKE_DIGEST: &str = "eea524f5b009c7d8";
 
 /// Renders `run` at eight workers, asserts byte-identity against the
 /// shared serial fixture rendering, and checks it against `golden`.
@@ -182,4 +191,37 @@ fn stall_report_matches_golden_digest_at_any_jobs() {
     // The report must cover both ends of the TLB-sensitivity spectrum.
     assert!(report.contains("MM "), "TLB-friendly workload present:\n{report}");
     assert!(report.contains("GUPS "), "TLB-sensitive workload present:\n{report}");
+}
+
+#[test]
+fn multigpu_matches_golden_digest_at_any_jobs() {
+    let report = &fixture().multigpu;
+    golden_check("multigpu", GOLDEN_MULTIGPU_SMOKE_DIGEST, report, || {
+        multigpu::run(Scope::Smoke).to_string()
+    });
+    // The golden run must actually cross the interconnect, or the digest
+    // pins nothing beyond the single-GPU engine.
+    assert!(report.contains("4 GPUs"), "placement probe present:\n{report}");
+}
+
+#[test]
+fn multigpu_is_identical_across_the_jobs_and_sim_threads_matrix() {
+    // The two parallelism axes compose: `--jobs` fans sweep points out
+    // across workers, `--sim-threads` speculates inside each fleet run.
+    // Every combination must render the serial fixture byte-for-byte.
+    let serial = &fixture().multigpu;
+    let _guard = lock();
+    for jobs in [1, 4] {
+        for sim_threads in [1, 4] {
+            sweep::set_jobs(Some(jobs));
+            mosaic_gpusim::set_sim_threads(Some(sim_threads));
+            let report = multigpu::run(Scope::Smoke).to_string();
+            sweep::set_jobs(None);
+            mosaic_gpusim::set_sim_threads(None);
+            assert_eq!(
+                serial, &report,
+                "multigpu drifted at --jobs {jobs} --sim-threads {sim_threads}"
+            );
+        }
+    }
 }

@@ -2,8 +2,9 @@
 
 use mosaic_core::cac::CacConfig;
 use mosaic_core::migrating::MigratingConfig;
+use mosaic_core::placement::{PlacementPolicy, MAX_GPUS};
 use mosaic_iobus::IoBusConfig;
-use mosaic_mem::{CacheConfig, CrossbarConfig, DramConfig};
+use mosaic_mem::{CacheConfig, CrossbarConfig, DramConfig, InterconnectConfig, Topology};
 use mosaic_vm::TlbConfig;
 use mosaic_workloads::ScaleConfig;
 
@@ -132,6 +133,43 @@ impl SystemConfig {
     }
 }
 
+/// The multi-GPU fleet: how many devices, how they are wired together,
+/// and how pages are placed across them.
+///
+/// Each GPU in the fleet replicates the full single-GPU stack of
+/// [`SystemConfig`] — its SMs, L1/L2 TLBs, walkers, caches, and DRAM —
+/// so a fleet of `n` weak-scales the machine to `n × sm_count` SMs and
+/// `n × memory_bytes` of physical memory. A warp access resolving to a
+/// frame owned by another device crosses the inter-GPU interconnect and
+/// is charged to the `remote` (and possibly `migrate`) stall buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of GPUs (1 = the classic single-GPU machine).
+    pub gpus: usize,
+    /// The inter-GPU link fabric.
+    pub interconnect: InterconnectConfig,
+    /// How pages are placed across devices.
+    pub placement: PlacementPolicy,
+}
+
+impl FleetConfig {
+    /// The single-GPU machine every experiment ran on before the fleet
+    /// existed; output-isomorphic to the pre-fleet simulator.
+    pub fn single() -> Self {
+        FleetConfig {
+            gpus: 1,
+            interconnect: InterconnectConfig::paper(),
+            placement: PlacementPolicy::FirstTouch,
+        }
+    }
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig::single()
+    }
+}
+
 /// Everything one simulation run needs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunConfig {
@@ -141,6 +179,8 @@ pub struct RunConfig {
     pub scale: ScaleConfig,
     /// Which manager to run.
     pub manager: ManagerKind,
+    /// The multi-GPU fleet (defaults to a single GPU).
+    pub fleet: FleetConfig,
     /// Demand paging mode.
     pub paging: DemandPagingMode,
     /// Master seed (workload streams, fragmentation).
@@ -175,6 +215,7 @@ impl RunConfig {
             system: SystemConfig::paper_scaled(scale.ws_divisor),
             scale,
             manager,
+            fleet: FleetConfig::single(),
             paging: DemandPagingMode::OnDemand,
             seed: 42,
             fragmentation: None,
@@ -199,6 +240,35 @@ impl RunConfig {
             None if cfg!(debug_assertions) => Some(Self::DEFAULT_AUDIT_EVERY),
             None => None,
         }
+    }
+
+    /// Same run scaled out to a fleet of `gpus` devices wired by
+    /// `topology`. GPU count and SM count weak-scale together: the fleet
+    /// has `gpus × sm_count` SMs and `gpus ×` the physical memory.
+    /// Placement defaults to first-touch; override it with
+    /// [`RunConfig::with_placement`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus` is zero or exceeds
+    /// [`MAX_GPUS`](mosaic_core::placement::MAX_GPUS).
+    pub fn multi_gpu(mut self, gpus: usize, topology: Topology) -> Self {
+        assert!((1..=MAX_GPUS).contains(&gpus), "fleet size {gpus} out of range 1..={MAX_GPUS}");
+        self.fleet.gpus = gpus;
+        self.fleet.interconnect.topology = topology;
+        self
+    }
+
+    /// Same run with a different page-placement policy for the fleet.
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.fleet.placement = placement;
+        self
+    }
+
+    /// Total SMs across the fleet (`gpus × sm_count`): the machine size
+    /// the runner partitions across applications.
+    pub fn total_sms(&self) -> usize {
+        self.fleet.gpus * self.system.sm_count
     }
 
     /// Same run with the Ideal TLB reference enabled.
@@ -289,5 +359,26 @@ mod tests {
     #[should_panic(expected = "oversubscription factor")]
     fn oversubscription_below_one_is_rejected() {
         let _ = RunConfig::new(ManagerKind::GpuMmu4K).oversubscribed(0.5);
+    }
+
+    #[test]
+    fn fleet_defaults_to_one_gpu_and_builders_compose() {
+        let base = RunConfig::new(ManagerKind::GpuMmu4K);
+        assert_eq!(base.fleet, FleetConfig::single());
+        assert_eq!(base.fleet.gpus, 1);
+        let r = base
+            .multi_gpu(4, Topology::Ring)
+            .with_placement(PlacementPolicy::MigrateOnThreshold { threshold: 8 });
+        assert_eq!(r.fleet.gpus, 4);
+        assert_eq!(r.fleet.interconnect.topology, Topology::Ring);
+        assert_eq!(r.fleet.placement, PlacementPolicy::MigrateOnThreshold { threshold: 8 });
+        // The rest of the fleet config keeps the paper link parameters.
+        assert_eq!(r.fleet.interconnect.link_latency, InterconnectConfig::paper().link_latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_fleet_is_rejected() {
+        let _ = RunConfig::new(ManagerKind::GpuMmu4K).multi_gpu(0, Topology::FullyConnected);
     }
 }

@@ -31,6 +31,13 @@
 //!   journals, and their effects commit to the single-threaded shared
 //!   stack in canonical scheduling order — bit-identical to the serial
 //!   engine at any worker count (DESIGN.md §12).
+//!
+//! `RunConfig::multi_gpu(n, topology)` scales the machine out to an
+//! indexed fleet: each device replicates the full stack above, a warp
+//! access resolving to a remote device's 2MB region crosses the
+//! inter-GPU interconnect, and page-placement policies (first-touch,
+//! replicate-read-only, migrate-on-threshold) decide residency
+//! (DESIGN.md §14).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -40,7 +47,9 @@ pub mod runner;
 pub mod shard;
 pub mod system;
 
-pub use config::{DemandPagingMode, ManagerKind, RunConfig, SystemConfig};
+pub use config::{DemandPagingMode, FleetConfig, ManagerKind, RunConfig, SystemConfig};
+pub use mosaic_core::placement::{PlacementPolicy, MAX_GPUS};
+pub use mosaic_mem::{InterconnectConfig, Topology};
 pub use runner::{
     run_alone_baselines, run_workload, sm_share, weighted_speedup, AppResult, RunResult,
 };

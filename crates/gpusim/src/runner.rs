@@ -173,8 +173,11 @@ pub fn sm_share(total: usize, n: usize, i: usize) -> usize {
 /// Panics if the workload is empty or has more applications than SMs.
 pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
     let n = workload.app_count();
+    // Weak scaling: a fleet of `g` GPUs fields `g × sm_count` SMs (and
+    // `g ×` the physical memory, applied by `GpuSystem::new`).
+    let total_sms = cfg.total_sms();
     assert!(n >= 1, "empty workload");
-    assert!(n <= cfg.system.sm_count, "more applications than SMs");
+    assert!(n <= total_sms, "more applications than SMs");
 
     // Layouts come first: under oversubscription the GPU's memory size is
     // derived from the workload's total reservation, so the system cannot
@@ -194,10 +197,13 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
             .map(|(_, pages)| pages * mosaic_vm::BASE_PAGE_SIZE)
             .sum();
         // Memory = reservation ÷ factor, rounded *up* to whole large
-        // frames with a one-frame floor so the pool is never empty.
+        // frames with a one-frame floor so the pool is never empty. The
+        // target is the *fleet* total, so each device gets its share
+        // (GpuSystem pools `gpus ×` the per-device size back together).
         let target = (reserved_bytes as f64 / factor).ceil() as u64;
+        let per_gpu = target.div_ceil(cfg.fleet.gpus as u64);
         cfg.system.memory_bytes =
-            target.div_ceil(mosaic_vm::LARGE_PAGE_SIZE).max(1) * mosaic_vm::LARGE_PAGE_SIZE;
+            per_gpu.div_ceil(mosaic_vm::LARGE_PAGE_SIZE).max(1) * mosaic_vm::LARGE_PAGE_SIZE;
     }
     let mut system = GpuSystem::new(cfg);
     let root = SimRng::from_seed(cfg.seed);
@@ -241,9 +247,8 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
     // populates them, later phases `reload` in place. SMs are
     // monomorphized over `AppWarpStream` so warp issue is static dispatch
     // with no per-warp box.
-    let mut sms: Vec<Sm<AppWarpStream>> = Vec::with_capacity(cfg.system.sm_count);
-    let mut heap: BinaryHeap<(Reverse<Cycle>, usize)> =
-        BinaryHeap::with_capacity(cfg.system.sm_count);
+    let mut sms: Vec<Sm<AppWarpStream>> = Vec::with_capacity(total_sms);
+    let mut heap: BinaryHeap<(Reverse<Cycle>, usize)> = BinaryHeap::with_capacity(total_sms);
 
     for phase in 0..phases {
         // Partition SMs and build their warps for this phase's grid. The
@@ -254,11 +259,11 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
             .map(|app| root.fork("app-instance", app).fork("phase", u64::from(phase)))
             .collect();
         let mut per_app_sm_seen = vec![0u64; n];
-        for sm_id in 0..cfg.system.sm_count {
+        for sm_id in 0..total_sms {
             let app = sm_id % n;
             let profile = workload.apps[app];
             let asid = AppId(app as u16);
-            let share = sm_share(cfg.system.sm_count, n, app) as u64;
+            let share = sm_share(total_sms, n, app) as u64;
             let total_warps = share * cfg.scale.warps_per_sm as u64;
             let sm_ordinal = per_app_sm_seen[app];
             per_app_sm_seen[app] += 1;
@@ -287,8 +292,7 @@ pub fn run_workload(workload: &Workload, cfg: RunConfig) -> RunResult {
         // Smallest-clock-first scheduling loop.
         heap.clear();
         heap.extend((0..sms.len()).map(|i| (Reverse(Cycle::ZERO), i)));
-        let mut active_per_app: Vec<usize> =
-            (0..n).map(|i| sm_share(cfg.system.sm_count, n, i)).collect();
+        let mut active_per_app: Vec<usize> = (0..n).map(|i| sm_share(total_sms, n, i)).collect();
         let mut sched = SchedLoop {
             system: &mut system,
             sms: &mut sms,
@@ -376,7 +380,11 @@ pub fn run_alone_baselines(workload: &Workload, cfg: RunConfig) -> Vec<RunResult
             alone_cfg.manager = ManagerKind::GpuMmu4K;
             alone_cfg.system.ideal_tlb = false;
             alone_cfg.fragmentation = None;
-            alone_cfg.system.sm_count = sm_share(cfg.system.sm_count, n, i);
+            // Alone baselines run on a single device: the app gets its
+            // shared-run share of the *fleet's* SMs, but no interconnect
+            // (IPC_alone stays the paper's single-GPU denominator).
+            alone_cfg.fleet = crate::config::FleetConfig::single();
+            alone_cfg.system.sm_count = sm_share(cfg.total_sms(), n, i);
             let solo = Workload { name: profile.name.to_string(), apps: vec![profile] };
             run_workload(&solo, alone_cfg)
         })

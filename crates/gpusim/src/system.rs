@@ -11,12 +11,12 @@
 use crate::config::{DemandPagingMode, ManagerKind, RunConfig};
 use mosaic_core::{
     GpuMmuManager, ManagerStats, MemoryManager, MgmtEvent, MigratingManager, MosaicConfig,
-    MosaicManager,
+    MosaicManager, PlacementMap, PlacementOutcome,
 };
 use mosaic_gpu::MemoryInterface;
 use mosaic_iobus::IoBus;
-use mosaic_mem::{Cache, CacheAccessUndo, Crossbar, Dram};
-use mosaic_sim_core::{Counter, Cycle, SimRng, ThroughputPort};
+use mosaic_mem::{Cache, CacheAccessUndo, Crossbar, Dram, Interconnect, FLIT_BYTES};
+use mosaic_sim_core::{Counter, Cycle, Histogram, Ratio, SimRng, ThroughputPort};
 use mosaic_telemetry::{emit, AccessTimeline, Event, StallBucket};
 use mosaic_vm::{
     AppId, PageSize, PageTableSet, PageTableWalker, PhysAddr, Tlb, TlbLookupUndo, VirtAddr,
@@ -89,6 +89,18 @@ pub struct SystemStats {
     pub touched_bytes: u64,
     /// Memory bloat (footprint / touched − 1).
     pub memory_bloat: f64,
+    /// L1-missing warp accesses serviced by a remote device's memory
+    /// (zero on a single GPU).
+    pub remote_accesses: u64,
+    /// Bytes carried over the inter-GPU interconnect (requests,
+    /// responses, and page-copy payloads).
+    pub interconnect_bytes: u64,
+    /// Inter-GPU page migrations performed by the placement policy.
+    pub fleet_migrations: u64,
+    /// Read-only replications performed across devices.
+    pub fleet_replications: u64,
+    /// Bytes of migration + replication payload moved between devices.
+    pub fleet_copy_bytes: u64,
 }
 
 impl SystemStats {
@@ -111,24 +123,43 @@ impl SystemStats {
     }
 }
 
-/// The full memory system of one simulated GPU.
+/// The full memory system of a simulated GPU fleet (one device in the
+/// default configuration).
+///
+/// Per-SM structures (`l1_tlbs`, `l1_caches`) stay flat, indexed by the
+/// *global* SM id (`gpu × sm_count + local_sm`), so the speculative
+/// engine's borrow split is fleet-oblivious. Per-device structures are
+/// vectors indexed by GPU; the flattened L2 slice/port vectors use
+/// `gpu × channels + slice`. A single [`MemoryManager`] governs the
+/// fleet's pooled physical memory, while [`PlacementMap`] decides which
+/// device a 2MB region physically resides on and [`Interconnect`] charges
+/// the cross-device traffic.
 #[derive(Debug)]
 pub struct GpuSystem {
     cfg: RunConfig,
     manager: Box<dyn MemoryManager>,
     l1_tlbs: Vec<Tlb>,
-    l2_tlb: Tlb,
-    l2_tlb_port: ThroughputPort,
-    walker: PageTableWalker,
-    walk_cache: Option<WalkCache>,
+    l2_tlbs: Vec<Tlb>,
+    l2_tlb_ports: Vec<ThroughputPort>,
+    walkers: Vec<PageTableWalker>,
+    walk_caches: Vec<Option<WalkCache>>,
     l1_caches: Vec<Cache>,
     l2_slices: Vec<Cache>,
     /// Per-slice L2 access ports, shared by data and page-table traffic —
     /// the contention that makes page walks expensive under load.
     l2_ports: Vec<ThroughputPort>,
-    xbar: Crossbar,
-    dram: Dram,
-    iobus: IoBus,
+    xbars: Vec<Crossbar>,
+    drams: Vec<Dram>,
+    iobuses: Vec<IoBus>,
+    /// Which device owns (or replicates) each touched 2MB region.
+    placement: PlacementMap,
+    /// The inter-GPU link fabric (idle in single-GPU runs).
+    interconnect: Interconnect,
+    /// Bytes charged for interconnect traffic resolved on the nominal
+    /// (lookahead-isolated) path, which bypasses [`Interconnect`] and its
+    /// counters; folded into `interconnect_bytes` so the accounting
+    /// covers every remote access regardless of contention state.
+    icn_nominal_bytes: u64,
     /// Whole-GPU stall fence accumulated from compaction/shootdown events;
     /// the runner drains it after every SM step.
     pending_stall: Cycle,
@@ -171,22 +202,26 @@ pub(crate) enum L1Translate {
 
 impl GpuSystem {
     /// Builds the system for one run. Applies pre-fragmentation when the
-    /// config asks for it (Mosaic only).
+    /// config asks for it (Mosaic only). A fleet of `n` GPUs weak-scales
+    /// the machine: the manager pools `n ×` the per-device memory, and
+    /// every per-device structure is replicated `n` times.
     pub fn new(cfg: RunConfig) -> Self {
         let sys = cfg.system;
+        let gpus = cfg.fleet.gpus;
+        let pool_bytes = sys.memory_bytes * gpus as u64;
         let mut manager: Box<dyn MemoryManager> = match cfg.manager {
             ManagerKind::GpuMmu4K => {
-                Box::new(GpuMmuManager::new(sys.memory_bytes, sys.dram.channels, PageSize::Base))
+                Box::new(GpuMmuManager::new(pool_bytes, sys.dram.channels, PageSize::Base))
             }
             ManagerKind::GpuMmu2M => {
-                Box::new(GpuMmuManager::new(sys.memory_bytes, sys.dram.channels, PageSize::Large))
+                Box::new(GpuMmuManager::new(pool_bytes, sys.dram.channels, PageSize::Large))
             }
             ManagerKind::Migrating(policy) => {
-                Box::new(MigratingManager::new(sys.memory_bytes, sys.dram.channels, policy))
+                Box::new(MigratingManager::new(pool_bytes, sys.dram.channels, policy))
             }
             ManagerKind::Mosaic(cac) => {
                 let mut m = MosaicManager::new(MosaicConfig {
-                    memory_bytes: sys.memory_bytes,
+                    memory_bytes: pool_bytes,
                     channels: sys.dram.channels,
                     cac,
                 });
@@ -212,20 +247,30 @@ impl GpuSystem {
         let _ = &mut manager;
         GpuSystem {
             manager,
-            l1_tlbs: (0..sys.sm_count).map(|_| Tlb::new(sys.l1_tlb)).collect(),
-            l2_tlb: Tlb::new(sys.l2_tlb),
-            l2_tlb_port: ThroughputPort::pipelined(sys.l2_tlb.latency.max(1), 1),
-            walker: PageTableWalker::new(sys.walker_threads),
-            walk_cache: (sys.walk_cache_entries > 0)
-                .then(|| WalkCache::new(sys.walk_cache_entries, 4)),
-            l1_caches: (0..sys.sm_count).map(|_| Cache::new(sys.l1_cache)).collect(),
-            l2_slices: (0..sys.dram.channels).map(|_| Cache::new(sys.l2_cache_slice)).collect(),
-            l2_ports: (0..sys.dram.channels)
+            l1_tlbs: (0..gpus * sys.sm_count).map(|_| Tlb::new(sys.l1_tlb)).collect(),
+            l2_tlbs: (0..gpus).map(|_| Tlb::new(sys.l2_tlb)).collect(),
+            l2_tlb_ports: (0..gpus)
+                .map(|_| ThroughputPort::pipelined(sys.l2_tlb.latency.max(1), 1))
+                .collect(),
+            walkers: (0..gpus).map(|_| PageTableWalker::new(sys.walker_threads)).collect(),
+            walk_caches: (0..gpus)
+                .map(|_| {
+                    (sys.walk_cache_entries > 0).then(|| WalkCache::new(sys.walk_cache_entries, 4))
+                })
+                .collect(),
+            l1_caches: (0..gpus * sys.sm_count).map(|_| Cache::new(sys.l1_cache)).collect(),
+            l2_slices: (0..gpus * sys.dram.channels)
+                .map(|_| Cache::new(sys.l2_cache_slice))
+                .collect(),
+            l2_ports: (0..gpus * sys.dram.channels)
                 .map(|_| ThroughputPort::pipelined(sys.l2_cache_slice.latency.max(1), 2))
                 .collect(),
-            xbar: Crossbar::new(sys.xbar),
-            dram: Dram::new(sys.dram),
-            iobus: IoBus::new(sys.iobus),
+            xbars: (0..gpus).map(|_| Crossbar::new(sys.xbar)).collect(),
+            drams: (0..gpus).map(|_| Dram::new(sys.dram)).collect(),
+            iobuses: (0..gpus).map(|_| IoBus::new(sys.iobus)).collect(),
+            placement: PlacementMap::new(gpus, cfg.fleet.placement),
+            interconnect: Interconnect::new(cfg.fleet.interconnect, gpus),
+            icn_nominal_bytes: 0,
             pending_stall: Cycle::ZERO,
             coalesce_events: Counter::new(),
             splinter_events: Counter::new(),
@@ -262,8 +307,16 @@ impl GpuSystem {
         }
     }
 
+    /// The device that owns SM `sm` (global SM ids are dense per GPU).
+    fn gpu_of(&self, sm: usize) -> usize {
+        sm / self.cfg.system.sm_count
+    }
+
     /// Deallocates pages on behalf of an application (kernel completion),
-    /// applying splinter/compaction side effects at `now`.
+    /// applying splinter/compaction side effects at `now`. Placement
+    /// forgets the spanned 2MB regions: the next touch re-establishes
+    /// first-touch ownership. Compaction copies are charged to device 0
+    /// (the pool's anchor device).
     pub fn deallocate(&mut self, now: Cycle, asid: AppId, start: VirtPageNum, pages: u64) {
         let events = self.manager.deallocate(asid, start, pages);
         // Unmapping requires invalidating the stale translations on every
@@ -272,14 +325,21 @@ impl GpuSystem {
         // spanned.
         for i in 0..pages {
             let addr = VirtPageNum(start.raw() + i).addr();
-            for tlb in self.l1_tlbs.iter_mut().chain(std::iter::once(&mut self.l2_tlb)) {
+            for tlb in self.l1_tlbs.iter_mut().chain(self.l2_tlbs.iter_mut()) {
                 tlb.flush_base(asid, addr);
                 if addr.base_page().is_large_aligned() || i == 0 {
                     tlb.flush_large(asid, addr);
                 }
             }
         }
-        let _migrations_done = self.apply_events(now, &events);
+        if self.cfg.fleet.gpus > 1 {
+            let first = VirtPageNum(start.raw()).large_page();
+            let last = VirtPageNum(start.raw() + pages.saturating_sub(1)).large_page();
+            for lpn in first.raw()..=last.raw() {
+                self.placement.remove(asid, mosaic_vm::LargePageNum(lpn));
+            }
+        }
+        let _migrations_done = self.apply_events(now, &events, 0);
     }
 
     /// Disjoint borrows for the speculative engine: each SM's private L1
@@ -331,8 +391,10 @@ impl GpuSystem {
 
     /// Applies management side effects; returns the cycle at which any
     /// triggered page migrations complete (allocations that depend on the
-    /// compacted frames must wait for it).
-    fn apply_events(&mut self, now: Cycle, events: &[MgmtEvent]) -> Cycle {
+    /// compacted frames must wait for it). Shootdowns and flushes are
+    /// fleet-wide (every device's TLBs drop the stale translations); DRAM
+    /// page copies are charged to `gpu`'s channels.
+    fn apply_events(&mut self, now: Cycle, events: &[MgmtEvent], gpu: usize) -> Cycle {
         self.count_events(events);
         let mut migrations_done = now;
         for e in events {
@@ -346,16 +408,15 @@ impl GpuSystem {
                     // Flush the large-page entry from every TLB
                     // (Section 4.4).
                     let addr = lpn.addr();
-                    for tlb in &mut self.l1_tlbs {
+                    for tlb in self.l1_tlbs.iter_mut().chain(self.l2_tlbs.iter_mut()) {
                         tlb.flush_large(asid, addr);
                     }
-                    self.l2_tlb.flush_large(asid, addr);
                 }
                 MgmtEvent::PageMigrated { channel, bulk, blocking } => {
                     let done = if bulk {
-                        self.dram.bulk_page_copy(now, channel)
+                        self.drams[gpu].bulk_page_copy(now, channel)
                     } else {
-                        self.dram.narrow_page_copy(now, channel)
+                        self.drams[gpu].narrow_page_copy(now, channel)
                     };
                     if blocking {
                         migrations_done = migrations_done.max(done);
@@ -365,10 +426,9 @@ impl GpuSystem {
                     }
                 }
                 MgmtEvent::TlbFlushAll => {
-                    for tlb in &mut self.l1_tlbs {
+                    for tlb in self.l1_tlbs.iter_mut().chain(self.l2_tlbs.iter_mut()) {
                         tlb.flush_all();
                     }
-                    self.l2_tlb.flush_all();
                     self.pending_stall = self.pending_stall.max(now + TLB_FLUSH_STALL);
                 }
                 MgmtEvent::TlbShootdown { asid, lpn } => {
@@ -377,7 +437,7 @@ impl GpuSystem {
                     // synchronization stall.
                     emit(|| Event::Shootdown { asid: asid.0, lpn: lpn.raw(), cycle: now.as_u64() });
                     let large_addr = lpn.addr();
-                    for tlb in self.l1_tlbs.iter_mut().chain(std::iter::once(&mut self.l2_tlb)) {
+                    for tlb in self.l1_tlbs.iter_mut().chain(self.l2_tlbs.iter_mut()) {
                         tlb.flush_large(asid, large_addr);
                         for vpn in lpn.base_pages() {
                             tlb.flush_base(asid, vpn.addr());
@@ -401,6 +461,7 @@ impl GpuSystem {
     fn handle_fault(
         &mut self,
         now: Cycle,
+        gpu: usize,
         asid: AppId,
         vpn: VirtPageNum,
         tl: &mut AccessTimeline,
@@ -431,7 +492,7 @@ impl GpuSystem {
                     // relieved. `evict_pressure` panics if nothing can be
                     // freed, which bounds this loop.
                     let (relieved, teardown, wb) =
-                        self.evict_pressure(start, mosaic_vm::LARGE_PAGE_SIZE);
+                        self.evict_pressure(start, mosaic_vm::LARGE_PAGE_SIZE, gpu);
                     start = relieved;
                     evict_cycles += teardown;
                     wb_cycles += wb;
@@ -443,9 +504,9 @@ impl GpuSystem {
         // transfer overlaps the migration (it is charged at fault time,
         // keeping the bus port's arrivals in order); the warp waits for
         // whichever finishes last.
-        let migrations_done = self.apply_events(start, &outcome.events);
+        let migrations_done = self.apply_events(start, &outcome.events, gpu);
         let done = if outcome.transfer_bytes > 0 && self.cfg.paging == DemandPagingMode::OnDemand {
-            self.iobus.transfer(start, outcome.transfer_bytes).max(migrations_done)
+            self.iobuses[gpu].transfer(start, outcome.transfer_bytes).max(migrations_done)
         } else {
             migrations_done
         };
@@ -466,7 +527,7 @@ impl GpuSystem {
             done: done.as_u64(),
         });
         if oversubscribed {
-            self.prefetch_after(done, asid, vpn);
+            self.prefetch_after(done, gpu, asid, vpn);
         }
         done
     }
@@ -482,7 +543,7 @@ impl GpuSystem {
     ///
     /// Panics if the manager has nothing left to evict — the live working
     /// set exceeds GPU memory even with demand paging.
-    pub fn evict_pressure(&mut self, now: Cycle, bytes: u64) -> (Cycle, u64, u64) {
+    pub fn evict_pressure(&mut self, now: Cycle, bytes: u64, gpu: usize) -> (Cycle, u64, u64) {
         let outcome = self.manager.evict_for(bytes);
         assert!(
             !outcome.is_empty(),
@@ -490,7 +551,7 @@ impl GpuSystem {
              exceeds GPU memory; raise memory or lower the oversubscription factor)",
             self.manager.name()
         );
-        self.apply_events(now, &outcome.events);
+        self.apply_events(now, &outcome.events, gpu);
         if mosaic_telemetry::enabled() {
             let mut per_region: std::collections::BTreeMap<(u16, u64), u32> =
                 std::collections::BTreeMap::new();
@@ -508,7 +569,7 @@ impl GpuSystem {
         let mut done = teardown;
         let mut wb_cycles = 0;
         if outcome.writeback_bytes > 0 {
-            let wb = self.iobus.transfer(done, outcome.writeback_bytes);
+            let wb = self.iobuses[gpu].transfer(done, outcome.writeback_bytes);
             emit(|| Event::PageWriteback {
                 bytes: outcome.writeback_bytes,
                 cycle: done.as_u64(),
@@ -527,7 +588,7 @@ impl GpuSystem {
     /// run is thrashing, when speculative pull-ins only cause more
     /// evictions. Prefetch transfers occupy the bus after the demand
     /// transfer but do not extend the faulting warp's wait.
-    fn prefetch_after(&mut self, done: Cycle, asid: AppId, vpn: VirtPageNum) {
+    fn prefetch_after(&mut self, done: Cycle, gpu: usize, asid: AppId, vpn: VirtPageNum) {
         if self.thrashing() {
             return;
         }
@@ -539,9 +600,9 @@ impl GpuSystem {
             match self.manager.touch(asid, next) {
                 Ok(o) => {
                     self.evicted_pages.remove(&(asid, next));
-                    let _ = self.apply_events(done, &o.events);
+                    let _ = self.apply_events(done, &o.events, gpu);
                     if o.transfer_bytes > 0 {
-                        self.iobus.transfer(done, o.transfer_bytes);
+                        self.iobuses[gpu].transfer(done, o.transfer_bytes);
                     }
                 }
                 Err(_) => break,
@@ -714,6 +775,7 @@ impl GpuSystem {
         tl: &mut AccessTimeline,
     ) -> (Cycle, PhysAddr, bool) {
         let vpn = addr.base_page();
+        let gpu = self.gpu_of(sm);
         let l1_done = match Self::l1_translate(
             self.cfg.system.ideal_tlb,
             self.manager.tables(),
@@ -727,7 +789,7 @@ impl GpuSystem {
         ) {
             L1Translate::Hit { done, phys } => return (done, phys, false),
             L1Translate::IdealFault => {
-                let done = self.handle_fault(now, asid, vpn, tl);
+                let done = self.handle_fault(now, gpu, asid, vpn, tl);
                 tl.mark(done, StallBucket::Fault);
                 tl.mark(done + 1, StallBucket::TlbHit);
                 let t = self
@@ -742,14 +804,15 @@ impl GpuSystem {
             L1Translate::Miss { l1_done } => l1_done,
         };
 
-        // Shared L2 TLB, behind its port. A zero-capacity L2 TLB (the
-        // page-walk-cache ablation's configuration) is skipped entirely:
-        // misses go straight to the walker.
+        // The device's shared L2 TLB, behind its port. A zero-capacity L2
+        // TLB (the page-walk-cache ablation's configuration) is skipped
+        // entirely: misses go straight to the walker.
         let has_l2_tlb =
             self.cfg.system.l2_tlb.base_entries + self.cfg.system.l2_tlb.large_entries > 0;
-        let l2_done = if has_l2_tlb { self.l2_tlb_port.acquire(l1_done).done } else { l1_done };
+        let l2_done =
+            if has_l2_tlb { self.l2_tlb_ports[gpu].acquire(l1_done).done } else { l1_done };
         if has_l2_tlb {
-            let l2_hit = self.l2_tlb.lookup(asid, addr).is_hit();
+            let l2_hit = self.l2_tlbs[gpu].lookup(asid, addr).is_hit();
             emit(|| Event::TlbLookup {
                 level: 2,
                 sm: sm as u32,
@@ -771,13 +834,15 @@ impl GpuSystem {
             }
         }
 
-        // Page walk (Figure 2: walker accesses go through L2$/DRAM).
+        // Page walk (Figure 2: the device's walker accesses go through
+        // its own L2$/DRAM — page tables are replicated per device).
         let path = self.manager.tables().table(asid).expect("app registered").walk_path(addr);
-        let walk_cache = &mut self.walk_cache;
-        let l2_slices = &mut self.l2_slices;
-        let l2_ports = &mut self.l2_ports;
-        let dram = &mut self.dram;
-        let out = self.walker.walk(l2_done, asid, vpn, path, |level, pte, t| {
+        let ch = self.cfg.system.dram.channels;
+        let walk_cache = &mut self.walk_caches[gpu];
+        let l2_slices = &mut self.l2_slices[gpu * ch..(gpu + 1) * ch];
+        let l2_ports = &mut self.l2_ports[gpu * ch..(gpu + 1) * ch];
+        let dram = &mut self.drams[gpu];
+        let out = self.walkers[gpu].walk(l2_done, asid, vpn, path, |level, pte, t| {
             Self::pt_access(walk_cache, l2_slices, l2_ports, dram, now, level, pte, t)
         });
         let mut ready = out.done;
@@ -787,7 +852,7 @@ impl GpuSystem {
         let mapped = self.manager.tables().table(asid).is_some_and(|t| t.translate(addr).is_ok());
         let faulted = !mapped;
         if faulted {
-            ready = self.handle_fault(ready, asid, vpn, tl);
+            ready = self.handle_fault(ready, gpu, asid, vpn, tl);
             tl.mark(ready, StallBucket::Fault);
         }
         let t = self
@@ -797,20 +862,107 @@ impl GpuSystem {
             .expect("app registered")
             .translate(addr)
             .expect("resident after fault");
-        self.l2_tlb.fill(asid, addr, t.size);
+        self.l2_tlbs[gpu].fill(asid, addr, t.size);
         self.l1_tlbs[sm].fill(asid, addr, t.size);
         (ready, PhysAddr(t.frame.addr().raw() + addr.base_offset()), faulted)
+    }
+
+    /// Uncontended interconnect traversal time from `from` to `to` (the
+    /// lookahead-isolation twin of [`Interconnect::traverse`]).
+    fn nominal_hop_cycles(&self, from: usize, to: usize) -> u64 {
+        let icfg = self.cfg.fleet.interconnect;
+        icfg.topology.hops(from, to, self.cfg.fleet.gpus) * icfg.link_latency.max(1)
+    }
+
+    /// Sends one request flit from `from` to `to` on the nominal path:
+    /// same per-link byte accounting as [`Interconnect::traverse`], no
+    /// port-state perturbation.
+    fn nominal_traverse(&mut self, now: Cycle, from: usize, to: usize) -> Cycle {
+        let icfg = self.cfg.fleet.interconnect;
+        self.icn_nominal_bytes += icfg.topology.hops(from, to, self.cfg.fleet.gpus) * FLIT_BYTES;
+        now + self.nominal_hop_cycles(from, to)
+    }
+
+    /// Moves one 2MB page payload from device `from` to device `to` over
+    /// the interconnect (migration or replication); returns the cycle the
+    /// last flit lands. Beyond the lookahead window the wire time is
+    /// charged nominally without perturbing link state.
+    fn page_copy(&mut self, now: Cycle, contended: bool, from: usize, to: usize) -> Cycle {
+        if contended {
+            self.interconnect.transfer(now, from, to, mosaic_vm::LARGE_PAGE_SIZE)
+        } else {
+            let icfg = self.cfg.fleet.interconnect;
+            let flits = mosaic_vm::LARGE_PAGE_SIZE.div_ceil(FLIT_BYTES);
+            let hops = icfg.topology.hops(from, to, self.cfg.fleet.gpus);
+            self.icn_nominal_bytes += hops * flits * FLIT_BYTES;
+            now + self.nominal_hop_cycles(from, to) + (flits - 1) * icfg.cycles_per_flit.max(1)
+        }
+    }
+
+    /// Region-granular (2 MB) store classification for placement.
+    /// [`Self::is_store`] hashes per base page (~1/4 of pages), so any
+    /// densely-touched region would be marked written almost immediately
+    /// and `replicate-read-only` would never fire. Placement instead
+    /// models buffers whose access type is uniform at region granularity:
+    /// ~1/4 of 2 MB regions are write targets, the rest stay read-only.
+    fn region_has_stores(asid: AppId, lpn: mosaic_vm::LargePageNum) -> bool {
+        // Same FNV fold as `is_store`, over the region number plus a tag
+        // so the two classifications stay statistically independent.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for w in [u64::from(asid.0), lpn.0, 0x2b00] {
+            h = (h ^ w).wrapping_mul(0x100_0000_01b3);
+        }
+        h & 3 == 0
+    }
+
+    /// Resolves which device services an L1-missing access under the
+    /// fleet's placement policy, charging interconnect time for remote
+    /// requests and for migration/replication payloads. Returns the
+    /// servicing device and the cycle the request is available there.
+    /// Serial-path only: placement counters advance in heap order.
+    fn place(
+        &mut self,
+        now: Cycle,
+        contended: bool,
+        gpu: usize,
+        asid: AppId,
+        addr: VirtAddr,
+        tl: &mut AccessTimeline,
+    ) -> (usize, Cycle) {
+        let store = Self::region_has_stores(asid, addr.large_page());
+        match self.placement.access(asid, addr.large_page(), gpu, store) {
+            PlacementOutcome::Local => (gpu, now),
+            PlacementOutcome::Remote { owner } => {
+                let at = if contended {
+                    self.interconnect.traverse(now, gpu, owner)
+                } else {
+                    self.nominal_traverse(now, gpu, owner)
+                };
+                tl.mark(at, StallBucket::Remote);
+                (owner, at)
+            }
+            PlacementOutcome::Migrate { from } | PlacementOutcome::Replicate { from } => {
+                let at = self.page_copy(now, contended, from, gpu);
+                tl.mark(at, StallBucket::Migrate);
+                (gpu, at)
+            }
+        }
     }
 
     /// Charges the data access for `phys` from SM `sm` starting at
     /// `start`, for an instruction issued at `issue_now` (lookahead
     /// isolation applies beyond the window). Cache and DRAM time is
-    /// recorded on `tl`, with DRAM split into queueing vs. service.
+    /// recorded on `tl`, with DRAM split into queueing vs. service. Past
+    /// the private L1, a fleet run routes the access to whichever device
+    /// the placement policy says owns the 2MB region.
+    #[allow(clippy::too_many_arguments)] // the serial memory path's one entry
     fn data_access(
         &mut self,
         issue_now: Cycle,
         start: Cycle,
         sm: usize,
+        asid: AppId,
+        addr: VirtAddr,
         phys: PhysAddr,
         bypass: bool,
         tl: &mut AccessTimeline,
@@ -819,33 +971,51 @@ impl GpuSystem {
             Ok(done) => return done,
             Err(l1_done) => l1_done,
         };
+        let gpu = self.gpu_of(sm);
         let contended = !bypass && start.since(issue_now) <= LOOKAHEAD_WINDOW;
-        let partition = self.dram.channel_of(phys.raw());
-        let at_partition = if contended {
-            self.xbar.traverse(l1_done, partition)
+        let (home, at_home) = if self.cfg.fleet.gpus > 1 {
+            self.place(l1_done, contended, gpu, asid, addr, tl)
         } else {
-            l1_done + self.cfg.system.xbar.latency
+            (gpu, l1_done)
         };
-        let l2 = &mut self.l2_slices[partition];
+        let ch = self.cfg.system.dram.channels;
+        let partition = self.drams[home].channel_of(phys.raw());
+        let at_partition = if contended {
+            self.xbars[home].traverse(at_home, partition)
+        } else {
+            at_home + self.cfg.system.xbar.latency
+        };
+        let slice = home * ch + partition;
+        let l2 = &mut self.l2_slices[slice];
         let l2_done = if contended {
-            self.l2_ports[partition].acquire(at_partition).done
+            self.l2_ports[slice].acquire(at_partition).done
         } else {
             at_partition + l2.latency()
         };
         tl.mark(l2_done, StallBucket::Cache);
-        if l2.access(phys.raw(), false) {
+        let mut done = if l2.access(phys.raw(), false) {
             l2_done
         } else if contended {
-            let (done, service, _row_hit) = self.dram.access_timed(l2_done, phys.raw());
+            let (done, service, _row_hit) = self.drams[home].access_timed(l2_done, phys.raw());
             // Whatever precedes the pure service portion is queueing.
             tl.mark(Cycle::new(done.as_u64().saturating_sub(service)), StallBucket::DramQueue);
             tl.mark(done, StallBucket::DramService);
             done
         } else {
-            let done = l2_done + self.dram.uncontended_latency();
+            let done = l2_done + self.drams[home].uncontended_latency();
             tl.mark(done, StallBucket::DramService);
             done
+        };
+        if home != gpu {
+            // The response rides the interconnect back to the requester.
+            done = if contended {
+                self.interconnect.traverse(done, home, gpu)
+            } else {
+                self.nominal_traverse(done, home, gpu)
+            };
+            tl.mark(done, StallBucket::Remote);
         }
+        done
     }
 
     /// Sweeps the whole system's invariants into a fresh report: the
@@ -870,7 +1040,19 @@ impl GpuSystem {
             let _ = write!(name, "l1-tlb[{sm}]");
             Self::audit_tlb(&mut report, &name, tlb, tables);
         }
-        Self::audit_tlb(&mut report, "l2-tlb", &self.l2_tlb, tables);
+        for (gpu, tlb) in self.l2_tlbs.iter().enumerate() {
+            name.clear();
+            let _ = write!(name, "l2-tlb[{gpu}]");
+            Self::audit_tlb(&mut report, &name, tlb, tables);
+        }
+        // Placement ownership is unique by construction (one owner per
+        // region; replicas never include the owner) — re-checked here so
+        // a future policy cannot silently violate residency.
+        for (asid, lpn, owner) in self.placement.placed() {
+            report.check("placement", owner < self.cfg.fleet.gpus, || {
+                format!("region {asid}/{lpn} owned by out-of-fleet device {owner}")
+            });
+        }
         report
     }
 
@@ -930,13 +1112,40 @@ impl GpuSystem {
             l2c_hits += c.hit_rate().hits();
             l2c_total += c.hit_rate().total();
         }
+        // Per-device structures aggregate across the fleet (a fleet of
+        // one reduces to the single device's own counters exactly).
+        let mut l2_tlb = Ratio::default();
+        for t in &self.l2_tlbs {
+            l2_tlb.merge(&t.hit_rate());
+        }
+        let mut walks = 0;
+        let mut walk_latency = Histogram::default();
+        for w in &self.walkers {
+            walks += w.walks();
+            walk_latency.merge(w.latency());
+        }
+        let mut row_hits = Ratio::default();
+        for d in &self.drams {
+            row_hits.merge(&d.row_hit_rate());
+        }
+        let mut iobus_transfers = 0;
+        let mut iobus_bytes = 0;
+        let mut iobus_queue = Histogram::default();
+        let mut iobus_service = Histogram::default();
+        for b in &self.iobuses {
+            iobus_transfers += b.transfers();
+            iobus_bytes += b.bytes();
+            iobus_queue.merge(b.queue());
+            iobus_service.merge(b.service());
+        }
+        let p = self.placement.stats();
         SystemStats {
             l1_tlb_hits: l1_hits,
             l1_tlb_total: l1_total,
-            l2_tlb_hits: self.l2_tlb.hit_rate().hits(),
-            l2_tlb_total: self.l2_tlb.hit_rate().total(),
-            walks: self.walker.walks(),
-            walk_latency_mean: self.walker.latency().mean(),
+            l2_tlb_hits: l2_tlb.hits(),
+            l2_tlb_total: l2_tlb.total(),
+            walks,
+            walk_latency_mean: walk_latency.mean(),
             l1_cache_hit_rate: if l1c_total == 0 {
                 1.0
             } else {
@@ -947,19 +1156,24 @@ impl GpuSystem {
             } else {
                 l2c_hits as f64 / l2c_total as f64
             },
-            dram_row_hit_rate: self.dram.row_hit_rate().rate(),
-            iobus_transfers: self.iobus.transfers(),
-            iobus_bytes: self.iobus.bytes(),
-            iobus_queue_mean: self.iobus.queue().mean(),
-            iobus_queue_max: self.iobus.queue().max().unwrap_or(0),
-            iobus_service_mean: self.iobus.service().mean(),
-            iobus_service_max: self.iobus.service().max().unwrap_or(0),
+            dram_row_hit_rate: row_hits.rate(),
+            iobus_transfers,
+            iobus_bytes,
+            iobus_queue_mean: iobus_queue.mean(),
+            iobus_queue_max: iobus_queue.max().unwrap_or(0),
+            iobus_service_mean: iobus_service.mean(),
+            iobus_service_max: iobus_service.max().unwrap_or(0),
             refaults: self.refaults,
             manager: self.manager.stats(),
             footprint_bytes: self.manager.footprint_bytes(),
             app_footprint_bytes: self.manager.app_footprint_bytes(),
             touched_bytes: self.manager.touched_bytes(),
             memory_bloat: self.manager.memory_bloat(),
+            remote_accesses: p.remote_accesses,
+            interconnect_bytes: self.interconnect.bytes() + self.icn_nominal_bytes,
+            fleet_migrations: p.migrations,
+            fleet_replications: p.replications,
+            fleet_copy_bytes: p.migrated_bytes + p.replicated_bytes,
         }
     }
 }
@@ -992,7 +1206,7 @@ impl MemoryInterface for GpuSystem {
             if track_use {
                 self.manager.note_use(phys.base_frame(), Self::is_store(asid, addr.base_page()));
             }
-            let done = self.data_access(now, translated, sm, phys, faulted, &mut tl);
+            let done = self.data_access(now, translated, sm, asid, addr, phys, faulted, &mut tl);
             tl.seal(done);
             if done > worst {
                 worst = done;

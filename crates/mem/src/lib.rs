@@ -11,6 +11,9 @@
 //!   (RowClone/LISA) used by Mosaic's CAC-BC variant.
 //! * [`xbar`] — the SM-to-memory-partition crossbar with per-partition
 //!   injection ports.
+//! * [`interconnect`] — the inter-GPU link fabric for multi-GPU fleets:
+//!   per-directed-link injection ports, fully-connected or ring topology,
+//!   with bulk page-migration transfers.
 //!
 //! Like the rest of the substrate, structures here are *timing models*: a
 //! request presents an address and an arrival cycle, and the component
@@ -22,8 +25,10 @@
 
 pub mod cache;
 pub mod dram;
+pub mod interconnect;
 pub mod xbar;
 
 pub use cache::{Cache, CacheAccessUndo, CacheConfig};
 pub use dram::{Dram, DramConfig};
+pub use interconnect::{Interconnect, InterconnectConfig, Topology, FLIT_BYTES};
 pub use xbar::{Crossbar, CrossbarConfig};

@@ -46,6 +46,12 @@ pub enum StallBucket {
     /// Write-back of dirty evicted pages over the I/O bus (queueing plus
     /// wire time the triggering fault waits on).
     Writeback,
+    /// Remote access over the inter-GPU interconnect: link queueing plus
+    /// hop traversal when a warp's data lives on another GPU's DRAM.
+    Remote,
+    /// Inter-GPU page migration the access waited on: moving a frame's
+    /// bytes across the interconnect under `migrate-on-threshold`.
+    Migrate,
     /// Residual cycles no timeline segment covers.
     #[default]
     Other,
@@ -53,7 +59,7 @@ pub enum StallBucket {
 
 impl StallBucket {
     /// Number of buckets.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 14;
 
     /// Every bucket, in display order.
     pub const ALL: [StallBucket; Self::COUNT] = [
@@ -68,6 +74,8 @@ impl StallBucket {
         StallBucket::Sync,
         StallBucket::Evict,
         StallBucket::Writeback,
+        StallBucket::Remote,
+        StallBucket::Migrate,
         StallBucket::Other,
     ];
 
@@ -91,6 +99,8 @@ impl StallBucket {
             StallBucket::Sync => "sync",
             StallBucket::Evict => "evict",
             StallBucket::Writeback => "writeback",
+            StallBucket::Remote => "remote",
+            StallBucket::Migrate => "migrate",
             StallBucket::Other => "other",
         }
     }
